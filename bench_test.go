@@ -1,0 +1,385 @@
+package uvacg
+
+// One benchmark family per experiment in EXPERIMENTS.md. The harnesses
+// live in internal/benchkit and are shared with cmd/wsrfbench, which
+// prints the same measurements as tables.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"uvacg/internal/benchkit"
+	"uvacg/internal/core"
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/services/scheduler"
+)
+
+var benchCtx = context.Background()
+
+func mustPropertyHarness(b *testing.B, nprops int) *benchkit.PropertyHarness {
+	b.Helper()
+	h, err := benchkit.NewPropertyHarness(resourcedb.StructuredCodec{}, nprops)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// BenchmarkF1_WrapperPipeline measures the Fig. 1 wrapper's cost: every
+// resource invocation pays an EPR resolution plus a database load (and
+// a save when state changed) that a stateless dispatch does not.
+func BenchmarkF1_WrapperPipeline(b *testing.B) {
+	h := mustPropertyHarness(b, 8)
+	cases := map[string]func(context.Context) error{
+		"stateless-dispatch": h.StatelessEcho,
+		"load-only-read":     h.CustomGet,
+		"load-save-mutate":   h.Mutate,
+	}
+	for name, fn := range cases {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := fn(benchCtx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE1_PropertyAccess compares the standardized
+// WS-ResourceProperties interface against a bespoke accessor on the
+// same state (§5: does the canonical view of state cost anything?).
+func BenchmarkE1_PropertyAccess(b *testing.B) {
+	h := mustPropertyHarness(b, 8)
+	cases := []struct {
+		name string
+		fn   func(context.Context) error
+	}{
+		{"GetResourceProperty", h.GetProperty},
+		{"GetMultiple4", func(ctx context.Context) error { return h.GetMultiple(ctx, 4) }},
+		{"QueryResourceProperties", h.Query},
+		{"QueryComputedProperty", h.QueryComputed},
+		{"SetResourceProperties", h.SetProperty},
+		{"CustomInterface", h.CustomGet},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := c.fn(benchCtx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2_EPRRediscovery measures recovering lost client-side EPRs
+// through a database query, and reports the EPR table size a client
+// would otherwise need to keep durable (§5's coupling concern).
+func BenchmarkE2_EPRRediscovery(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("resources=%d", n), func(b *testing.B) {
+			h, err := benchkit.NewRediscoveryHarness(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(h.ClientTableBytes()), "eprtable-bytes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recovered, err := h.Rediscover()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if recovered == 0 {
+					b.Fatal("nothing rediscovered")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3_StateCodecs quantifies §5's structured-columns vs
+// opaque-blob trade-off: blobs load/store cheaply but every query decodes
+// every row; structured rows cost more per save but answer queries from
+// an index.
+func BenchmarkE3_StateCodecs(b *testing.B) {
+	codecs := map[string]resourcedb.Codec{
+		"structured": resourcedb.StructuredCodec{},
+		"blob":       resourcedb.BlobCodec{},
+	}
+	for codecName, codec := range codecs {
+		for _, nprops := range []int{4, 16, 64} {
+			h, err := benchkit.NewCodecHarness(codec, nprops, 512)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prefix := fmt.Sprintf("%s/props=%d", codecName, nprops)
+			b.Run(prefix+"/save", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := h.Save(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(prefix+"/load", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := h.Load(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(prefix+"/query512rows", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := h.QueryByProperty(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE4_NotifyVsPoll compares push delivery against the polling a
+// client must otherwise do (§5: WS-Notification's value), direct and
+// brokered.
+func BenchmarkE4_NotifyVsPoll(b *testing.B) {
+	direct, err := benchkit.NewNotifyHarness(1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	brokered, err := benchkit.NewNotifyHarness(1, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("notify-direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := direct.PublishAndWait(benchCtx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("notify-brokered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := brokered.PublishAndWait(benchCtx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("poll-GetResourceProperty", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := direct.PollOnce(benchCtx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE4_BrokerFanout scales the broker's multicast in subscriber
+// count (§4.3: the broker as a multicast mechanism).
+func BenchmarkE4_BrokerFanout(b *testing.B) {
+	for _, n := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("subscribers=%d", n), func(b *testing.B) {
+			h, err := benchkit.NewNotifyHarness(n, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := h.PublishAndWait(benchCtx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5_UploadModes compares the blocking upload baseline against
+// the paper's one-way-plus-notification protocol (§4.1): the async form
+// releases the requester in microseconds regardless of file size.
+func BenchmarkE5_UploadModes(b *testing.B) {
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+		h, err := benchkit.NewTransferHarness(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(h.Close)
+		b.Run(fmt.Sprintf("sync/size=%d", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if err := h.SyncUpload(benchCtx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("async/size=%d", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			var blockedTotal, fullTotal float64
+			for i := 0; i < b.N; i++ {
+				blocked, total, err := h.AsyncUpload(benchCtx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				blockedTotal += float64(blocked.Nanoseconds())
+				fullTotal += float64(total.Nanoseconds())
+			}
+			b.ReportMetric(blockedTotal/float64(b.N), "ns-blocked/op")
+			b.ReportMetric(fullTotal/float64(b.N), "ns-to-ready/op")
+		})
+	}
+}
+
+// BenchmarkE6_TransferSchemes measures file movement through each
+// binding: HTTP Read, WSE-style framed TCP, the in-process fabric, and
+// the same-machine fast path (§4.1/§4.6).
+func BenchmarkE6_TransferSchemes(b *testing.B) {
+	for _, size := range []int{4 << 10, 256 << 10, 4 << 20} {
+		h, err := benchkit.NewTransferHarness(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(h.Close)
+		for _, scheme := range []string{"inproc", "http", "soap.tcp"} {
+			b.Run(fmt.Sprintf("%s/size=%d", scheme, size), func(b *testing.B) {
+				b.SetBytes(int64(size))
+				for i := 0; i < b.N; i++ {
+					if _, err := h.Fetch(benchCtx, scheme); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("local-fastpath/size=%d", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if err := h.LocalStage(benchCtx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7_Scheduling compares makespans of the paper's greedy
+// "fastest, most available" policy against round-robin and random
+// baselines on a heterogeneous grid (§4.5/§4.6).
+func BenchmarkE7_Scheduling(b *testing.B) {
+	policies := []scheduler.Policy{scheduler.Greedy{}, scheduler.RoundRobin{}, scheduler.NewRandom(1)}
+	for _, policy := range policies {
+		b.Run("batch16/"+policy.Name(), func(b *testing.B) {
+			h, err := benchkit.NewGridHarness(benchkit.HeterogeneousNodes(), policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.RunBatch(benchCtx, 16); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, policy := range policies {
+		b.Run("pipeline8/"+policy.Name(), func(b *testing.B) {
+			h, err := benchkit.NewGridHarness(benchkit.HeterogeneousNodes(), policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.RunPipeline(benchCtx, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8_UtilizationThreshold sweeps the Processor Utilization
+// service's "configurable amount" (§4.4): notification volume against
+// the staleness of the NIS view.
+func BenchmarkE8_UtilizationThreshold(b *testing.B) {
+	for _, threshold := range []float64{0.01, 0.05, 0.10, 0.25} {
+		b.Run(fmt.Sprintf("threshold=%.2f", threshold), func(b *testing.B) {
+			var notifies int
+			var meanErr float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				notifies, meanErr, err = benchkit.UtilizationSweep(threshold, 1000)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(notifies), "notifies/1000samples")
+			b.ReportMetric(meanErr, "mean-staleness")
+		})
+	}
+}
+
+// BenchmarkE9_Lifetime measures the termination-time reaper's sweep
+// cost as the resource population grows.
+func BenchmarkE9_Lifetime(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("resources=%d", n), func(b *testing.B) {
+			h, err := benchkit.NewLifetimeHarness(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.Sweep() // collect the expired eighth once
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Sweep() // steady-state scan cost
+			}
+		})
+	}
+}
+
+// BenchmarkE10_Security measures the per-request cost of each
+// credential-protection level, including server-side verification
+// (§4.2's encrypted WS-Security password profile).
+func BenchmarkE10_Security(b *testing.B) {
+	h, err := benchkit.NewSecurityHarness()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		fn   func(context.Context) error
+	}{
+		{"no-security", h.Plain},
+		{"usernametoken-plain", h.UsernameTokenPlain},
+		{"usernametoken-digest", h.UsernameTokenDigest},
+		{"encrypted-token", h.EncryptedToken},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := c.fn(benchCtx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkF3_JobSetEndToEnd runs the whole Fig. 3 sequence — submit,
+// schedule, stage, spawn, notify, advance the DAG — as one measured
+// operation.
+func BenchmarkF3_JobSetEndToEnd(b *testing.B) {
+	h, err := benchkit.NewGridHarness([]core.NodeSpec{
+		{Name: "win-a", Cores: 2, SpeedMHz: 2800, RAMMB: 1024},
+		{Name: "win-b", Cores: 1, SpeedMHz: 1400, RAMMB: 512},
+	}, scheduler.Greedy{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.RunPipeline(benchCtx, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Command gridmaster runs the campus grid's master services over HTTP:
+// the Notification Broker, the Node Info Service and the Scheduler
+// Service. Machines started with gridnode register against it and
+// clients submit job sets with gridsub.
+//
+//	gridmaster -addr :8700 [-host localhost] [-policy greedy]
+//	           [-accounts user:pw,user2:pw2]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/services/nodeinfo"
+	"uvacg/internal/services/scheduler"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsn"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/wssec"
+)
+
+func main() {
+	addr := flag.String("addr", ":8700", "listen address (host:port)")
+	host := flag.String("host", "localhost", "public host name services advertise in EPRs")
+	policyName := flag.String("policy", "greedy", "scheduling policy: greedy, round-robin or random")
+	accountsFlag := flag.String("accounts", "", "comma-separated user:password accounts; empty disables WS-Security")
+	snapshot := flag.String("snapshot", "", "path for resource database snapshots: loaded at startup if present, written on shutdown")
+	jobTimeout := flag.Duration("job-timeout", 0, "fail dispatched jobs with no completion inside this window (0 disables)")
+	flag.Parse()
+
+	port := portOf(*addr)
+	address := fmt.Sprintf("http://%s:%s", *host, port)
+	client := transport.NewClient()
+	store := resourcedb.NewStore()
+	if *snapshot != "" {
+		if err := store.LoadFile(*snapshot); err == nil {
+			log.Printf("resource database restored from %s", *snapshot)
+		}
+	}
+
+	broker, err := wsn.NewBroker("/NotificationBroker", address,
+		wsrf.NewStateHome(store.MustTable("subscriptions", resourcedb.BlobCodec{})), client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nis, err := nodeinfo.New(nodeinfo.Config{
+		Address: address,
+		Home:    wsrf.NewStateHome(store.MustTable("nodeinfo", resourcedb.BlobCodec{})),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ssCfg := scheduler.Config{
+		Address:    address,
+		Home:       wsrf.NewStateHome(store.MustTable("jobsets", resourcedb.BlobCodec{})),
+		Client:     client,
+		NIS:        nis.EPR(),
+		Broker:     broker.EPR(),
+		Policy:     pickPolicy(*policyName),
+		JobTimeout: *jobTimeout,
+	}
+	accounts := parseAccounts(*accountsFlag)
+	if accounts != nil {
+		// HTTP deployment note: credentials cross as UsernameToken
+		// digests; header encryption needs out-of-band certificate
+		// distribution, which the CLI deployment does not do.
+		ssCfg.Security = &wssec.VerifierConfig{Accounts: accounts, Required: true}
+	}
+	ss, err := scheduler.New(ssCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mux := soap.NewMux()
+	mux.Handle(broker.Service().Path(), broker.Service().Dispatcher())
+	mux.Handle(broker.Producer().SubscriptionService().Path(), broker.Producer().SubscriptionService().Dispatcher())
+	mux.Handle(nis.WSRF().Path(), nis.WSRF().Dispatcher())
+	mux.Handle(ss.WSRF().Path(), ss.WSRF().Dispatcher())
+	ss.Consumer().Mount(mux, ss.ConsumerPath())
+
+	base, shutdown, err := transport.ListenHTTP(transport.NewServer(mux), *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	{
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if resumed, err := ss.Recover(ctx); err != nil {
+			log.Printf("job set recovery: %v", err)
+		} else if resumed > 0 {
+			log.Printf("resumed %d job set(s) from the previous run", resumed)
+		}
+		cancel()
+	}
+	log.Printf("gridmaster up at %s (advertising %s)", base, address)
+	log.Printf("  broker:    %s", broker.EPR().Address)
+	log.Printf("  node info: %s", nis.EPR().Address)
+	log.Printf("  scheduler: %s  (policy %s)", ss.EPR().Address, pickPolicy(*policyName).Name())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if *snapshot != "" {
+		if err := store.SaveFile(*snapshot); err != nil {
+			log.Printf("snapshot: %v", err)
+		} else {
+			log.Printf("resource database saved to %s", *snapshot)
+		}
+	}
+	shutdown()
+}
+
+func portOf(addr string) string {
+	if i := strings.LastIndex(addr, ":"); i >= 0 {
+		return addr[i+1:]
+	}
+	return addr
+}
+
+func pickPolicy(name string) scheduler.Policy {
+	switch name {
+	case "round-robin":
+		return scheduler.RoundRobin{}
+	case "random":
+		return scheduler.NewRandom(1)
+	default:
+		return scheduler.Greedy{}
+	}
+}
+
+func parseAccounts(s string) wssec.StaticAccounts {
+	if s == "" {
+		return nil
+	}
+	accounts := make(wssec.StaticAccounts)
+	for _, pair := range strings.Split(s, ",") {
+		user, pw, ok := strings.Cut(pair, ":")
+		if !ok {
+			log.Fatalf("bad account %q (want user:password)", pair)
+		}
+		accounts[user] = pw
+	}
+	return accounts
+}

@@ -1,0 +1,154 @@
+// Command gridnode runs one grid machine over HTTP: its File System
+// Service, Execution Service, ProcSpawn runtime and Processor
+// Utilization monitor. On startup it registers with the master's Node
+// Info Service and then streams utilization changes to it.
+//
+//	gridnode -name win-a -addr :8701 -master http://localhost:8700 \
+//	         [-cores 2] [-speed 2800] [-ram 1024] [-accounts user:pw]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"uvacg/internal/procspawn"
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/services/execution"
+	"uvacg/internal/services/filesystem"
+	"uvacg/internal/services/nodeinfo"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/vfs"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/wssec"
+)
+
+func main() {
+	name := flag.String("name", "", "machine name (required)")
+	addr := flag.String("addr", ":8701", "listen address")
+	host := flag.String("host", "localhost", "public host name for EPRs")
+	master := flag.String("master", "http://localhost:8700", "gridmaster base URL")
+	cores := flag.Int("cores", 2, "processor cores")
+	speed := flag.Float64("speed", 2000, "clock speed (MHz)")
+	ram := flag.Int("ram", 1024, "RAM (MB)")
+	accountsFlag := flag.String("accounts", "", "comma-separated user:password local accounts")
+	threshold := flag.Float64("threshold", 0.1, "utilization report threshold")
+	flag.Parse()
+	if *name == "" {
+		log.Fatal("gridnode: -name is required")
+	}
+
+	port := (*addr)[strings.LastIndex(*addr, ":")+1:]
+	address := fmt.Sprintf("http://%s:%s", *host, port)
+	client := transport.NewClient()
+	fs := vfs.New()
+	store := resourcedb.NewStore()
+	brokerEPR := wsa.NewEPR(*master + "/NotificationBroker")
+	nisEPR := wsa.NewEPR(*master + "/NodeInfoService")
+
+	fss, err := filesystem.New(filesystem.Config{
+		Address: address,
+		FS:      fs,
+		Client:  client,
+		Home:    wsrf.NewStateHome(store.MustTable("directories", resourcedb.StructuredCodec{})),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spawnCfg := procspawn.Config{FS: fs, Cores: *cores, SpeedMHz: *speed}
+	accounts := parseAccounts(*accountsFlag)
+	if accounts != nil {
+		spawnCfg.Accounts = accounts
+	}
+	var monitor *procspawn.UtilizationMonitor
+	spawnCfg.OnChange = func() {
+		if monitor != nil {
+			monitor.Sample()
+		}
+	}
+	spawner, err := procspawn.NewSpawner(spawnCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	esCfg := execution.Config{
+		Address: address,
+		Home:    wsrf.NewStateHome(store.MustTable("jobs", resourcedb.StructuredCodec{})),
+		Client:  client,
+		FSS:     fss.EPR(),
+		Spawner: spawner,
+		Broker:  brokerEPR,
+	}
+	if accounts != nil {
+		esCfg.Security = &wssec.VerifierConfig{Accounts: accounts, Required: true}
+	}
+	es, err := execution.New(esCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	processor := func(util float64) nodeinfo.Processor {
+		return nodeinfo.Processor{
+			Host: *name, ES: es.EPR(),
+			Cores: *cores, SpeedMHz: *speed, RAMMB: *ram,
+			Utilization: util,
+		}
+	}
+	monitor = procspawn.NewUtilizationMonitor(spawner, procspawn.MonitorConfig{
+		Threshold: *threshold,
+		Notify: func(util float64) {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if _, err := client.Call(ctx, nisEPR, nodeinfo.ActionReport, nodeinfo.ReportRequest(processor(util))); err != nil {
+				log.Printf("utilization report: %v", err)
+			}
+		},
+	})
+
+	mux := soap.NewMux()
+	mux.Handle(fss.WSRF().Path(), fss.WSRF().Dispatcher())
+	mux.Handle(es.WSRF().Path(), es.WSRF().Dispatcher())
+	base, shutdown, err := transport.ListenHTTP(transport.NewServer(mux), *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if _, err := client.Call(ctx, nisEPR, nodeinfo.ActionReport, nodeinfo.ReportRequest(processor(0))); err != nil {
+		log.Fatalf("register with NIS at %s: %v", nisEPR.Address, err)
+	}
+	cancel()
+	monitor.Start()
+	log.Printf("gridnode %s up at %s: %d cores @ %.0f MHz, %d MB, registered with %s",
+		*name, base, *cores, *speed, *ram, *master)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	monitor.Stop()
+	shutdown()
+}
+
+func parseAccounts(s string) wssec.StaticAccounts {
+	if s == "" {
+		return nil
+	}
+	accounts := make(wssec.StaticAccounts)
+	for _, pair := range strings.Split(s, ",") {
+		user, pw, ok := strings.Cut(pair, ":")
+		if !ok {
+			log.Fatalf("bad account %q (want user:password)", pair)
+		}
+		accounts[user] = pw
+	}
+	return accounts
+}

@@ -1,0 +1,154 @@
+// Command gridsub submits a job set to a running grid and follows it to
+// completion: the command-line version of the paper's GUI tool. It
+// serves the job set's local:// files over soap.tcp (the WSE TCP server
+// thread of paper §4.6), runs a light-weight notification receiver over
+// HTTP, submits to the Scheduler, prints events as they arrive, and
+// retrieves the outputs named by the description's fetch directives.
+//
+//	gridsub -master http://localhost:8700 -jobset analysis.jobset \
+//	        [-user scientist -pass secret] [-listen :0] [-out ./results]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"uvacg/internal/core"
+	"uvacg/internal/services/execution"
+	"uvacg/internal/services/filesystem"
+	"uvacg/internal/services/scheduler"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsn"
+	"uvacg/internal/wssec"
+)
+
+func main() {
+	master := flag.String("master", "http://localhost:8700", "gridmaster base URL")
+	jobsetPath := flag.String("jobset", "", "job set description file (required)")
+	user := flag.String("user", "", "account user name")
+	pass := flag.String("pass", "", "account password")
+	listen := flag.String("listen", "127.0.0.1:0", "notification listener address")
+	outDir := flag.String("out", ".", "directory fetched outputs are written to")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	flag.Parse()
+	if *jobsetPath == "" {
+		log.Fatal("gridsub: -jobset is required")
+	}
+
+	f, err := os.Open(*jobsetPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	desc, err := core.ParseJobSetFile(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client := transport.NewClient()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// The client's TCP file server (step 5 of Fig. 3).
+	files := filesystem.NewFileServer("/files")
+	baseDir := filepath.Dir(*jobsetPath)
+	for name, path := range desc.Files {
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		content, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("read %s: %v", path, err)
+		}
+		files.Publish(name, content)
+	}
+	filesEPR, err := files.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer files.Close()
+
+	// The light-weight notification receiver over HTTP (step 9's
+	// destination on the client side).
+	consumer := wsn.NewConsumer()
+	events := consumer.Channel(wsn.MustTopicExpression(wsn.DialectFull, "*//"), 256)
+	listenerMux := soap.NewMux()
+	consumer.Mount(listenerMux, "/listener")
+	listenerBase, stopListener, err := transport.ListenHTTP(transport.NewServer(listenerMux), *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopListener()
+	listenerEPR := wsa.NewEPR(listenerBase + "/listener")
+
+	// Submit (step 1).
+	ssEPR := wsa.NewEPR(*master + "/SchedulerService")
+	env := soap.New(scheduler.SubmitRequest(desc.Spec, filesEPR, listenerEPR))
+	if *user != "" {
+		creds := wssec.Credentials{Username: *user, Password: *pass}
+		if err := wssec.AttachUsernameToken(env, creds, true, time.Now()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	resp, err := client.Invoke(ctx, ssEPR, scheduler.ActionSubmit, env)
+	if err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	setEPR, topic, err := scheduler.ParseSubmitResponse(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("submitted %q as %s (topic %s)", desc.Spec.Name, setEPR, topic)
+
+	// Follow events to a terminal job-set state.
+	dirs := make(map[string]wsa.EndpointReference)
+	status := ""
+	for status == "" {
+		select {
+		case n := <-events:
+			segs := strings.Split(n.Topic, "/")
+			if len(segs) != 3 || segs[0] != topic {
+				continue
+			}
+			log.Printf("  %-12s %s", segs[1], segs[2])
+			if segs[1] == "jobset" {
+				status = segs[2]
+				break
+			}
+			if ev, err := execution.ParseJobEvent(n.Message); err == nil && !ev.Directory.IsZero() {
+				dirs[ev.JobName] = ev.Directory
+			}
+		case <-ctx.Done():
+			log.Fatal("timed out waiting for job set events")
+		}
+	}
+	if status != "completed" {
+		log.Fatalf("job set ended %s", status)
+	}
+
+	for _, fetch := range desc.Fetches {
+		dir, ok := dirs[fetch.Job]
+		if !ok {
+			log.Printf("fetch %s/%s: output directory unknown", fetch.Job, fetch.File)
+			continue
+		}
+		data, err := filesystem.FetchFile(ctx, client, dir, fetch.File)
+		if err != nil {
+			log.Printf("fetch %s/%s: %v", fetch.Job, fetch.File, err)
+			continue
+		}
+		dest := filepath.Join(*outDir, fmt.Sprintf("%s.%s", fetch.Job, fetch.File))
+		if err := os.WriteFile(dest, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fetched %s/%s -> %s (%d bytes)", fetch.Job, fetch.File, dest, len(data))
+	}
+}

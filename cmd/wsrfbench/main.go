@@ -1,0 +1,406 @@
+// Command wsrfbench regenerates the experiment tables recorded in
+// EXPERIMENTS.md: one table per experiment id (F1, F3, E1-E10), driven
+// by the same internal/benchkit harnesses as the testing.B benchmarks.
+//
+//	wsrfbench [-quick] [-only E4,E7]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"uvacg/internal/benchkit"
+	"uvacg/internal/core"
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/services/scheduler"
+)
+
+var (
+	quick = flag.Bool("quick", false, "fewer iterations (fast sanity run)")
+	only  = flag.String("only", "", "comma-separated experiment ids to run (default all)")
+)
+
+var ctx = context.Background()
+
+func main() {
+	flag.Parse()
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			selected[id] = true
+		}
+	}
+	run := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	experiments := []struct {
+		id, title string
+		fn        func() error
+	}{
+		{"F1", "wrapper pipeline overhead (Fig. 1)", expF1},
+		{"E1", "standardized vs custom state access (§5)", expE1},
+		{"E2", "EPR bookkeeping and rediscovery (§5)", expE2},
+		{"E3", "structured columns vs opaque blobs (§5)", expE3},
+		{"E4", "notification vs polling; broker fan-out (§4.3/§5)", expE4},
+		{"E5", "blocking vs one-way upload (§4.1)", expE5},
+		{"E6", "file movement per binding (§4.1/§4.6)", expE6},
+		{"E7", "scheduling policies on a heterogeneous grid (§4.5)", expE7},
+		{"E8", "utilization threshold vs staleness (§4.4)", expE8},
+		{"E9", "termination-time reaper sweep", expE9},
+		{"E10", "WS-Security request cost (§4.2)", expE10},
+		{"F3", "end-to-end job set execution (Fig. 3)", expF3},
+	}
+	for _, e := range experiments {
+		if !run(e.id) {
+			continue
+		}
+		fmt.Printf("\n== %s: %s ==\n", e.id, e.title)
+		if err := e.fn(); err != nil {
+			log.Fatalf("%s: %v", e.id, err)
+		}
+	}
+}
+
+func iters(normal, fast int) int {
+	if *quick {
+		return fast
+	}
+	return normal
+}
+
+// timeOp measures mean wall time of fn over n runs.
+func timeOp(n int, fn func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(n), nil
+}
+
+func row(name string, d time.Duration, extra string) {
+	fmt.Printf("  %-34s %12v %s\n", name, d.Round(time.Microsecond), extra)
+}
+
+func expF1() error {
+	h, err := benchkit.NewPropertyHarness(resourcedb.StructuredCodec{}, 8)
+	if err != nil {
+		return err
+	}
+	n := iters(2000, 200)
+	for _, c := range []struct {
+		name string
+		fn   func(context.Context) error
+	}{
+		{"stateless dispatch (no pipeline)", h.StatelessEcho},
+		{"resource read (EPR+load)", h.CustomGet},
+		{"resource mutate (EPR+load+save)", h.Mutate},
+	} {
+		d, err := timeOp(n, func() error { return c.fn(ctx) })
+		if err != nil {
+			return err
+		}
+		row(c.name, d, "")
+	}
+	return nil
+}
+
+func expE1() error {
+	h, err := benchkit.NewPropertyHarness(resourcedb.StructuredCodec{}, 8)
+	if err != nil {
+		return err
+	}
+	n := iters(2000, 200)
+	for _, c := range []struct {
+		name string
+		fn   func(context.Context) error
+	}{
+		{"GetResourceProperty", h.GetProperty},
+		{"GetMultipleResourceProperties(4)", func(ctx context.Context) error { return h.GetMultiple(ctx, 4) }},
+		{"QueryResourceProperties", h.Query},
+		{"Query computed property", h.QueryComputed},
+		{"SetResourceProperties", h.SetProperty},
+		{"custom bespoke interface", h.CustomGet},
+	} {
+		d, err := timeOp(n, func() error { return c.fn(ctx) })
+		if err != nil {
+			return err
+		}
+		row(c.name, d, "")
+	}
+	return nil
+}
+
+func expE2() error {
+	for _, n := range []int{100, 1000, 10000} {
+		h, err := benchkit.NewRediscoveryHarness(n)
+		if err != nil {
+			return err
+		}
+		d, err := timeOp(iters(50, 5), func() error {
+			_, err := h.Rediscover()
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("rediscover among %d resources", n), d,
+			fmt.Sprintf("(client EPR table would be %d bytes)", h.ClientTableBytes()))
+	}
+	return nil
+}
+
+func expE3() error {
+	codecs := []struct {
+		name  string
+		codec resourcedb.Codec
+	}{{"structured", resourcedb.StructuredCodec{}}, {"blob", resourcedb.BlobCodec{}}}
+	n := iters(2000, 200)
+	for _, c := range codecs {
+		for _, nprops := range []int{4, 16, 64} {
+			h, err := benchkit.NewCodecHarness(c.codec, nprops, 512)
+			if err != nil {
+				return err
+			}
+			save, err := timeOp(n, h.Save)
+			if err != nil {
+				return err
+			}
+			load, err := timeOp(n, h.Load)
+			if err != nil {
+				return err
+			}
+			query, err := timeOp(iters(200, 20), func() error {
+				_, err := h.QueryByProperty()
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-10s props=%-3d  save %10v  load %10v  query(512 rows) %12v\n",
+				c.name, nprops, save.Round(time.Nanosecond), load.Round(time.Nanosecond), query.Round(time.Nanosecond))
+		}
+	}
+	return nil
+}
+
+func expE4() error {
+	direct, err := benchkit.NewNotifyHarness(1, false)
+	if err != nil {
+		return err
+	}
+	brokered, err := benchkit.NewNotifyHarness(1, true)
+	if err != nil {
+		return err
+	}
+	n := iters(500, 50)
+	d, err := timeOp(n, func() error { return direct.PublishAndWait(ctx) })
+	if err != nil {
+		return err
+	}
+	row("notify, direct (1 consumer)", d, "")
+	d, err = timeOp(n, func() error { return brokered.PublishAndWait(ctx) })
+	if err != nil {
+		return err
+	}
+	row("notify, brokered (1 consumer)", d, "")
+	d, err = timeOp(n, func() error { return direct.PollOnce(ctx) })
+	if err != nil {
+		return err
+	}
+	row("one poll (GetResourceProperty)", d, "× poll-rate × consumers = polling load")
+
+	for _, subs := range []int{1, 4, 16, 64} {
+		h, err := benchkit.NewNotifyHarness(subs, true)
+		if err != nil {
+			return err
+		}
+		d, err := timeOp(iters(200, 20), func() error { return h.PublishAndWait(ctx) })
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("broker fan-out to %d subscribers", subs), d, "")
+	}
+	return nil
+}
+
+func expE5() error {
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+		h, err := benchkit.NewTransferHarness(size)
+		if err != nil {
+			return err
+		}
+		n := iters(100, 10)
+		syncD, err := timeOp(n, func() error { return h.SyncUpload(ctx) })
+		if err != nil {
+			return err
+		}
+		var blockedSum, totalSum time.Duration
+		for i := 0; i < n; i++ {
+			blocked, total, err := h.AsyncUpload(ctx)
+			if err != nil {
+				return err
+			}
+			blockedSum += blocked
+			totalSum += total
+		}
+		fmt.Printf("  size %8d  sync-blocked %10v | async-blocked %10v, ready-after %10v\n",
+			size, syncD.Round(time.Microsecond),
+			(blockedSum / time.Duration(n)).Round(time.Microsecond),
+			(totalSum / time.Duration(n)).Round(time.Microsecond))
+		h.Close()
+	}
+	return nil
+}
+
+func expE6() error {
+	for _, size := range []int{4 << 10, 256 << 10, 4 << 20} {
+		h, err := benchkit.NewTransferHarness(size)
+		if err != nil {
+			return err
+		}
+		n := iters(60, 6)
+		if size >= 4<<20 {
+			n = iters(20, 3)
+		}
+		for _, scheme := range []string{"http", "soap.tcp", "inproc"} {
+			d, err := timeOp(n, func() error {
+				_, err := h.Fetch(ctx, scheme)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			mbps := float64(size) / d.Seconds() / (1 << 20)
+			fmt.Printf("  %-9s size %8d  %12v  %8.1f MiB/s\n", scheme, size, d.Round(time.Microsecond), mbps)
+		}
+		d, err := timeOp(n, func() error { return h.LocalStage(ctx) })
+		if err != nil {
+			return err
+		}
+		mbps := float64(size) / d.Seconds() / (1 << 20)
+		fmt.Printf("  %-9s size %8d  %12v  %8.1f MiB/s\n", "local", size, d.Round(time.Microsecond), mbps)
+		h.Close()
+	}
+	return nil
+}
+
+func expE7() error {
+	policies := []scheduler.Policy{scheduler.Greedy{}, scheduler.RoundRobin{}, scheduler.NewRandom(1)}
+	runs := iters(3, 1)
+	for _, workload := range []string{"batch16", "pipeline8"} {
+		for _, policy := range policies {
+			h, err := benchkit.NewGridHarness(benchkit.HeterogeneousNodes(), policy)
+			if err != nil {
+				return err
+			}
+			var sum time.Duration
+			for i := 0; i < runs; i++ {
+				var d time.Duration
+				var err error
+				if workload == "batch16" {
+					d, err = h.RunBatch(ctx, 16)
+				} else {
+					d, err = h.RunPipeline(ctx, 8)
+				}
+				if err != nil {
+					h.Close()
+					return err
+				}
+				sum += d
+			}
+			h.Close()
+			row(fmt.Sprintf("%s / %s", workload, policy.Name()), sum/time.Duration(runs), "makespan")
+		}
+	}
+	return nil
+}
+
+func expE8() error {
+	type result struct {
+		threshold float64
+		notifies  int
+		staleness float64
+	}
+	var results []result
+	for _, threshold := range []float64{0.01, 0.05, 0.10, 0.25} {
+		notifies, meanErr, err := benchkit.UtilizationSweep(threshold, 1000)
+		if err != nil {
+			return err
+		}
+		results = append(results, result{threshold, notifies, meanErr})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].threshold < results[j].threshold })
+	for _, r := range results {
+		fmt.Printf("  threshold %.2f  %4d notifications / 1000 samples   mean staleness %.4f\n",
+			r.threshold, r.notifies, r.staleness)
+	}
+	return nil
+}
+
+func expE9() error {
+	for _, n := range []int{100, 1000, 10000} {
+		h, err := benchkit.NewLifetimeHarness(n)
+		if err != nil {
+			return err
+		}
+		destroyed := h.Sweep()
+		d, err := timeOp(iters(20, 3), func() error { h.Sweep(); return nil })
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("sweep %d resources", n), d, fmt.Sprintf("(first sweep destroyed %d)", destroyed))
+	}
+	return nil
+}
+
+func expE10() error {
+	h, err := benchkit.NewSecurityHarness()
+	if err != nil {
+		return err
+	}
+	n := iters(2000, 200)
+	for _, c := range []struct {
+		name string
+		fn   func(context.Context) error
+	}{
+		{"no security", h.Plain},
+		{"UsernameToken (plain)", h.UsernameTokenPlain},
+		{"UsernameToken (digest)", h.UsernameTokenDigest},
+		{"encrypted token (hybrid RSA/AES)", h.EncryptedToken},
+	} {
+		d, err := timeOp(n, func() error { return c.fn(ctx) })
+		if err != nil {
+			return err
+		}
+		row(c.name, d, "")
+	}
+	return nil
+}
+
+func expF3() error {
+	h, err := benchkit.NewGridHarness([]core.NodeSpec{
+		{Name: "win-a", Cores: 2, SpeedMHz: 2800, RAMMB: 1024},
+		{Name: "win-b", Cores: 1, SpeedMHz: 1400, RAMMB: 512},
+	}, scheduler.Greedy{})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	runs := iters(5, 2)
+	var sum time.Duration
+	for i := 0; i < runs; i++ {
+		d, err := h.RunPipeline(ctx, 3)
+		if err != nil {
+			return err
+		}
+		sum += d
+	}
+	row("3-stage job set, 2 machines", sum/time.Duration(runs), "submit → completed")
+	return nil
+}

@@ -1,0 +1,4 @@
+#uvacg-job
+compute 200
+write data.txt 10 20 30 40
+exit 0

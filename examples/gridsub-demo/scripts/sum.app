@@ -1,0 +1,5 @@
+#uvacg-job
+read data.txt
+compute 100
+transform data.txt total.txt sum
+exit 0

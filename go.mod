@@ -1,0 +1,3 @@
+module uvacg
+
+go 1.22

@@ -1,0 +1,297 @@
+// Package benchkit builds the measurement harnesses behind the
+// experiment suite in EXPERIMENTS.md (E1-E10, F1, F3). Each harness
+// assembles just enough of the testbed to exercise one claim from the
+// paper's evaluation and exposes tight operation closures that both the
+// root testing.B benchmarks and the cmd/wsrfbench table generator drive.
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/xmlutil"
+)
+
+// NSBench is the namespace benchmark services use.
+const NSBench = "urn:uvacg:bench"
+
+// ActionCustomGet is the bespoke (non-WSRF) state accessor used as the
+// E1 baseline: the "custom interfaces for manipulating state" §5 weighs
+// standardized resource properties against.
+const ActionCustomGet = NSBench + "/CustomGet"
+
+// ActionStatelessEcho dispatches with no resource behind it — the F1
+// baseline without the load/save pipeline.
+const ActionStatelessEcho = NSBench + "/StatelessEcho"
+
+// ActionMutate increments a counter property (forces a save-back).
+const ActionMutate = NSBench + "/Mutate"
+
+var (
+	QProp0   = xmlutil.Q(NSBench, "Prop0")
+	qCounter = xmlutil.Q(NSBench, "Counter")
+	qBanner  = xmlutil.Q(NSBench, "Banner")
+	qEcho    = xmlutil.Q(NSBench, "Echo")
+)
+
+// PropertyHarness hosts one WSRF resource with nprops state properties,
+// a computed property, a custom accessor and a stateless echo — the
+// E1/F1 rig.
+type PropertyHarness struct {
+	Client   *transport.Client
+	Service  *wsrf.Service
+	Resource wsa.EndpointReference
+	RC       *wsrf.ResourceClient
+}
+
+// NewPropertyHarness builds the rig with the given codec ("structured"
+// or "blob") and state-property count.
+func NewPropertyHarness(codec resourcedb.Codec, nprops int) (*PropertyHarness, error) {
+	store := resourcedb.NewStore()
+	svc, err := wsrf.NewService(wsrf.ServiceConfig{
+		Path:    "/BenchService",
+		Address: "inproc://bench",
+		Home:    wsrf.NewStateHome(store.MustTable("bench", codec)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc.Enable(wsrf.ResourcePropertiesPortType{})
+	svc.Enable(wsrf.LifetimePortType{})
+	svc.RegisterProperty(qBanner, func(ctx context.Context, inv *wsrf.Invocation) ([]*xmlutil.Element, error) {
+		return []*xmlutil.Element{xmlutil.NewElement(qBanner, "state is "+inv.Property(QProp0))}, nil
+	})
+	svc.RegisterMethod(ActionCustomGet, func(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+		return xmlutil.NewElement(QProp0, inv.Property(QProp0)), nil
+	})
+	svc.RegisterMethod(ActionMutate, func(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+		n, _ := strconv.Atoi(inv.Property(qCounter))
+		inv.SetProperty(qCounter, strconv.Itoa(n+1))
+		return nil, nil
+	})
+	svc.RegisterServiceMethod(ActionStatelessEcho, func(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+		return body.Clone(), nil
+	})
+
+	doc := xmlutil.NewContainer(xmlutil.Q(NSBench, "State"), xmlutil.NewElement(qCounter, "0"))
+	for i := 0; i < nprops; i++ {
+		doc.Append(xmlutil.NewElement(xmlutil.Q(NSBench, fmt.Sprintf("Prop%d", i)), fmt.Sprintf("value-%d", i)))
+	}
+	epr, err := svc.CreateResource("bench-resource", doc)
+	if err != nil {
+		return nil, err
+	}
+
+	mux := soap.NewMux()
+	mux.Handle(svc.Path(), svc.Dispatcher())
+	network := transport.NewNetwork()
+	network.Register("bench", transport.NewServer(mux))
+	client := transport.NewClient().WithNetwork(network)
+	return &PropertyHarness{
+		Client:   client,
+		Service:  svc,
+		Resource: epr,
+		RC:       wsrf.NewResourceClient(client, epr),
+	}, nil
+}
+
+// GetProperty performs one standardized GetResourceProperty.
+func (h *PropertyHarness) GetProperty(ctx context.Context) error {
+	_, err := h.RC.GetProperty(ctx, QProp0)
+	return err
+}
+
+// GetMultiple fetches k properties in one round trip.
+func (h *PropertyHarness) GetMultiple(ctx context.Context, k int) error {
+	names := make([]xmlutil.QName, k)
+	for i := 0; i < k; i++ {
+		names[i] = xmlutil.Q(NSBench, fmt.Sprintf("Prop%d", i))
+	}
+	_, err := h.RC.GetMultiple(ctx, names...)
+	return err
+}
+
+// Query evaluates one XPath-lite query over the properties document.
+func (h *PropertyHarness) Query(ctx context.Context) error {
+	_, err := h.RC.Query(ctx, "/Prop0[text()='value-0']")
+	return err
+}
+
+// QueryComputed queries a provider-computed property.
+func (h *PropertyHarness) QueryComputed(ctx context.Context) error {
+	_, err := h.RC.Query(ctx, "/Banner")
+	return err
+}
+
+// CustomGet performs the bespoke accessor call (E1 baseline).
+func (h *PropertyHarness) CustomGet(ctx context.Context) error {
+	_, err := h.Client.Call(ctx, h.Resource, ActionCustomGet, xmlutil.NewElement(qEcho, ""))
+	return err
+}
+
+// StatelessEcho dispatches without the wrapper pipeline (F1 baseline).
+func (h *PropertyHarness) StatelessEcho(ctx context.Context) error {
+	_, err := h.Client.Call(ctx, h.Service.EPR(), ActionStatelessEcho, xmlutil.NewElement(qEcho, "ping"))
+	return err
+}
+
+// Mutate runs a state-changing method (load + save through the DB).
+func (h *PropertyHarness) Mutate(ctx context.Context) error {
+	_, err := h.Client.Call(ctx, h.Resource, ActionMutate, xmlutil.NewElement(qEcho, ""))
+	return err
+}
+
+// SetProperty performs one SetResourceProperties update.
+func (h *PropertyHarness) SetProperty(ctx context.Context) error {
+	return h.RC.Set(ctx, wsrf.UpdateComponent(xmlutil.NewElement(QProp0, "updated")))
+}
+
+// RediscoveryHarness is the E2 rig: n resources whose EPRs a client
+// could lose, recoverable only through queries.
+type RediscoveryHarness struct {
+	Service *wsrf.Service
+	Table   *resourcedb.Table
+	EPRs    []wsa.EndpointReference
+}
+
+// NewRediscoveryHarness provisions n job-like resources, a quarter of
+// them with Status "Running".
+func NewRediscoveryHarness(n int) (*RediscoveryHarness, error) {
+	store := resourcedb.NewStore()
+	table := store.MustTable("jobs", resourcedb.StructuredCodec{})
+	svc, err := wsrf.NewService(wsrf.ServiceConfig{
+		Path:    "/ES",
+		Address: "inproc://bench",
+		Home:    wsrf.NewStateHome(table),
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &RediscoveryHarness{Service: svc, Table: table}
+	for i := 0; i < n; i++ {
+		status := "Exited"
+		if i%4 == 0 {
+			status = "Running"
+		}
+		doc := xmlutil.NewContainer(xmlutil.Q(NSBench, "JobState"),
+			xmlutil.NewElement(xmlutil.Q(NSBench, "Status"), status),
+			xmlutil.NewElement(xmlutil.Q(NSBench, "Owner"), "scientist"),
+		)
+		epr, err := svc.CreateResource(fmt.Sprintf("job-%06d", i), doc)
+		if err != nil {
+			return nil, err
+		}
+		h.EPRs = append(h.EPRs, epr)
+	}
+	return h, nil
+}
+
+// ClientTableBytes reports the bytes a client must durably hold to keep
+// every EPR (the §5 coupling concern: "the amount of state (in the form
+// of EPRs) that the client is expected to maintain").
+func (h *RediscoveryHarness) ClientTableBytes() int {
+	total := 0
+	for _, epr := range h.EPRs {
+		total += len(epr.String())
+	}
+	return total
+}
+
+// Rediscover recovers the EPRs of all Running jobs after a total
+// client-side loss, via a database-backed property query.
+func (h *RediscoveryHarness) Rediscover() (int, error) {
+	ids, err := h.Table.QueryProperty("Status", "Running")
+	if err != nil {
+		return 0, err
+	}
+	recovered := make([]wsa.EndpointReference, 0, len(ids))
+	for _, id := range ids {
+		recovered = append(recovered, h.Service.EPRFor(id))
+	}
+	return len(recovered), nil
+}
+
+// CodecHarness is the E3 rig over one resourcedb table.
+type CodecHarness struct {
+	Table *resourcedb.Table
+	Doc   *xmlutil.Element
+}
+
+// NewCodecHarness builds a table with the codec and a document of
+// nprops top-level properties, pre-populated with nrows rows.
+func NewCodecHarness(codec resourcedb.Codec, nprops, nrows int) (*CodecHarness, error) {
+	table := resourcedb.NewTable("bench", codec)
+	doc := xmlutil.NewContainer(xmlutil.Q(NSBench, "State"))
+	for i := 0; i < nprops; i++ {
+		doc.Append(xmlutil.NewElement(xmlutil.Q(NSBench, fmt.Sprintf("P%d", i)), fmt.Sprintf("v%d", i)))
+	}
+	for r := 0; r < nrows; r++ {
+		row := doc.Clone()
+		row.Children[0].Text = fmt.Sprintf("row-%d", r%7)
+		if err := table.Put(fmt.Sprintf("r%06d", r), row); err != nil {
+			return nil, err
+		}
+	}
+	return &CodecHarness{Table: table, Doc: doc}, nil
+}
+
+// Save encodes and stores the document.
+func (h *CodecHarness) Save() error { return h.Table.Put("r000000", h.Doc) }
+
+// Load fetches and decodes one row.
+func (h *CodecHarness) Load() error {
+	_, _, err := h.Table.Get("r000000")
+	return err
+}
+
+// QueryByProperty runs the property query (index vs full scan).
+func (h *CodecHarness) QueryByProperty() (int, error) {
+	ids, err := h.Table.QueryProperty("P0", "row-3")
+	return len(ids), err
+}
+
+// LifetimeHarness is the E9 rig: a service with n resources, a fraction
+// expired.
+type LifetimeHarness struct {
+	Reaper *wsrf.Reaper
+	n      int
+}
+
+// NewLifetimeHarness provisions n resources; every eighth carries an
+// already-expired termination time.
+func NewLifetimeHarness(n int) (*LifetimeHarness, error) {
+	store := resourcedb.NewStore()
+	svc, err := wsrf.NewService(wsrf.ServiceConfig{
+		Path:    "/S",
+		Address: "inproc://bench",
+		Home:    wsrf.NewStateHome(store.MustTable("r", resourcedb.StructuredCodec{})),
+	})
+	if err != nil {
+		return nil, err
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(time.RFC3339Nano)
+	for i := 0; i < n; i++ {
+		doc := xmlutil.NewContainer(xmlutil.Q(NSBench, "State"),
+			xmlutil.NewElement(xmlutil.Q(NSBench, "Payload"), "x"),
+		)
+		if i%8 == 0 {
+			doc.Append(xmlutil.NewElement(wsrf.QTerminationTime, past))
+		}
+		if _, err := svc.CreateResource(fmt.Sprintf("res-%06d", i), doc); err != nil {
+			return nil, err
+		}
+	}
+	return &LifetimeHarness{Reaper: wsrf.NewReaper(svc, time.Hour), n: n}, nil
+}
+
+// Sweep runs one reaper pass, returning destroyed count (only the first
+// sweep finds expired resources; subsequent sweeps measure pure scan
+// cost).
+func (h *LifetimeHarness) Sweep() int { return h.Reaper.SweepOnce() }

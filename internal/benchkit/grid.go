@@ -1,0 +1,131 @@
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"uvacg/internal/core"
+	"uvacg/internal/procspawn"
+	"uvacg/internal/services/scheduler"
+	"uvacg/internal/vfs"
+	"uvacg/internal/wssec"
+)
+
+// GridHarness is the E7/F3 rig: a heterogeneous simulated campus grid
+// under a selectable scheduling policy.
+type GridHarness struct {
+	Grid   *core.Grid
+	Client *core.Client
+}
+
+// HeterogeneousNodes is the standard E7 machine mix: one fast, two
+// medium, one slow — the spread a campus grid of donated desktops has.
+func HeterogeneousNodes() []core.NodeSpec {
+	return []core.NodeSpec{
+		{Name: "fast", Cores: 4, SpeedMHz: 3200, RAMMB: 4096},
+		{Name: "mid-a", Cores: 2, SpeedMHz: 2000, RAMMB: 2048},
+		{Name: "mid-b", Cores: 2, SpeedMHz: 2000, RAMMB: 1024},
+		{Name: "slow", Cores: 1, SpeedMHz: 800, RAMMB: 512},
+	}
+}
+
+// NewGridHarness builds a grid with the given nodes and policy.
+// UnitTime is tuned so jobs are long enough for placement to matter but
+// short enough for benchmarking.
+func NewGridHarness(nodes []core.NodeSpec, policy scheduler.Policy) (*GridHarness, error) {
+	grid, err := core.NewGrid(core.GridConfig{
+		Nodes:    nodes,
+		Policy:   policy,
+		UnitTime: 20 * time.Microsecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	client, err := grid.NewClient(wssec.Credentials{}, false)
+	if err != nil {
+		grid.Close()
+		return nil, err
+	}
+	client.AddFile("worker.app", procspawn.BuildScript("compute 4000", "write out.txt done", "exit 0"))
+	client.AddFile("stage.app", procspawn.BuildScript("read in.txt", "compute 1500", "transform in.txt out.txt copy", "exit 0"))
+	client.AddFile("seed.app", procspawn.BuildScript("compute 500", "write out.txt seed", "exit 0"))
+	return &GridHarness{Grid: grid, Client: client}, nil
+}
+
+// Close tears the grid down.
+func (h *GridHarness) Close() { h.Client.Close(); h.Grid.Close() }
+
+// RunBatch submits n independent worker jobs as one job set and returns
+// the makespan (E7's bag-of-tasks workload).
+func (h *GridHarness) RunBatch(ctx context.Context, n int) (time.Duration, error) {
+	set := core.NewJobSet(fmt.Sprintf("batch-%d", time.Now().UnixNano()))
+	for i := 0; i < n; i++ {
+		set.Add(fmt.Sprintf("w%03d", i), core.Local("worker.app"))
+	}
+	return h.runToCompletion(ctx, set.Spec())
+}
+
+// RunPipeline submits a linear depth-stage dependency chain (E7's DAG
+// workload; also the F3 end-to-end scenario).
+func (h *GridHarness) RunPipeline(ctx context.Context, depth int) (time.Duration, error) {
+	set := core.NewJobSet(fmt.Sprintf("pipe-%d", time.Now().UnixNano()))
+	set.Add("s0", core.Local("seed.app")).Outputs("out.txt")
+	for i := 1; i < depth; i++ {
+		set.Add(fmt.Sprintf("s%d", i), core.Local("stage.app")).
+			Input("in.txt", core.Output(fmt.Sprintf("s%d", i-1), "out.txt")).
+			Outputs("out.txt")
+	}
+	return h.runToCompletion(ctx, set.Spec())
+}
+
+func (h *GridHarness) runToCompletion(ctx context.Context, spec *core.JobSet) (time.Duration, error) {
+	start := time.Now()
+	sub, err := h.Client.Submit(ctx, spec)
+	if err != nil {
+		return 0, err
+	}
+	status, err := sub.Wait(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if status != scheduler.SetCompleted {
+		_, detail := sub.Status()
+		return 0, fmt.Errorf("benchkit: job set %s: %s", status, detail)
+	}
+	return time.Since(start), nil
+}
+
+// UtilizationSweep is the E8 rig: a monitor over a machine whose
+// background load follows a sine wave; it reports how many threshold
+// notifications a fixed number of samples produced, plus the mean
+// staleness (absolute error between the NIS-visible value and truth).
+func UtilizationSweep(threshold float64, samples int) (notifies int, meanError float64, err error) {
+	fs := vfs.New()
+	spawner, err := procspawn.NewSpawner(procspawn.Config{FS: fs, Cores: 2, SpeedMHz: 2000})
+	if err != nil {
+		return 0, 0, err
+	}
+	step := 0
+	background := func() float64 {
+		// One full load cycle per 200 samples, amplitude 0.45.
+		return 0.45 + 0.45*math.Sin(2*math.Pi*float64(step)/200)
+	}
+	var reported float64
+	monitor := procspawn.NewUtilizationMonitor(spawner, procspawn.MonitorConfig{
+		Threshold:  threshold,
+		Background: background,
+		Notify:     func(u float64) { reported = u },
+	})
+	notifies = 0
+	var errSum float64
+	for step = 0; step < samples; step++ {
+		truth := monitor.Utilization()
+		if monitor.Sample() {
+			notifies++
+		}
+		errSum += math.Abs(truth - reported)
+	}
+	return notifies, errSum / float64(samples), nil
+}

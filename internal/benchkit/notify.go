@@ -1,0 +1,144 @@
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsn"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/xmlutil"
+)
+
+// NotifyHarness is the E4 rig: a producing service, optionally fronted
+// by a Notification Broker, and n subscribed consumers. It compares
+// push delivery against the polling a WSRF client would otherwise do.
+type NotifyHarness struct {
+	Client    *transport.Client
+	Producer  *wsn.Producer
+	Broker    *wsn.Broker
+	ViaBroker bool
+	Consumers int
+
+	statusRC *wsrf.ResourceClient
+	received atomic.Int64
+	source   wsa.EndpointReference
+}
+
+// NewNotifyHarness wires n consumers to the producer (direct) or to a
+// broker the producer publishes through.
+func NewNotifyHarness(consumers int, viaBroker bool) (*NotifyHarness, error) {
+	network := transport.NewNetwork()
+	client := transport.NewClient().WithNetwork(network)
+	store := resourcedb.NewStore()
+
+	h := &NotifyHarness{Client: client, ViaBroker: viaBroker, Consumers: consumers}
+
+	// The producing service also exposes a pollable status resource —
+	// the polling baseline reads it with GetResourceProperty.
+	owner, err := wsrf.NewService(wsrf.ServiceConfig{
+		Path:    "/ES",
+		Address: "inproc://producer",
+		Home:    wsrf.NewStateHome(store.MustTable("jobs", resourcedb.StructuredCodec{})),
+	})
+	if err != nil {
+		return nil, err
+	}
+	owner.Enable(wsrf.ResourcePropertiesPortType{})
+	statusEPR, err := owner.CreateResource("job-1", xmlutil.NewContainer(xmlutil.Q(NSBench, "JobState"),
+		xmlutil.NewElement(xmlutil.Q(NSBench, "Status"), "Running"),
+	))
+	if err != nil {
+		return nil, err
+	}
+	h.statusRC = wsrf.NewResourceClient(client, statusEPR)
+
+	producer, err := wsn.NewProducer(owner, wsrf.NewStateHome(store.MustTable("subs", resourcedb.BlobCodec{})), client)
+	if err != nil {
+		return nil, err
+	}
+	h.Producer = producer
+
+	producerMux := soap.NewMux()
+	producerMux.Handle(owner.Path(), owner.Dispatcher())
+	producerMux.Handle(producer.SubscriptionService().Path(), producer.SubscriptionService().Dispatcher())
+	network.Register("producer", transport.NewServer(producerMux))
+
+	var subscribeTo func(consumer wsa.EndpointReference) error
+	if viaBroker {
+		broker, err := wsn.NewBroker("/NB", "inproc://master",
+			wsrf.NewStateHome(store.MustTable("broker-subs", resourcedb.BlobCodec{})), client)
+		if err != nil {
+			return nil, err
+		}
+		h.Broker = broker
+		masterMux := soap.NewMux()
+		masterMux.Handle(broker.Service().Path(), broker.Service().Dispatcher())
+		masterMux.Handle(broker.Producer().SubscriptionService().Path(), broker.Producer().SubscriptionService().Dispatcher())
+		network.Register("master", transport.NewServer(masterMux))
+		subscribeTo = func(consumer wsa.EndpointReference) error {
+			_, err := broker.Producer().Subscribe(consumer, wsn.Simple("bench"))
+			return err
+		}
+		h.source = broker.EPR()
+	} else {
+		subscribeTo = func(consumer wsa.EndpointReference) error {
+			_, err := producer.Subscribe(consumer, wsn.Simple("bench"))
+			return err
+		}
+	}
+
+	for i := 0; i < consumers; i++ {
+		cons := wsn.NewConsumer()
+		cons.Handle(wsn.Simple("bench"), func(wsn.Notification) {
+			h.received.Add(1)
+		})
+		mux := soap.NewMux()
+		cons.Mount(mux, "/listener")
+		host := fmt.Sprintf("consumer-%d", i)
+		network.Register(host, transport.NewServer(mux))
+		if err := subscribeTo(wsa.NewEPR("inproc://" + host + "/listener")); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// PublishAndWait publishes one event and blocks until every consumer
+// has processed it — the end-to-end push path.
+func (h *NotifyHarness) PublishAndWait(ctx context.Context) error {
+	start := h.received.Load()
+	payload := wsn.TextMessage(xmlutil.Q(NSBench, "Event"), "tick")
+	if h.ViaBroker {
+		if err := wsn.PublishViaBroker(ctx, h.Client, h.Broker.EPR(), wsn.Notification{Topic: "bench/tick", Message: payload}); err != nil {
+			return err
+		}
+	} else {
+		h.Producer.Publish(ctx, "bench/tick", wsa.EndpointReference{}, payload)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for h.received.Load() < start+int64(h.Consumers) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("benchkit: fan-out never completed (%d/%d)", h.received.Load()-start, h.Consumers)
+		}
+		// Busy-spin with a tiny pause: delivery is in-process.
+		time.Sleep(time.Microsecond)
+	}
+	return nil
+}
+
+// PollOnce performs one polling-baseline status read: what all n
+// consumers would each have to do repeatedly without notification. One
+// call's cost × poll rate × consumers is the polling load.
+func (h *NotifyHarness) PollOnce(ctx context.Context) error {
+	_, err := h.statusRC.GetPropertyText(ctx, xmlutil.Q(NSBench, "Status"))
+	return err
+}
+
+// Received reports total deliveries (for verification).
+func (h *NotifyHarness) Received() int64 { return h.received.Load() }

@@ -1,0 +1,100 @@
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/wssec"
+	"uvacg/internal/xmlutil"
+)
+
+// SecurityHarness is the E10 rig: one representative request envelope
+// pushed through each credential-protection level, including the
+// server-side verification, so the measured cost is the full round
+// trip a secured Run request pays.
+type SecurityHarness struct {
+	identity *wssec.Identity
+	creds    wssec.Credentials
+	verify   soap.HandlerFunc
+	body     *xmlutil.Element
+}
+
+// NewSecurityHarness builds the rig.
+func NewSecurityHarness() (*SecurityHarness, error) {
+	id, err := wssec.NewIdentity("CN=ES/bench")
+	if err != nil {
+		return nil, err
+	}
+	mw := wssec.Middleware(wssec.VerifierConfig{
+		Identity: id,
+		Accounts: wssec.StaticAccounts{"scientist": "secret"},
+		Required: true,
+	})
+	verify := mw(func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+		if _, ok := wssec.PrincipalFrom(ctx); !ok {
+			return nil, fmt.Errorf("benchkit: no principal after verification")
+		}
+		return nil, nil
+	})
+	return &SecurityHarness{
+		identity: id,
+		creds:    wssec.Credentials{Username: "scientist", Password: "secret"},
+		verify:   verify,
+		body:     xmlutil.NewElement(xmlutil.Q(NSBench, "RunJob"), "payload"),
+	}, nil
+}
+
+// Plain serializes and parses the request with no security at all —
+// the zero-cost floor.
+func (h *SecurityHarness) Plain(ctx context.Context) error {
+	env := soap.New(h.body.Clone())
+	data, err := env.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = soap.Unmarshal(data)
+	return err
+}
+
+// roundTrip attaches credentials per mode, crosses the wire encoding,
+// and verifies server-side.
+func (h *SecurityHarness) roundTrip(ctx context.Context, digest, encrypt bool) error {
+	env := soap.New(h.body.Clone())
+	if err := wssec.AttachUsernameToken(env, h.creds, digest, time.Now()); err != nil {
+		return err
+	}
+	if encrypt {
+		if err := wssec.EncryptSecurityHeader(env, h.identity.Certificate()); err != nil {
+			return err
+		}
+	}
+	data, err := env.Marshal()
+	if err != nil {
+		return err
+	}
+	received, err := soap.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	_, err = h.verify(ctx, received)
+	return err
+}
+
+// UsernameTokenPlain measures the plaintext password profile.
+func (h *SecurityHarness) UsernameTokenPlain(ctx context.Context) error {
+	return h.roundTrip(ctx, false, false)
+}
+
+// UsernameTokenDigest measures the password-digest profile.
+func (h *SecurityHarness) UsernameTokenDigest(ctx context.Context) error {
+	return h.roundTrip(ctx, true, false)
+}
+
+// EncryptedToken measures the paper's full protection: UsernameToken
+// hybrid-encrypted to the service certificate, decrypted and verified
+// server-side.
+func (h *SecurityHarness) EncryptedToken(ctx context.Context) error {
+	return h.roundTrip(ctx, false, true)
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"uvacg/internal/core"
+	"uvacg/internal/wssec"
+)
+
+// Example_runJobSet is the library's minimal end-to-end flow: assemble a
+// grid, submit a one-job job set from a client, wait for the broker's
+// completion notification, and fetch the output from wherever the job
+// ran.
+func Example_runJobSet() {
+	grid, err := core.NewGrid(core.GridConfig{
+		Nodes:    []core.NodeSpec{{Name: "win-a", Cores: 2, SpeedMHz: 2800}},
+		Accounts: wssec.StaticAccounts{"scientist": "secret"},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer grid.Close()
+
+	client, err := grid.NewClient(wssec.Credentials{Username: "scientist", Password: "secret"}, false)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer client.Close()
+
+	client.AddFile("hello.app", core.Script(
+		"write greeting.txt hello from the grid",
+		"exit 0",
+	))
+	spec := core.NewJobSet("example").
+		Add("hello", core.Local("hello.app")).
+		Outputs("greeting.txt").
+		Spec()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sub, err := client.Submit(ctx, spec)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	status, err := sub.Wait(ctx)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	out, err := sub.FetchOutput(ctx, "hello", "greeting.txt")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(status)
+	fmt.Println(string(out))
+	// Output:
+	// Completed
+	// hello from the grid
+}

@@ -1,0 +1,217 @@
+// Package core is the public face of the library: it assembles a whole
+// campus grid (simulated machines plus the master services — Scheduler,
+// Node Info and Notification Broker) and provides the client through
+// which a scientist submits job sets, watches their progress via
+// WS-Notification, and retrieves outputs. It is the programmatic
+// equivalent of the paper's GUI tool plus testbed deployment (Fig. 3).
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"uvacg/internal/node"
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/services/nodeinfo"
+	"uvacg/internal/services/scheduler"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsn"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/wssec"
+)
+
+// NodeSpec describes one simulated machine.
+type NodeSpec struct {
+	Name     string
+	Cores    int
+	SpeedMHz float64
+	RAMMB    int
+	// Background supplies non-grid load (0..1); nil means idle.
+	Background func() float64
+}
+
+// GridConfig assembles a grid.
+type GridConfig struct {
+	// Nodes are the machines; at least one is required.
+	Nodes []NodeSpec
+	// Accounts, when set, turns on WS-Security end to end: clients must
+	// submit with valid credentials, the Scheduler forwards them
+	// encrypted to each ES, and ProcSpawn runs jobs as that account.
+	Accounts wssec.StaticAccounts
+	// Policy picks execution nodes; defaults to the paper's greedy
+	// "fastest, most available" policy.
+	Policy scheduler.Policy
+	// UnitTime scales simulated compute (default 50µs per unit at
+	// 1000 MHz).
+	UnitTime time.Duration
+	// UtilizationThreshold is each machine's report trigger delta.
+	UtilizationThreshold float64
+	// JobTimeout, when positive, fails any dispatched job with no
+	// terminal event inside the window (a crashed or partitioned
+	// machine) instead of letting the job set hang.
+	JobTimeout time.Duration
+	// MasterHost names the master machine (default "master").
+	MasterHost string
+}
+
+// Grid is a running campus grid.
+type Grid struct {
+	Network   *transport.Network
+	Client    *transport.Client
+	Nodes     []*node.Node
+	Broker    *wsn.Broker
+	NIS       *nodeinfo.Service
+	Scheduler *scheduler.Service
+
+	cfg        GridConfig
+	ssIdentity *wssec.Identity
+	clientSeq  int
+}
+
+// NewGrid builds and starts a grid.
+func NewGrid(cfg GridConfig) (*Grid, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("core: grid needs at least one node")
+	}
+	if cfg.MasterHost == "" {
+		cfg.MasterHost = "master"
+	}
+	network := transport.NewNetwork()
+	client := transport.NewClient().WithNetwork(network)
+	masterAddr := "inproc://" + cfg.MasterHost
+
+	g := &Grid{Network: network, Client: client, cfg: cfg}
+
+	masterStore := resourcedb.NewStore()
+	broker, err := wsn.NewBroker("/NotificationBroker", masterAddr,
+		wsrf.NewStateHome(masterStore.MustTable("subscriptions", resourcedb.BlobCodec{})), client)
+	if err != nil {
+		return nil, err
+	}
+	g.Broker = broker
+
+	nis, err := nodeinfo.New(nodeinfo.Config{
+		Address: masterAddr,
+		Home:    wsrf.NewStateHome(masterStore.MustTable("nodeinfo", resourcedb.BlobCodec{})),
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.NIS = nis
+
+	ssCfg := scheduler.Config{
+		Address:    masterAddr,
+		Home:       wsrf.NewStateHome(masterStore.MustTable("jobsets", resourcedb.BlobCodec{})),
+		Client:     client,
+		NIS:        nis.EPR(),
+		Broker:     broker.EPR(),
+		Policy:     cfg.Policy,
+		ESCerts:    g.certFor,
+		JobTimeout: cfg.JobTimeout,
+	}
+	if cfg.Accounts != nil {
+		g.ssIdentity, err = wssec.NewIdentity("CN=SchedulerService/" + cfg.MasterHost)
+		if err != nil {
+			return nil, err
+		}
+		ssCfg.Security = &wssec.VerifierConfig{
+			Identity: g.ssIdentity,
+			Accounts: cfg.Accounts,
+			Required: true,
+		}
+	}
+	ss, err := scheduler.New(ssCfg)
+	if err != nil {
+		return nil, err
+	}
+	g.Scheduler = ss
+
+	masterMux := soap.NewMux()
+	masterMux.Handle(broker.Service().Path(), broker.Service().Dispatcher())
+	masterMux.Handle(broker.Producer().SubscriptionService().Path(), broker.Producer().SubscriptionService().Dispatcher())
+	masterMux.Handle(nis.WSRF().Path(), nis.WSRF().Dispatcher())
+	masterMux.Handle(ss.WSRF().Path(), ss.WSRF().Dispatcher())
+	ss.Consumer().Mount(masterMux, ss.ConsumerPath())
+	network.Register(cfg.MasterHost, transport.NewServer(masterMux))
+
+	for _, spec := range cfg.Nodes {
+		n, err := node.New(node.Config{
+			Name:                 spec.Name,
+			Network:              network,
+			Client:               client,
+			Cores:                spec.Cores,
+			SpeedMHz:             spec.SpeedMHz,
+			RAMMB:                spec.RAMMB,
+			UnitTime:             cfg.UnitTime,
+			Accounts:             cfg.Accounts,
+			Broker:               broker.EPR(),
+			NIS:                  nis.EPR(),
+			UtilizationThreshold: cfg.UtilizationThreshold,
+			Background:           spec.Background,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: node %s: %w", spec.Name, err)
+		}
+		g.Nodes = append(g.Nodes, n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, n := range g.Nodes {
+		if err := n.Register(ctx); err != nil {
+			return nil, fmt.Errorf("core: register %s with NIS: %w", n.Name, err)
+		}
+	}
+	// Resume any job sets a previous scheduler instance left running
+	// (no-op for fresh stores).
+	if _, err := ss.Recover(ctx); err != nil {
+		return nil, fmt.Errorf("core: scheduler recovery: %w", err)
+	}
+	return g, nil
+}
+
+// certFor resolves the ES certificate for credential encryption.
+func (g *Grid) certFor(es wsa.EndpointReference) (wssec.Certificate, bool) {
+	for _, n := range g.Nodes {
+		if n.ES.EPR().Address == es.Address {
+			return n.Certificate(), true
+		}
+	}
+	return wssec.Certificate{}, false
+}
+
+// SchedulerCertificate returns the SS certificate clients encrypt their
+// Submit credentials to; zero when security is off.
+func (g *Grid) SchedulerCertificate() (wssec.Certificate, bool) {
+	if g.ssIdentity == nil {
+		return wssec.Certificate{}, false
+	}
+	return g.ssIdentity.Certificate(), true
+}
+
+// Node finds a machine by name.
+func (g *Grid) Node(name string) (*node.Node, bool) {
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// StartMonitors launches every machine's background utilization
+// monitor.
+func (g *Grid) StartMonitors() {
+	for _, n := range g.Nodes {
+		n.Start()
+	}
+}
+
+// Close stops the grid's background activity.
+func (g *Grid) Close() {
+	for _, n := range g.Nodes {
+		n.Stop()
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"uvacg/internal/procspawn"
+	"uvacg/internal/services/scheduler"
+)
+
+// JobSet re-exports the scheduler's job-set description so library users
+// build job sets without importing service internals.
+type JobSet = scheduler.JobSetSpec
+
+// Job is one job in a set.
+type Job = scheduler.JobSpec
+
+// FileSpec names one input file.
+type FileSpec = scheduler.FileSpec
+
+// Local builds a source URI for a file on the client's machine, served
+// through its file server ("local://c:\file1" in the paper).
+func Local(name string) string { return scheduler.SourceLocal + "://" + name }
+
+// Output builds a source URI for another job's output ("job1://output2"
+// in the paper: job1 will produce output2, retrieve it from wherever
+// job1 ends up executing).
+func Output(job, file string) string { return job + "://" + file }
+
+// Script assembles job-script executable content (see
+// procspawn.ParseScript for the instruction set).
+func Script(instructions ...string) []byte {
+	return procspawn.BuildScript(instructions...)
+}
+
+// NewJobSet starts a job set description.
+func NewJobSet(name string) *JobSetBuilder {
+	return &JobSetBuilder{spec: &JobSet{Name: name}}
+}
+
+// JobSetBuilder is a fluent builder for job sets.
+type JobSetBuilder struct {
+	spec *JobSet
+}
+
+// Add appends a job and returns its builder.
+func (b *JobSetBuilder) Add(name, executable string) *JobBuilder {
+	b.spec.Jobs = append(b.spec.Jobs, Job{Name: name, Executable: executable})
+	return &JobBuilder{set: b, job: &b.spec.Jobs[len(b.spec.Jobs)-1]}
+}
+
+// Spec returns the built description (validated at submit time).
+func (b *JobSetBuilder) Spec() *JobSet { return b.spec }
+
+// JobBuilder configures one job.
+type JobBuilder struct {
+	set *JobSetBuilder
+	job *Job
+}
+
+// Input declares an input file: the name the job expects and its
+// source URI.
+func (jb *JobBuilder) Input(localName, source string) *JobBuilder {
+	jb.job.Inputs = append(jb.job.Inputs, FileSpec{LocalName: localName, Source: source})
+	return jb
+}
+
+// Outputs declares the files this job produces for downstream jobs.
+func (jb *JobBuilder) Outputs(names ...string) *JobBuilder {
+	jb.job.Outputs = append(jb.job.Outputs, names...)
+	return jb
+}
+
+// Add starts the next job (chaining back through the set builder).
+func (jb *JobBuilder) Add(name, executable string) *JobBuilder {
+	return jb.set.Add(name, executable)
+}
+
+// Spec finishes the description.
+func (jb *JobBuilder) Spec() *JobSet { return jb.set.Spec() }

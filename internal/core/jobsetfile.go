@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// JobSetFile is a parsed job-set description file: the text equivalent
+// of the paper's GUI assembly step. Format, one directive per line:
+//
+//	jobset <name>
+//	file <name> <path>          publish a client file (path on disk)
+//	job <name>
+//	  exec <source-uri>         e.g. local://gen.app or build://tool
+//	  input <local-name> <source-uri>
+//	  output <file> [...]
+//	fetch <job> <file>          retrieve after completion
+//
+// '#' starts a comment; indentation is cosmetic.
+type JobSetFile struct {
+	Spec *JobSet
+	// Files maps published-file names to their on-disk paths.
+	Files map[string]string
+	// Fetches lists outputs to retrieve when the set completes.
+	Fetches []Fetch
+}
+
+// Fetch names one output file to retrieve.
+type Fetch struct {
+	Job  string
+	File string
+}
+
+// ParseJobSetFile parses the description format.
+func ParseJobSetFile(r io.Reader) (*JobSetFile, error) {
+	out := &JobSetFile{Spec: &JobSet{}, Files: make(map[string]string)}
+	var current *Job
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("jobset file line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "jobset":
+			if len(fields) != 2 {
+				return nil, fail("jobset takes a name")
+			}
+			out.Spec.Name = fields[1]
+		case "file":
+			if len(fields) != 3 {
+				return nil, fail("file takes a name and a path")
+			}
+			if _, dup := out.Files[fields[1]]; dup {
+				return nil, fail("duplicate file %q", fields[1])
+			}
+			out.Files[fields[1]] = fields[2]
+		case "job":
+			if len(fields) != 2 {
+				return nil, fail("job takes a name")
+			}
+			out.Spec.Jobs = append(out.Spec.Jobs, Job{Name: fields[1]})
+			current = &out.Spec.Jobs[len(out.Spec.Jobs)-1]
+		case "exec":
+			if current == nil {
+				return nil, fail("exec outside a job")
+			}
+			if len(fields) != 2 {
+				return nil, fail("exec takes a source URI")
+			}
+			current.Executable = fields[1]
+		case "input":
+			if current == nil {
+				return nil, fail("input outside a job")
+			}
+			if len(fields) != 3 {
+				return nil, fail("input takes a local name and a source URI")
+			}
+			current.Inputs = append(current.Inputs, FileSpec{LocalName: fields[1], Source: fields[2]})
+		case "output":
+			if current == nil {
+				return nil, fail("output outside a job")
+			}
+			if len(fields) < 2 {
+				return nil, fail("output takes at least one file name")
+			}
+			current.Outputs = append(current.Outputs, fields[1:]...)
+		case "fetch":
+			if len(fields) != 3 {
+				return nil, fail("fetch takes a job and a file")
+			}
+			out.Fetches = append(out.Fetches, Fetch{Job: fields[1], File: fields[2]})
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if out.Spec.Name == "" {
+		return nil, fmt.Errorf("jobset file: missing 'jobset <name>' directive")
+	}
+	if err := out.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	for _, f := range out.Fetches {
+		found := false
+		for _, j := range out.Spec.Jobs {
+			if j.Name == f.Job {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("jobset file: fetch references unknown job %q", f.Job)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleJobSetFile = `
+# analysis pipeline
+jobset analysis
+file gen.app ./scripts/gen.app
+file sum.app ./scripts/sum.app
+
+job gen
+  exec local://gen.app
+  output data.txt
+
+job sum
+  exec local://sum.app
+  input data.txt gen://data.txt
+  output total.txt stats.txt
+
+fetch sum total.txt
+`
+
+func TestParseJobSetFile(t *testing.T) {
+	f, err := ParseJobSetFile(strings.NewReader(sampleJobSetFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Spec.Name != "analysis" || len(f.Spec.Jobs) != 2 {
+		t.Fatalf("spec = %+v", f.Spec)
+	}
+	if f.Files["gen.app"] != "./scripts/gen.app" {
+		t.Errorf("files = %v", f.Files)
+	}
+	sum := f.Spec.Jobs[1]
+	if sum.Executable != "local://sum.app" {
+		t.Errorf("exec = %q", sum.Executable)
+	}
+	if len(sum.Inputs) != 1 || sum.Inputs[0].Source != "gen://data.txt" {
+		t.Errorf("inputs = %v", sum.Inputs)
+	}
+	if len(sum.Outputs) != 2 {
+		t.Errorf("outputs = %v", sum.Outputs)
+	}
+	if len(f.Fetches) != 1 || f.Fetches[0] != (Fetch{Job: "sum", File: "total.txt"}) {
+		t.Errorf("fetches = %v", f.Fetches)
+	}
+}
+
+func TestParseJobSetFileErrors(t *testing.T) {
+	cases := map[string]string{
+		"no name":          "job a\n exec local://x\n",
+		"exec outside job": "jobset s\nexec local://x\njob a\n exec local://x\n",
+		"bad directive":    "jobset s\nfrobnicate\n",
+		"bad fetch":        "jobset s\njob a\n exec local://x\nfetch ghost out\n",
+		"duplicate file":   "jobset s\nfile a p1\nfile a p2\njob a\n exec local://a\n",
+		"invalid spec":     "jobset s\njob a\n exec local://x\njob a\n exec local://x\n",
+		"input arity":      "jobset s\njob a\n exec local://x\n input only-one\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseJobSetFile(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

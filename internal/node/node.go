@@ -1,0 +1,241 @@
+// Package node assembles one simulated grid machine: the Windows box of
+// the paper's campus grid, running a File System Service, an Execution
+// Service, the ProcSpawn service and the Processor Utilization service
+// (paper §4, Fig. 3). Hardware heterogeneity (clock speed, cores, RAM)
+// and background load are configurable so the Scheduler has real
+// differences to exploit.
+package node
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"uvacg/internal/procspawn"
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/services/execution"
+	"uvacg/internal/services/filesystem"
+	"uvacg/internal/services/nodeinfo"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/vfs"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/wssec"
+)
+
+// Config describes one machine.
+type Config struct {
+	// Name is the machine's inproc host name.
+	Name string
+	// Network is the simulated fabric the machine joins.
+	Network *transport.Network
+	// Client is the shared outbound client.
+	Client *transport.Client
+	// Hardware characteristics (paper §4.6: "CPU speed and total RAM").
+	Cores    int
+	SpeedMHz float64
+	RAMMB    int
+	// UnitTime scales simulated compute (see procspawn.Config).
+	UnitTime time.Duration
+	// Accounts are the machine's local user accounts; when set, the ES
+	// requires WS-Security credentials and ProcSpawn verifies them.
+	Accounts wssec.StaticAccounts
+	// GridAccounts, when set together with GridMap, authenticates Run
+	// requests against grid-wide identities and maps them to local
+	// accounts (the gridmap pattern §4.2 anticipates). Accounts then
+	// only gates what ProcSpawn will run.
+	GridAccounts wssec.StaticAccounts
+	// GridMap translates grid identities to local accounts.
+	GridMap wssec.GridMap
+	// Broker is the Notification Broker's EPR for job lifecycle events.
+	Broker wsa.EndpointReference
+	// NIS, when set, receives utilization reports from this machine.
+	NIS wsa.EndpointReference
+	// UtilizationThreshold is the report trigger delta (default 0.1).
+	UtilizationThreshold float64
+	// Background supplies non-grid load (0..1); nil means idle.
+	Background func() float64
+	// Codec selects the resource database codec (default structured).
+	Codec resourcedb.Codec
+}
+
+// Node is a running grid machine.
+type Node struct {
+	Name     string
+	FS       *vfs.FS
+	Spawner  *procspawn.Spawner
+	FSS      *filesystem.Service
+	ES       *execution.Service
+	Monitor  *procspawn.UtilizationMonitor
+	Identity *wssec.Identity
+	Store    *resourcedb.Store
+
+	cfg    Config
+	client *transport.Client
+	server *transport.Server
+}
+
+// New builds and registers a machine on the network.
+func New(cfg Config) (*Node, error) {
+	if cfg.Name == "" || cfg.Network == nil || cfg.Client == nil {
+		return nil, fmt.Errorf("node: config requires Name, Network and Client")
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = 1
+	}
+	if cfg.SpeedMHz == 0 {
+		cfg.SpeedMHz = 1000
+	}
+	if cfg.RAMMB == 0 {
+		cfg.RAMMB = 512
+	}
+	if cfg.UtilizationThreshold == 0 {
+		cfg.UtilizationThreshold = 0.1
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = resourcedb.StructuredCodec{}
+	}
+	address := "inproc://" + cfg.Name
+
+	n := &Node{Name: cfg.Name, cfg: cfg, client: cfg.Client}
+	n.FS = vfs.New()
+	n.Store = resourcedb.NewStore()
+
+	identity, err := wssec.NewIdentity("CN=ExecutionService/" + cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	n.Identity = identity
+
+	spawnCfg := procspawn.Config{
+		FS:       n.FS,
+		Cores:    cfg.Cores,
+		SpeedMHz: cfg.SpeedMHz,
+		UnitTime: cfg.UnitTime,
+	}
+	if cfg.Accounts != nil {
+		// Assign only when an account table exists: a nil map inside a
+		// non-nil interface would demand credentials nobody can supply.
+		spawnCfg.Accounts = cfg.Accounts
+	}
+	// Sample utilization the moment the process count moves, so the
+	// NIS view tracks spawns and exits without waiting for a tick.
+	spawnCfg.OnChange = func() {
+		if n.Monitor != nil {
+			n.Monitor.Sample()
+		}
+	}
+	n.Spawner, err = procspawn.NewSpawner(spawnCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	n.FSS, err = filesystem.New(filesystem.Config{
+		Address: address,
+		FS:      n.FS,
+		Client:  cfg.Client,
+		Home:    wsrf.NewStateHome(n.Store.MustTable("directories", cfg.Codec)),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	esCfg := execution.Config{
+		Address: address,
+		Home:    wsrf.NewStateHome(n.Store.MustTable("jobs", cfg.Codec)),
+		Client:  cfg.Client,
+		FSS:     n.FSS.EPR(),
+		Spawner: n.Spawner,
+		Broker:  cfg.Broker,
+	}
+	switch {
+	case cfg.GridAccounts != nil:
+		esCfg.Security = &wssec.VerifierConfig{
+			Identity: identity,
+			Accounts: cfg.GridAccounts,
+			Required: true,
+		}
+		esCfg.MapAccount = cfg.GridMap
+	case cfg.Accounts != nil:
+		esCfg.Security = &wssec.VerifierConfig{
+			Identity: identity,
+			Accounts: cfg.Accounts,
+			Required: true,
+		}
+	}
+	n.ES, err = execution.New(esCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	n.Monitor = procspawn.NewUtilizationMonitor(n.Spawner, procspawn.MonitorConfig{
+		Threshold:  cfg.UtilizationThreshold,
+		Background: cfg.Background,
+		Notify:     n.reportUtilization,
+	})
+
+	mux := soap.NewMux()
+	mux.Handle(n.FSS.WSRF().Path(), n.FSS.WSRF().Dispatcher())
+	mux.Handle(n.ES.WSRF().Path(), n.ES.WSRF().Dispatcher())
+	n.server = transport.NewServer(mux)
+	cfg.Network.Register(cfg.Name, n.server)
+	return n, nil
+}
+
+// Processor describes this machine for the NIS.
+func (n *Node) Processor() nodeinfo.Processor {
+	return nodeinfo.Processor{
+		Host:        n.Name,
+		ES:          n.ES.EPR(),
+		Cores:       n.cfg.Cores,
+		SpeedMHz:    n.cfg.SpeedMHz,
+		RAMMB:       n.cfg.RAMMB,
+		Utilization: n.Monitor.Utilization(),
+	}
+}
+
+// reportUtilization is the Processor Utilization service's notify hook.
+func (n *Node) reportUtilization(util float64) {
+	if n.cfg.NIS.IsZero() {
+		return
+	}
+	p := n.Processor()
+	p.Utilization = util
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Request-response rather than one-way: the report must land in the
+	// NIS catalog before the Scheduler's next poll, or rapid dispatch
+	// herds every job onto the machine that still looks idle.
+	_, _ = n.client.Call(ctx, n.cfg.NIS, nodeinfo.ActionReport, nodeinfo.ReportRequest(p))
+}
+
+// Register announces the machine to the NIS (initial catalog entry) and
+// takes the first utilization sample.
+func (n *Node) Register(ctx context.Context) error {
+	if n.cfg.NIS.IsZero() {
+		return fmt.Errorf("node: %s has no NIS configured", n.Name)
+	}
+	// Registration is a request-response exchange (unlike the ongoing
+	// one-way utilization stream) so the machine is visible to the
+	// Scheduler the moment Register returns.
+	if _, err := n.client.Call(ctx, n.cfg.NIS, nodeinfo.ActionReport, nodeinfo.ReportRequest(n.Processor())); err != nil {
+		return err
+	}
+	n.Monitor.Sample()
+	return nil
+}
+
+// Start launches the background utilization monitor.
+func (n *Node) Start() { n.Monitor.Start() }
+
+// Stop halts background activity and removes the machine from the
+// network.
+func (n *Node) Stop() {
+	n.Monitor.Stop()
+	n.cfg.Network.Deregister(n.Name)
+}
+
+// Certificate returns the machine's ES certificate for credential
+// encryption.
+func (n *Node) Certificate() wssec.Certificate { return n.Identity.Certificate() }

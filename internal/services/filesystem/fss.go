@@ -1,0 +1,284 @@
+// Package filesystem implements the File System Service (FSS) of paper
+// §4.1: the per-machine service whose WS-Resources are directories. It
+// exposes Read, Write and List on a directory resource, a factory that
+// provisions fresh working directories, and the asynchronous upload
+// protocol — a one-way message listing files to stage, answered by a
+// one-way "upload complete" notification so jobs never start before
+// their inputs are in place. Files are retrieved from peer FSS
+// directories (http/inproc), from the client's TCP file server
+// (soap.tcp), or via the local fast path when the file is already on
+// this machine.
+package filesystem
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/vfs"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/xmlutil"
+)
+
+// NS is the FSS message namespace.
+const NS = "urn:uvacg:fss"
+
+// Action URIs.
+const (
+	ActionCreateDirectory = NS + "/CreateDirectory"
+	ActionRead            = NS + "/Read"
+	ActionWrite           = NS + "/Write"
+	ActionList            = NS + "/List"
+	ActionUpload          = NS + "/Upload"
+	ActionUploadSync      = NS + "/UploadSync"
+	ActionUploadComplete  = NS + "/UploadComplete"
+)
+
+// Message and property QNames.
+var (
+	QPath            = xmlutil.Q(NS, "Path")
+	QFileCount       = xmlutil.Q(NS, "FileCount")
+	QByteCount       = xmlutil.Q(NS, "ByteCount")
+	qCreateDirectory = xmlutil.Q(NS, "CreateDirectory")
+	qPrefix          = xmlutil.Q(NS, "Prefix")
+	qRead            = xmlutil.Q(NS, "Read")
+	qReadResponse    = xmlutil.Q(NS, "ReadResponse")
+	qWrite           = xmlutil.Q(NS, "Write")
+	qList            = xmlutil.Q(NS, "List")
+	qListResponse    = xmlutil.Q(NS, "ListResponse")
+	qFilename        = xmlutil.Q(NS, "Filename")
+	qContent         = xmlutil.Q(NS, "Content")
+	qFile            = xmlutil.Q(NS, "File")
+	qSize            = xmlutil.Q("", "size")
+	qName            = xmlutil.Q("", "name")
+	qUpload          = xmlutil.Q(NS, "Upload")
+	qUploadComplete  = xmlutil.Q(NS, "UploadComplete")
+	qNotifyTo        = xmlutil.Q(NS, "NotifyTo")
+	qSourceEPR       = xmlutil.Q(NS, "SourceEPR")
+	qRemoteName      = xmlutil.Q(NS, "RemoteName")
+	qLocalName       = xmlutil.Q(NS, "LocalName")
+	qSuccess         = xmlutil.Q(NS, "Success")
+	qError           = xmlutil.Q(NS, "Error")
+	qDirectory       = xmlutil.Q(NS, "Directory")
+	qToken           = xmlutil.Q(NS, "Token")
+)
+
+// FileRef names one file to stage: where it lives (the EPR of the
+// directory resource or file server holding it), its name there, and
+// the name the job expects — the {EPR, filename, jobname} tuples of
+// paper §4.1.
+type FileRef struct {
+	Source     wsa.EndpointReference
+	RemoteName string
+	LocalName  string
+}
+
+// Service is one machine's FSS.
+type Service struct {
+	svc    *wsrf.Service
+	fs     *vfs.FS
+	client *transport.Client
+	// gridRoot is the directory all working directories are created
+	// under.
+	gridRoot string
+	// paths maps directory resource ids to their vfs paths so the
+	// destroy hook can remove the directory itself.
+	paths sync.Map
+}
+
+// Config assembles an FSS.
+type Config struct {
+	// Address is the machine's base address ("inproc://node-a").
+	Address string
+	// Path is the service path; defaults to "/FileSystemService".
+	Path string
+	// FS is the machine's grid file system.
+	FS *vfs.FS
+	// Client performs outbound retrievals.
+	Client *transport.Client
+	// Store backs the directory WS-Resources.
+	Home wsrf.ResourceHome
+	// GridRoot defaults to "/grid".
+	GridRoot string
+}
+
+// New builds the FSS.
+func New(cfg Config) (*Service, error) {
+	if cfg.FS == nil || cfg.Client == nil || cfg.Home == nil {
+		return nil, fmt.Errorf("fss: config requires FS, Client and Home")
+	}
+	if cfg.Path == "" {
+		cfg.Path = "/FileSystemService"
+	}
+	if cfg.GridRoot == "" {
+		cfg.GridRoot = "/grid"
+	}
+	svc, err := wsrf.NewService(wsrf.ServiceConfig{Path: cfg.Path, Address: cfg.Address, Home: cfg.Home})
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{svc: svc, fs: cfg.FS, client: cfg.Client, gridRoot: cfg.GridRoot}
+	svc.Enable(wsrf.ResourcePropertiesPortType{})
+	svc.Enable(wsrf.LifetimePortType{})
+	svc.OnDestroy(s.removeDirectory)
+
+	// Live usage of the directory, computed from the file system on each
+	// read — the "WS-Resource as directory" analog of the job resource's
+	// computed CPUTime.
+	usage := func(count bool) wsrf.PropertyProvider {
+		return func(ctx context.Context, inv *wsrf.Invocation) ([]*xmlutil.Element, error) {
+			path := inv.Property(QPath)
+			infos, err := s.fs.List(path)
+			if err != nil {
+				return nil, soap.ReceiverFault("fss: %v", err)
+			}
+			var bytes int64
+			for _, fi := range infos {
+				bytes += fi.Size
+			}
+			if count {
+				return []*xmlutil.Element{xmlutil.NewElement(QFileCount, strconv.Itoa(len(infos)))}, nil
+			}
+			return []*xmlutil.Element{xmlutil.NewElement(QByteCount, strconv.FormatInt(bytes, 10))}, nil
+		}
+	}
+	svc.RegisterProperty(QFileCount, usage(true))
+	svc.RegisterProperty(QByteCount, usage(false))
+	svc.RegisterServiceMethod(ActionCreateDirectory, s.handleCreateDirectory)
+	svc.RegisterMethod(ActionRead, s.handleRead)
+	svc.RegisterMethod(ActionWrite, s.handleWrite)
+	svc.RegisterMethod(ActionList, s.handleList)
+	svc.RegisterMethod(ActionUpload, s.handleUpload)
+	svc.RegisterMethod(ActionUploadSync, s.handleUploadSync)
+	return s, nil
+}
+
+// WSRF returns the underlying WSRF service for mounting.
+func (s *Service) WSRF() *wsrf.Service { return s.svc }
+
+// EPR returns the service endpoint.
+func (s *Service) EPR() wsa.EndpointReference { return s.svc.EPR() }
+
+// removeDirectory is the destroy hook: destroying a directory
+// WS-Resource removes the directory itself.
+func (s *Service) removeDirectory(id string) {
+	if path, ok := s.paths.LoadAndDelete(id); ok {
+		_ = s.fs.RemoveDir(path.(string))
+	}
+}
+
+// CreateDirectory provisions a working directory locally (server-side
+// helper; the wire path is ActionCreateDirectory).
+func (s *Service) CreateDirectory(prefix string) (wsa.EndpointReference, string, error) {
+	if prefix == "" {
+		prefix = "dir"
+	}
+	path, err := s.fs.MkdirUnique(s.gridRoot, prefix)
+	if err != nil {
+		return wsa.EndpointReference{}, "", err
+	}
+	doc := xmlutil.NewContainer(xmlutil.Q(NS, "DirectoryState"),
+		xmlutil.NewElement(QPath, path),
+	)
+	epr, err := s.svc.CreateResource("", doc)
+	if err != nil {
+		return wsa.EndpointReference{}, "", err
+	}
+	s.paths.Store(epr.Property(wsrf.QResourceID), path)
+	return epr, path, nil
+}
+
+func (s *Service) handleCreateDirectory(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	prefix := ""
+	if body != nil {
+		prefix = body.ChildText(qPrefix)
+	}
+	epr, _, err := s.CreateDirectory(prefix)
+	if err != nil {
+		return nil, soap.ReceiverFault("fss: create directory: %v", err)
+	}
+	return epr.Element(), nil
+}
+
+// dirPath reads the invocation's directory path from its resource state
+// — "the invocation of any method is done in the context of this
+// directory" (paper §4.1).
+func dirPath(inv *wsrf.Invocation) (string, error) {
+	path := inv.Property(QPath)
+	if path == "" {
+		return "", soap.ReceiverFault("fss: directory resource %q has no path", inv.ResourceID)
+	}
+	return path, nil
+}
+
+func (s *Service) handleRead(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	if body == nil {
+		return nil, soap.SenderFault("fss: Read requires a filename")
+	}
+	path, err := dirPath(inv)
+	if err != nil {
+		return nil, err
+	}
+	name := body.ChildText(qFilename)
+	if name == "" {
+		// Tolerate the compact form <Read>name</Read>.
+		name = body.Text
+	}
+	if name == "" {
+		return nil, soap.SenderFault("fss: Read requires a filename")
+	}
+	data, err := s.fs.Read(path, name)
+	if err != nil {
+		return nil, wsrf.NewBaseFault("NoSuchFileFault", "%v", err).SOAPFault(soap.CodeSender)
+	}
+	return xmlutil.NewContainer(qReadResponse,
+		xmlutil.NewElement(qFilename, name),
+		xmlutil.NewElement(qContent, base64.StdEncoding.EncodeToString(data)),
+	), nil
+}
+
+func (s *Service) handleWrite(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	if body == nil {
+		return nil, soap.SenderFault("fss: Write requires a body")
+	}
+	path, err := dirPath(inv)
+	if err != nil {
+		return nil, err
+	}
+	name := body.ChildText(qFilename)
+	if name == "" {
+		return nil, soap.SenderFault("fss: Write requires a filename")
+	}
+	data, err := base64.StdEncoding.DecodeString(body.ChildText(qContent))
+	if err != nil {
+		return nil, soap.SenderFault("fss: Write content is not base64: %v", err)
+	}
+	if err := s.fs.Write(path, name, data); err != nil {
+		return nil, soap.ReceiverFault("fss: %v", err)
+	}
+	return nil, nil
+}
+
+func (s *Service) handleList(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	path, err := dirPath(inv)
+	if err != nil {
+		return nil, err
+	}
+	infos, err := s.fs.List(path)
+	if err != nil {
+		return nil, soap.ReceiverFault("fss: %v", err)
+	}
+	resp := &xmlutil.Element{Name: qListResponse}
+	for _, fi := range infos {
+		f := xmlutil.NewElement(qFile, "")
+		f.SetAttr(qName, fi.Name)
+		f.SetAttr(qSize, strconv.FormatInt(fi.Size, 10))
+		resp.Append(f)
+	}
+	return resp, nil
+}

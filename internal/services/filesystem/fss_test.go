@@ -1,0 +1,364 @@
+package filesystem
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/vfs"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/xmlutil"
+)
+
+// fssHarness runs two FSS machines plus a consumer that plays the
+// Execution Service's role of receiving UploadComplete notifications.
+type fssHarness struct {
+	network *transport.Network
+	client  *transport.Client
+	fssA    *Service
+	fssB    *Service
+	fsA     *vfs.FS
+	fsB     *vfs.FS
+	// uploads receives UploadComplete bodies delivered to the fake ES.
+	uploads chan *xmlutil.Element
+}
+
+func newFSSHarness(t *testing.T) *fssHarness {
+	t.Helper()
+	h := &fssHarness{
+		network: transport.NewNetwork(),
+		uploads: make(chan *xmlutil.Element, 16),
+	}
+	h.client = transport.NewClient().WithNetwork(h.network)
+
+	mkNode := func(host string) (*Service, *vfs.FS) {
+		fs := vfs.New()
+		store := resourcedb.NewStore()
+		svc, err := New(Config{
+			Address: "inproc://" + host,
+			FS:      fs,
+			Client:  h.client,
+			Home:    wsrf.NewStateHome(store.MustTable("dirs", resourcedb.StructuredCodec{})),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := soap.NewMux()
+		mux.Handle(svc.WSRF().Path(), svc.WSRF().Dispatcher())
+		h.network.Register(host, transport.NewServer(mux))
+		return svc, fs
+	}
+	h.fssA, h.fsA = mkNode("node-a")
+	h.fssB, h.fsB = mkNode("node-b")
+
+	// Fake ES endpoint receiving UploadComplete one-ways.
+	esDisp := soap.NewDispatcher()
+	esDisp.Register(ActionUploadComplete, func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+		h.uploads <- req.Body.Clone()
+		return nil, nil
+	})
+	esMux := soap.NewMux()
+	esMux.Handle("/ES", esDisp)
+	h.network.Register("es-host", transport.NewServer(esMux))
+	return h
+}
+
+func (h *fssHarness) esEPR() wsa.EndpointReference { return wsa.NewEPR("inproc://es-host/ES") }
+
+func (h *fssHarness) waitUpload(t *testing.T) *xmlutil.Element {
+	t.Helper()
+	select {
+	case b := <-h.uploads:
+		return b
+	case <-time.After(5 * time.Second):
+		t.Fatal("UploadComplete never arrived")
+		return nil
+	}
+}
+
+func TestCreateDirectoryAndPathProperty(t *testing.T) {
+	h := newFSSHarness(t)
+	ctx := context.Background()
+	dir, err := CreateDirectoryVia(ctx, h.client, h.fssA.EPR(), "job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The directory resource exposes its actual path as its single
+	// resource property (paper §4.1).
+	rc := wsrf.NewResourceClient(h.client, dir)
+	path, err := rc.GetPropertyText(ctx, QPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == "" || !h.fsA.DirExists(path) {
+		t.Fatalf("path property %q does not name a real directory", path)
+	}
+}
+
+func TestWriteReadListOverWire(t *testing.T) {
+	h := newFSSHarness(t)
+	ctx := context.Background()
+	dir, err := CreateDirectoryVia(ctx, h.client, h.fssA.EPR(), "job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("simulation input\n")
+	if err := WriteFile(ctx, h.client, dir, "in.dat", content); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FetchFile(ctx, h.client, dir, "in.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("read back %q", got)
+	}
+	files, err := ListDirectory(ctx, h.client, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files["in.dat"] != int64(len(content)) {
+		t.Fatalf("list = %v", files)
+	}
+}
+
+func TestReadMissingFileFaults(t *testing.T) {
+	h := newFSSHarness(t)
+	ctx := context.Background()
+	dir, _ := CreateDirectoryVia(ctx, h.client, h.fssA.EPR(), "job")
+	_, err := FetchFile(ctx, h.client, dir, "ghost.dat")
+	if bf, ok := wsrf.BaseFaultFromError(err); !ok || bf.ErrorCode != "NoSuchFileFault" {
+		t.Fatalf("want NoSuchFileFault, got %v", err)
+	}
+}
+
+func TestAsyncUploadBetweenMachines(t *testing.T) {
+	h := newFSSHarness(t)
+	ctx := context.Background()
+
+	// Stage a file on node A.
+	srcDir, err := CreateDirectoryVia(ctx, h.client, h.fssA.EPR(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(ctx, h.client, srcDir, "result.dat", []byte("42")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ask node B to pull it in, asynchronously.
+	dstDir, err := CreateDirectoryVia(ctx, h.client, h.fssB.EPR(), "work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := UploadRequest(h.esEPR(), "job-7", []FileRef{
+		{Source: srcDir, RemoteName: "result.dat", LocalName: "input.dat"},
+	})
+	if err := h.client.Notify(ctx, dstDir, ActionUpload, req); err != nil {
+		t.Fatal(err)
+	}
+
+	body := h.waitUpload(t)
+	gotDir, token, success, errMsg, err := ParseUploadComplete(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !success || errMsg != "" {
+		t.Fatalf("upload failed: %s", errMsg)
+	}
+	if token != "job-7" {
+		t.Fatalf("token = %q", token)
+	}
+	if !gotDir.Equal(dstDir) {
+		t.Fatalf("directory EPR = %v", gotDir)
+	}
+	// The file is really there under the job's expected name.
+	got, err := FetchFile(ctx, h.client, dstDir, "input.dat")
+	if err != nil || string(got) != "42" {
+		t.Fatalf("staged file: %q %v", got, err)
+	}
+}
+
+func TestUploadFailureNotifiesWithError(t *testing.T) {
+	h := newFSSHarness(t)
+	ctx := context.Background()
+	srcDir, _ := CreateDirectoryVia(ctx, h.client, h.fssA.EPR(), "out")
+	dstDir, _ := CreateDirectoryVia(ctx, h.client, h.fssB.EPR(), "work")
+	req := UploadRequest(h.esEPR(), "tok", []FileRef{
+		{Source: srcDir, RemoteName: "missing.dat", LocalName: "in.dat"},
+	})
+	if err := h.client.Notify(ctx, dstDir, ActionUpload, req); err != nil {
+		t.Fatal(err)
+	}
+	body := h.waitUpload(t)
+	_, _, success, errMsg, err := ParseUploadComplete(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if success || errMsg == "" {
+		t.Fatalf("failure not reported: success=%v err=%q", success, errMsg)
+	}
+}
+
+func TestUploadLocalFastPath(t *testing.T) {
+	h := newFSSHarness(t)
+	ctx := context.Background()
+	// Source and destination on the same machine: no wire fetch.
+	srcDir, _ := CreateDirectoryVia(ctx, h.client, h.fssA.EPR(), "out")
+	if err := WriteFile(ctx, h.client, srcDir, "f", []byte("local")); err != nil {
+		t.Fatal(err)
+	}
+	dstDir, _ := CreateDirectoryVia(ctx, h.client, h.fssA.EPR(), "work")
+	req := UploadRequest(wsa.EndpointReference{}, "", []FileRef{
+		{Source: srcDir, RemoteName: "f"},
+	})
+	// Use the sync variant so the test can assert immediately.
+	if _, err := h.client.Call(ctx, dstDir, ActionUploadSync, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FetchFile(ctx, h.client, dstDir, "f")
+	if err != nil || string(got) != "local" {
+		t.Fatalf("fast path: %q %v", got, err)
+	}
+	// The source must survive (copy, not destructive move).
+	if _, err := FetchFile(ctx, h.client, srcDir, "f"); err != nil {
+		t.Fatalf("source consumed by fast path: %v", err)
+	}
+}
+
+func TestUploadFromTCPFileServer(t *testing.T) {
+	h := newFSSHarness(t)
+	ctx := context.Background()
+
+	// The client's local file served over real soap.tcp (paper step 5).
+	fileServer := NewFileServer("/files")
+	fileServer.Publish("app.exe", []byte("#uvacg-job\nexit 0\n"))
+	serverEPR, err := fileServer.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fileServer.Close()
+	if serverEPR.Scheme() != transport.SchemeTCP {
+		t.Fatalf("scheme = %q", serverEPR.Scheme())
+	}
+
+	dstDir, _ := CreateDirectoryVia(ctx, h.client, h.fssA.EPR(), "work")
+	req := UploadRequest(wsa.EndpointReference{}, "", []FileRef{
+		{Source: serverEPR, RemoteName: "app.exe"},
+	})
+	if _, err := h.client.Call(ctx, dstDir, ActionUploadSync, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FetchFile(ctx, h.client, dstDir, "app.exe")
+	if err != nil || !bytes.Contains(got, []byte("exit 0")) {
+		t.Fatalf("tcp staging: %q %v", got, err)
+	}
+}
+
+func TestFileServerUnpublishAndMissing(t *testing.T) {
+	fsrv := NewFileServer("")
+	fsrv.Publish("a", []byte("x"))
+	fsrv.Unpublish("a")
+	network := transport.NewNetwork()
+	mux := soap.NewMux()
+	fsrv.Mount(mux)
+	network.Register("client", transport.NewServer(mux))
+	c := transport.NewClient().WithNetwork(network)
+	_, err := FetchFile(context.Background(), c, wsa.NewEPR("inproc://client/files"), "a")
+	if err == nil {
+		t.Fatal("unpublished file served")
+	}
+}
+
+func TestDestroyDirectoryRemovesFiles(t *testing.T) {
+	h := newFSSHarness(t)
+	ctx := context.Background()
+	dir, err := CreateDirectoryVia(ctx, h.client, h.fssA.EPR(), "tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(ctx, h.client, dir, "junk", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	rc := wsrf.NewResourceClient(h.client, dir)
+	path, _ := rc.GetPropertyText(ctx, QPath)
+	if err := rc.Destroy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if h.fsA.DirExists(path) {
+		t.Fatal("directory survived resource destruction")
+	}
+}
+
+func TestDirectoryLifetimeViaTerminationTime(t *testing.T) {
+	h := newFSSHarness(t)
+	ctx := context.Background()
+	dir, _ := CreateDirectoryVia(ctx, h.client, h.fssA.EPR(), "tmp")
+	rc := wsrf.NewResourceClient(h.client, dir)
+	if err := rc.SetTerminationTime(ctx, time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	reaper := wsrf.NewReaper(h.fssA.WSRF(), time.Hour)
+	if n := reaper.SweepOnce(); n != 1 {
+		t.Fatalf("reaped %d", n)
+	}
+	path, err := rc.GetPropertyText(ctx, QPath)
+	if err == nil {
+		t.Fatalf("destroyed directory still answers: %q", path)
+	}
+}
+
+func TestUploadRequestValidation(t *testing.T) {
+	h := newFSSHarness(t)
+	ctx := context.Background()
+	dir, _ := CreateDirectoryVia(ctx, h.client, h.fssA.EPR(), "w")
+	// Entry without source EPR.
+	bad := &xmlutil.Element{Name: qUpload}
+	bad.Append(xmlutil.NewContainer(qFile, xmlutil.NewElement(qRemoteName, "f")))
+	if _, err := h.client.Call(ctx, dir, ActionUploadSync, bad); err == nil {
+		t.Fatal("entry without source accepted")
+	}
+	// Entry without remote name.
+	bad2 := &xmlutil.Element{Name: qUpload}
+	bad2.Append(xmlutil.NewContainer(qFile, dir.ElementNamed(qSourceEPR)))
+	if _, err := h.client.Call(ctx, dir, ActionUploadSync, bad2); err == nil {
+		t.Fatal("entry without remote name accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestDirectoryUsageProperties(t *testing.T) {
+	h := newFSSHarness(t)
+	ctx := context.Background()
+	dir, err := CreateDirectoryVia(ctx, h.client, h.fssA.EPR(), "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(ctx, h.client, dir, "a", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(ctx, h.client, dir, "b", make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	rc := wsrf.NewResourceClient(h.client, dir)
+	if got, err := rc.GetPropertyText(ctx, QFileCount); err != nil || got != "2" {
+		t.Fatalf("FileCount = %q %v", got, err)
+	}
+	if got, err := rc.GetPropertyText(ctx, QByteCount); err != nil || got != "150" {
+		t.Fatalf("ByteCount = %q %v", got, err)
+	}
+	// The usage properties are queryable like everything else.
+	matches, err := rc.Query(ctx, "/FileCount[text()='2']")
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("query usage: %v %v", matches, err)
+	}
+}

@@ -1,0 +1,255 @@
+package filesystem
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/xmlutil"
+)
+
+// Caller is the request-response slice of transport.Client these wire
+// helpers need; *transport.Client satisfies it.
+type Caller interface {
+	Call(ctx context.Context, to wsa.EndpointReference, action string, body *xmlutil.Element) (*xmlutil.Element, error)
+}
+
+// UploadRequest builds the body of an Upload (or UploadSync) message:
+// the set of {EPR, filename, jobname} tuples plus, for the async form,
+// the endpoint to notify on completion and an opaque token echoed back
+// so the receiver can correlate the notification.
+func UploadRequest(notifyTo wsa.EndpointReference, token string, files []FileRef) *xmlutil.Element {
+	req := &xmlutil.Element{Name: qUpload}
+	if !notifyTo.IsZero() {
+		req.Append(notifyTo.ElementNamed(qNotifyTo))
+	}
+	if token != "" {
+		req.Append(xmlutil.NewElement(qToken, token))
+	}
+	req.Append(FileRefElements(files)...)
+	return req
+}
+
+// FileRefElements renders file references as <fss:File> elements, for
+// embedding in Upload messages and in the Execution Service's RunJob
+// request.
+func FileRefElements(files []FileRef) []*xmlutil.Element {
+	out := make([]*xmlutil.Element, 0, len(files))
+	for _, f := range files {
+		out = append(out, xmlutil.NewContainer(qFile,
+			f.Source.ElementNamed(qSourceEPR),
+			xmlutil.NewElement(qRemoteName, f.RemoteName),
+			xmlutil.NewElement(qLocalName, f.LocalName),
+		))
+	}
+	return out
+}
+
+// ParseFileRefElements decodes every <fss:File> child of parent.
+func ParseFileRefElements(parent *xmlutil.Element) ([]FileRef, error) {
+	var files []FileRef
+	for _, f := range parent.ChildrenNamed(qFile) {
+		src := f.Child(qSourceEPR)
+		if src == nil {
+			return nil, fmt.Errorf("fss: file entry has no source EPR")
+		}
+		srcEPR, err := wsa.ParseEPR(src)
+		if err != nil {
+			return nil, fmt.Errorf("fss: bad source EPR: %w", err)
+		}
+		ref := FileRef{
+			Source:     srcEPR,
+			RemoteName: f.ChildText(qRemoteName),
+			LocalName:  f.ChildText(qLocalName),
+		}
+		if ref.RemoteName == "" {
+			return nil, fmt.Errorf("fss: file entry has no remote name")
+		}
+		if ref.LocalName == "" {
+			ref.LocalName = ref.RemoteName
+		}
+		files = append(files, ref)
+	}
+	return files, nil
+}
+
+// parseUploadRequest decodes an Upload body.
+func parseUploadRequest(body *xmlutil.Element) (notifyTo wsa.EndpointReference, token string, files []FileRef, err error) {
+	if body == nil {
+		return notifyTo, "", nil, fmt.Errorf("fss: Upload requires a body")
+	}
+	if n := body.Child(qNotifyTo); n != nil {
+		notifyTo, err = wsa.ParseEPR(n)
+		if err != nil {
+			return notifyTo, "", nil, fmt.Errorf("fss: bad NotifyTo: %w", err)
+		}
+	}
+	token = body.ChildText(qToken)
+	files, err = ParseFileRefElements(body)
+	if err != nil {
+		return notifyTo, token, nil, err
+	}
+	return notifyTo, token, files, nil
+}
+
+// handleUpload is the asynchronous upload of paper §4.1: the request is
+// a one-way message, the work happens here (the transport has already
+// released the sender), and completion is announced by a one-way
+// notification to NotifyTo.
+func (s *Service) handleUpload(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	notifyTo, token, files, err := parseUploadRequest(body)
+	if err != nil {
+		return nil, soap.SenderFault("%v", err)
+	}
+	path, err := dirPath(inv)
+	if err != nil {
+		return nil, err
+	}
+	uploadErr := s.stageFiles(ctx, path, files)
+
+	if !notifyTo.IsZero() {
+		complete := xmlutil.NewContainer(qUploadComplete,
+			inv.EPR().ElementNamed(qDirectory),
+			xmlutil.NewElement(qToken, token),
+			xmlutil.NewElement(qSuccess, fmt.Sprint(uploadErr == nil)),
+		)
+		if uploadErr != nil {
+			complete.Append(xmlutil.NewElement(qError, uploadErr.Error()))
+		}
+		if err := s.client.Notify(ctx, notifyTo, ActionUploadComplete, complete); err != nil {
+			return nil, soap.ReceiverFault("fss: completion notification: %v", err)
+		}
+	}
+	if uploadErr != nil {
+		return nil, soap.ReceiverFault("fss: upload: %v", uploadErr)
+	}
+	return nil, nil
+}
+
+// handleUploadSync is the blocking baseline (experiment E5): same
+// staging, but the caller waits for the reply instead of a
+// notification.
+func (s *Service) handleUploadSync(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	_, _, files, err := parseUploadRequest(body)
+	if err != nil {
+		return nil, soap.SenderFault("%v", err)
+	}
+	path, err := dirPath(inv)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.stageFiles(ctx, path, files); err != nil {
+		return nil, soap.ReceiverFault("fss: upload: %v", err)
+	}
+	return nil, nil
+}
+
+// stageFiles retrieves every file into the working directory.
+func (s *Service) stageFiles(ctx context.Context, path string, files []FileRef) error {
+	for _, f := range files {
+		if err := s.stageOne(ctx, path, f); err != nil {
+			return fmt.Errorf("stage %q as %q: %w", f.RemoteName, f.LocalName, err)
+		}
+	}
+	return nil
+}
+
+// stageOne fetches one file. Three routes, per paper §4.6: the local
+// fast path when the source directory is on this machine; WSE TCP
+// messaging when the source uses the soap.tcp scheme (the client's file
+// server); an FSS Read request otherwise.
+func (s *Service) stageOne(ctx context.Context, destPath string, f FileRef) error {
+	if f.Source.Address == s.svc.EPR().Address+s.svc.Path() {
+		// Local fast path: resolve the source directory resource and
+		// copy within the controlled file system — no network I/O. (The
+		// paper "moves" the file; we copy so an output consumed by two
+		// dependent jobs survives the first staging.)
+		srcID := f.Source.Property(wsrf.QResourceID)
+		doc, err := s.svc.LoadResource(srcID)
+		if err != nil {
+			return err
+		}
+		srcPath := doc.ChildText(QPath)
+		data, err := s.fs.Read(srcPath, f.RemoteName)
+		if err != nil {
+			return err
+		}
+		return s.fs.Write(destPath, f.LocalName, data)
+	}
+	// Remote: Read on the source endpoint. The same Read action is
+	// understood by peer FSS directory resources and by the client's
+	// TCP file server.
+	data, err := FetchFile(ctx, s.client, f.Source, f.RemoteName)
+	if err != nil {
+		return err
+	}
+	return s.fs.Write(destPath, f.LocalName, data)
+}
+
+// FetchFile reads one file from any endpoint implementing the FSS Read
+// action (a directory resource or a client file server).
+func FetchFile(ctx context.Context, c Caller, source wsa.EndpointReference, name string) ([]byte, error) {
+	body, err := c.Call(ctx, source, ActionRead, xmlutil.NewContainer(qRead, xmlutil.NewElement(qFilename, name)))
+	if err != nil {
+		return nil, err
+	}
+	if body == nil {
+		return nil, fmt.Errorf("fss: empty Read response")
+	}
+	return base64.StdEncoding.DecodeString(body.ChildText(qContent))
+}
+
+// WriteFile writes one file into a directory resource over the wire.
+func WriteFile(ctx context.Context, c Caller, dir wsa.EndpointReference, name string, data []byte) error {
+	_, err := c.Call(ctx, dir, ActionWrite, xmlutil.NewContainer(qWrite,
+		xmlutil.NewElement(qFilename, name),
+		xmlutil.NewElement(qContent, base64.StdEncoding.EncodeToString(data)),
+	))
+	return err
+}
+
+// ListDirectory lists a directory resource over the wire.
+func ListDirectory(ctx context.Context, c Caller, dir wsa.EndpointReference) (map[string]int64, error) {
+	body, err := c.Call(ctx, dir, ActionList, &xmlutil.Element{Name: qList})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64)
+	for _, f := range body.ChildrenNamed(qFile) {
+		var size int64
+		fmt.Sscanf(f.Attr(qSize), "%d", &size)
+		out[f.Attr(qName)] = size
+	}
+	return out, nil
+}
+
+// ParseUploadComplete decodes the completion notification the FSS sends
+// (receivers: the Execution Service).
+func ParseUploadComplete(body *xmlutil.Element) (dir wsa.EndpointReference, token string, success bool, errMsg string, err error) {
+	if body == nil || body.Name != qUploadComplete {
+		return dir, "", false, "", fmt.Errorf("fss: body is not an UploadComplete message")
+	}
+	if d := body.Child(qDirectory); d != nil {
+		dir, err = wsa.ParseEPR(d)
+		if err != nil {
+			return dir, "", false, "", err
+		}
+	}
+	token = body.ChildText(qToken)
+	success = body.ChildText(qSuccess) == "true"
+	errMsg = body.ChildText(qError)
+	return dir, token, success, errMsg, nil
+}
+
+// CreateDirectoryVia asks a remote FSS for a fresh working directory and
+// returns its resource EPR.
+func CreateDirectoryVia(ctx context.Context, c Caller, fss wsa.EndpointReference, prefix string) (wsa.EndpointReference, error) {
+	body, err := c.Call(ctx, fss, ActionCreateDirectory, xmlutil.NewContainer(qCreateDirectory, xmlutil.NewElement(qPrefix, prefix)))
+	if err != nil {
+		return wsa.EndpointReference{}, err
+	}
+	return wsa.ParseEPR(body)
+}

@@ -1,0 +1,128 @@
+package scheduler
+
+import (
+	"context"
+	"fmt"
+
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsn"
+)
+
+// Recover rebuilds in-memory runs for every job set that was still
+// Running when the scheduler last stopped, using the state persisted in
+// the job-set WS-Resources: the spec snapshot, the client's endpoints
+// and per-job progress. Completed jobs keep their recorded output
+// directories; jobs that were pending, dispatched or running are
+// re-dispatched (job scripts are deterministic, so a re-run is safe).
+// Secured runs cannot be resumed — credentials are never persisted — so
+// they are failed explicitly rather than left hanging. Call Recover
+// once, after the scheduler's services and consumer are mounted.
+//
+// It returns how many runs were resumed.
+func (s *Service) Recover(ctx context.Context) (int, error) {
+	home := s.svc.Home()
+	resumed := 0
+	for _, id := range home.IDs() {
+		doc, err := home.Load(id)
+		if err != nil {
+			continue
+		}
+		if doc.ChildText(QStatus) != SetRunning {
+			continue
+		}
+		topic := doc.ChildText(QTopic)
+		if topic == "" {
+			continue
+		}
+		snap := doc.Child(qSpecSnapshot)
+		if snap == nil {
+			continue // pre-snapshot document: nothing to resume from
+		}
+		spec, err := parseSpec(snap)
+		if err != nil || len(spec.Jobs) == 0 {
+			return resumed, fmt.Errorf("scheduler: job set %q has no recoverable spec", id)
+		}
+
+		r := &run{
+			id:     id,
+			topic:  topic,
+			spec:   spec,
+			jobs:   make(map[string]*jobRun, len(spec.Jobs)),
+			status: SetRunning,
+		}
+		if el := doc.Child(qClientFiles); el != nil {
+			if epr, err := wsa.ParseEPR(el); err == nil {
+				r.clientFiles = epr
+			}
+		}
+		var clientListener wsa.EndpointReference
+		if el := doc.Child(qClientListener); el != nil {
+			if epr, err := wsa.ParseEPR(el); err == nil {
+				clientListener = epr
+			}
+		}
+		states := make(map[string]string, len(spec.Jobs))
+		dirs := make(map[string]wsa.EndpointReference, len(spec.Jobs))
+		for _, st := range doc.ChildrenNamed(QJobState) {
+			name := st.Attr(qNameAttr)
+			states[name] = st.Attr(qStatusAttr)
+			if raw := st.Attr(qDirAttr); raw != "" {
+				if epr, err := wsa.ParseEPRString(raw); err == nil {
+					dirs[name] = epr
+				}
+			}
+		}
+		incomplete := false
+		for i := range spec.Jobs {
+			j := &spec.Jobs[i]
+			jr := &jobRun{spec: j, state: JobPending}
+			if states[j.Name] == JobCompleted {
+				jr.state = JobCompleted
+				jr.dirEPR = dirs[j.Name]
+			} else {
+				incomplete = true
+			}
+			r.jobs[j.Name] = jr
+		}
+
+		s.mu.Lock()
+		if len(s.runs) == 0 {
+			s.consumer.Handle(wsn.MustTopicExpression(wsn.DialectFull, "*//"), s.onNotification)
+		}
+		s.runs[topic] = r
+		s.mu.Unlock()
+
+		if doc.Attr(qSecured) == "true" && incomplete {
+			// Credentials died with the old process: be explicit.
+			s.failJob(ctx, r, firstIncomplete(r), "scheduler restarted; credentials are not persisted, resubmit the job set")
+			continue
+		}
+
+		// Re-establish the broker subscriptions (the old process's
+		// consumer EPR died with it; the address is the same, but a
+		// fresh subscription is cheap and idempotent in effect).
+		if _, err := wsn.SubscribeVia(ctx, s.client, s.broker, s.ConsumerEPR(), wsn.Simple(topic)); err != nil {
+			return resumed, fmt.Errorf("scheduler: recover %q: broker subscription: %w", id, err)
+		}
+		if !clientListener.IsZero() {
+			_, _ = wsn.SubscribeVia(ctx, s.client, s.broker, clientListener, wsn.Simple(topic))
+		}
+		resumed++
+		go func(r *run) {
+			s.scheduleReady(context.WithoutCancel(ctx), r)
+			s.maybeComplete(context.WithoutCancel(ctx), r)
+		}(r)
+	}
+	return resumed, nil
+}
+
+func firstIncomplete(r *run) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, j := range r.spec.Jobs {
+		if r.jobs[j.Name].state != JobCompleted {
+			return j.Name
+		}
+	}
+	return r.spec.Jobs[0].Name
+}

@@ -1,0 +1,119 @@
+package scheduler
+
+import (
+	"context"
+	"testing"
+
+	"uvacg/internal/procspawn"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/wssec"
+	"uvacg/internal/xmlutil"
+)
+
+// TestRecoverResumesRunningJobSet simulates a scheduler crash between
+// two jobs of a dependency chain: the first job completed (its output
+// directory is recorded in the job-set resource), the process restarts,
+// Recover rebuilds the run and the second job is dispatched and the set
+// completes.
+func TestRecoverResumesRunningJobSet(t *testing.T) {
+	h := newSSHarness(t, Greedy{}, nil, "node-a")
+	h.files.Publish("first.app", procspawn.BuildScript("write out.txt hello", "exit 0"))
+	h.files.Publish("second.app", procspawn.BuildScript("read in.txt", "exit 0"))
+
+	setEPR, topic, err := h.submit(t, twoJobSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.waitTerminal(t, topic); got != "completed" {
+		t.Fatalf("initial run: %q", got)
+	}
+
+	// "Crash": rewind the persisted state to mid-run — first Completed
+	// (keeping its recorded directory), second back to Pending, set
+	// Running — and drop all in-memory runtime, as a new process would.
+	id := setEPR.Property(wsrf.QResourceID)
+	err = h.ss.WSRF().UpdateResource(id, func(doc *xmlutil.Element) error {
+		if c := doc.Child(QStatus); c != nil {
+			c.Text = SetRunning
+		}
+		for _, st := range doc.ChildrenNamed(QJobState) {
+			if st.Attr(qNameAttr) == "second" {
+				st.SetAttr(qStatusAttr, JobPending)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ss.mu.Lock()
+	h.ss.runs = make(map[string]*run)
+	h.ss.mu.Unlock()
+
+	// Restart: Recover rebuilds the run and finishes it.
+	resumed, err := h.ss.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 1 {
+		t.Fatalf("resumed %d runs", resumed)
+	}
+	if got := h.waitTerminal(t, topic); got != "completed" {
+		t.Fatalf("recovered run: %q", got)
+	}
+}
+
+// TestRecoverFailsSecuredRun: credentials are never persisted, so a
+// secured run cannot be resumed — it must fail loudly, not hang.
+func TestRecoverFailsSecuredRun(t *testing.T) {
+	accounts := wssec.StaticAccounts{"scientist": "pw"}
+	h := newSSHarness(t, Greedy{}, accounts, "node-a")
+	h.files.Publish("long.app", procspawn.BuildScript("compute 100000000", "exit 0"))
+	spec := &JobSetSpec{Name: "sec", Jobs: []JobSpec{{Name: "long", Executable: "local://long.app"}}}
+	creds := wssec.Credentials{Username: "scientist", Password: "pw"}
+	setEPR, topic, err := h.submit(t, spec, &creds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = setEPR
+
+	// Crash while still running.
+	h.ss.mu.Lock()
+	h.ss.runs = make(map[string]*run)
+	h.ss.mu.Unlock()
+
+	resumed, err := h.ss.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 0 {
+		t.Fatalf("secured run resumed (%d)", resumed)
+	}
+	if got := h.waitTerminal(t, topic); got != "failed" {
+		t.Fatalf("secured recovery: %q", got)
+	}
+}
+
+// TestRecoverIgnoresFinishedSets: completed/failed sets stay untouched.
+func TestRecoverIgnoresFinishedSets(t *testing.T) {
+	h := newSSHarness(t, Greedy{}, nil, "node-a")
+	h.files.Publish("j.app", procspawn.BuildScript("exit 0"))
+	spec := &JobSetSpec{Name: "done", Jobs: []JobSpec{{Name: "j", Executable: "local://j.app"}}}
+	_, topic, err := h.submit(t, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.waitTerminal(t, topic); got != "completed" {
+		t.Fatalf("run: %q", got)
+	}
+	h.ss.mu.Lock()
+	h.ss.runs = make(map[string]*run)
+	h.ss.mu.Unlock()
+	resumed, err := h.ss.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 0 {
+		t.Fatalf("finished set resumed (%d)", resumed)
+	}
+}

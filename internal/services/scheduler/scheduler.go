@@ -1,0 +1,774 @@
+package scheduler
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"uvacg/internal/services/execution"
+	"uvacg/internal/services/filesystem"
+	"uvacg/internal/services/nodeinfo"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsn"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/wssec"
+	"uvacg/internal/xmlutil"
+)
+
+// Action URIs.
+const (
+	ActionSubmit = NS + "/Submit"
+	ActionCancel = NS + "/Cancel"
+)
+
+// Job set status values.
+const (
+	SetRunning   = "Running"
+	SetCompleted = "Completed"
+	SetFailed    = "Failed"
+	SetCancelled = "Cancelled"
+)
+
+// Per-job states inside a job set.
+const (
+	JobPending    = "Pending"
+	JobDispatched = "Dispatched"
+	JobRunning    = "Running"
+	JobCompleted  = "Completed"
+	JobFailed     = "Failed"
+	JobCancelled  = "Cancelled"
+)
+
+// Resource property QNames.
+var (
+	QName     = xmlutil.Q(NS, "Name")
+	QStatus   = xmlutil.Q(NS, "Status")
+	QTopic    = xmlutil.Q(NS, "Topic")
+	QJobState = xmlutil.Q(NS, "JobState")
+
+	qStatusAttr = xmlutil.Q("", "status")
+	qNodeAttr   = xmlutil.Q("", "node")
+	qExitAttr   = xmlutil.Q("", "exitCode")
+	qDirAttr    = xmlutil.Q("", "dir")
+	qSecured    = xmlutil.Q("", "secured")
+	qCancel     = xmlutil.Q(NS, "Cancel")
+	qCancelResp = xmlutil.Q(NS, "CancelResponse")
+
+	// qSpecSnapshot holds the submitted description inside the job-set
+	// resource so a restarted scheduler can rebuild the DAG.
+	qSpecSnapshot = xmlutil.Q(NS, "Spec")
+)
+
+// Config assembles a Scheduler Service.
+type Config struct {
+	// Address is the master host's base address.
+	Address string
+	// Path defaults to "/SchedulerService".
+	Path string
+	// ConsumerPath is where the wiring mounts the SS's notification
+	// consumer; defaults to "/SchedulerConsumer".
+	ConsumerPath string
+	// Home backs the job-set WS-Resources.
+	Home wsrf.ResourceHome
+	// Client performs outbound calls.
+	Client *transport.Client
+	// NIS is the Node Info Service endpoint to poll.
+	NIS wsa.EndpointReference
+	// Broker is the Notification Broker endpoint.
+	Broker wsa.EndpointReference
+	// Policy picks nodes; defaults to Greedy{}.
+	Policy Policy
+	// Security, when non-nil, protects Submit with WS-Security.
+	Security *wssec.VerifierConfig
+	// ESCerts, when set, resolves an Execution Service's certificate so
+	// forwarded credentials are encrypted to it (paper §4.2).
+	ESCerts func(es wsa.EndpointReference) (wssec.Certificate, bool)
+	// JobTimeout, when positive, bounds each dispatched job: if no
+	// terminal event arrives in time (machine crashed, network
+	// partitioned), the job — and with it the set — fails instead of
+	// hanging forever. Zero disables the watchdog.
+	JobTimeout time.Duration
+}
+
+// Service is the Scheduler Service.
+type Service struct {
+	svc          *wsrf.Service
+	client       *transport.Client
+	nis          wsa.EndpointReference
+	broker       wsa.EndpointReference
+	policy       Policy
+	consumer     *wsn.Consumer
+	consumerPath string
+	esCerts      func(wsa.EndpointReference) (wssec.Certificate, bool)
+	jobTimeout   time.Duration
+
+	mu   sync.Mutex
+	runs map[string]*run // topic → run
+}
+
+type run struct {
+	mu          sync.Mutex
+	id          string
+	topic       string
+	spec        *JobSetSpec
+	clientFiles wsa.EndpointReference
+	creds       wssec.Credentials
+	jobs        map[string]*jobRun
+	seq         int
+	status      string
+}
+
+type jobRun struct {
+	spec     *JobSpec
+	state    string
+	node     string
+	jobEPR   wsa.EndpointReference
+	dirEPR   wsa.EndpointReference
+	exitCode int
+	watchdog *time.Timer
+}
+
+// New builds the SS.
+func New(cfg Config) (*Service, error) {
+	if cfg.Home == nil || cfg.Client == nil {
+		return nil, fmt.Errorf("scheduler: config requires Home and Client")
+	}
+	if cfg.NIS.IsZero() || cfg.Broker.IsZero() {
+		return nil, fmt.Errorf("scheduler: config requires NIS and Broker EPRs")
+	}
+	if cfg.Path == "" {
+		cfg.Path = "/SchedulerService"
+	}
+	if cfg.ConsumerPath == "" {
+		cfg.ConsumerPath = "/SchedulerConsumer"
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = Greedy{}
+	}
+	svc, err := wsrf.NewService(wsrf.ServiceConfig{Path: cfg.Path, Address: cfg.Address, Home: cfg.Home})
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		svc:          svc,
+		client:       cfg.Client,
+		nis:          cfg.NIS,
+		broker:       cfg.Broker,
+		policy:       cfg.Policy,
+		consumer:     wsn.NewConsumer(),
+		consumerPath: cfg.ConsumerPath,
+		esCerts:      cfg.ESCerts,
+		jobTimeout:   cfg.JobTimeout,
+		runs:         make(map[string]*run),
+	}
+	if cfg.Security != nil {
+		// Submit carries the account credentials; status reads and
+		// cancellation stay open like the rest of the WSRF surface.
+		svc.Use(wssec.MiddlewareFor(*cfg.Security, ActionSubmit))
+	}
+	svc.Enable(wsrf.ResourcePropertiesPortType{})
+	svc.Enable(wsrf.LifetimePortType{})
+	svc.RegisterServiceMethod(ActionSubmit, s.handleSubmit)
+	svc.RegisterMethod(ActionCancel, s.handleCancel)
+	return s, nil
+}
+
+// WSRF returns the underlying service for mounting.
+func (s *Service) WSRF() *wsrf.Service { return s.svc }
+
+// EPR returns the service endpoint.
+func (s *Service) EPR() wsa.EndpointReference { return s.svc.EPR() }
+
+// Consumer returns the SS's notification consumer; the wiring must
+// mount it at ConsumerPath on the same mux.
+func (s *Service) Consumer() *wsn.Consumer { return s.consumer }
+
+// ConsumerPath returns the consumer's mount path.
+func (s *Service) ConsumerPath() string { return s.consumerPath }
+
+// ConsumerEPR returns the consumer's endpoint.
+func (s *Service) ConsumerEPR() wsa.EndpointReference {
+	return wsa.NewEPR(s.svc.Address() + s.consumerPath)
+}
+
+// SubmitRequest builds a Submit body: the job set description plus the
+// client's file server and notification listener EPRs.
+func SubmitRequest(spec *JobSetSpec, clientFiles, clientListener wsa.EndpointReference) *xmlutil.Element {
+	body := &xmlutil.Element{Name: qSubmit}
+	body.Append(specElement(spec)...)
+	if !clientFiles.IsZero() {
+		body.Append(clientFiles.ElementNamed(qClientFiles))
+	}
+	if !clientListener.IsZero() {
+		body.Append(clientListener.ElementNamed(qClientListener))
+	}
+	return body
+}
+
+// ParseSubmitResponse extracts the job-set resource EPR and topic.
+func ParseSubmitResponse(body *xmlutil.Element) (jobSet wsa.EndpointReference, topic string, err error) {
+	if body == nil || body.Name != qSubmitResp {
+		return jobSet, "", fmt.Errorf("scheduler: body is not a SubmitJobSetResponse")
+	}
+	el := body.Child(qJobSetEPR)
+	if el == nil {
+		return jobSet, "", fmt.Errorf("scheduler: response has no job set EPR")
+	}
+	jobSet, err = wsa.ParseEPR(el)
+	if err != nil {
+		return jobSet, "", err
+	}
+	return jobSet, body.ChildText(qTopicOut), nil
+}
+
+// handleSubmit is step 1 of Fig. 3.
+func (s *Service) handleSubmit(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	if body == nil {
+		return nil, soap.SenderFault("scheduler: Submit requires a body")
+	}
+	spec, err := parseSpec(body)
+	if err != nil {
+		return nil, soap.SenderFault("%v", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, wsrf.NewBaseFault("InvalidJobSetFault", "%v", err).SOAPFault(soap.CodeSender)
+	}
+	var clientFiles, clientListener wsa.EndpointReference
+	if el := body.Child(qClientFiles); el != nil {
+		if clientFiles, err = wsa.ParseEPR(el); err != nil {
+			return nil, soap.SenderFault("scheduler: bad client files EPR: %v", err)
+		}
+	}
+	if el := body.Child(qClientListener); el != nil {
+		if clientListener, err = wsa.ParseEPR(el); err != nil {
+			return nil, soap.SenderFault("scheduler: bad client listener EPR: %v", err)
+		}
+	}
+	if needsClientFiles(spec) && clientFiles.IsZero() {
+		return nil, soap.SenderFault("scheduler: job set references local:// files but no client file server EPR was given")
+	}
+
+	principal, _ := wssec.PrincipalFrom(ctx)
+
+	// The job-set WS-Resource. Everything a restarted scheduler needs
+	// to resume the run is persisted here: the spec, the client's
+	// endpoints and per-job progress (credentials excepted — they stay
+	// in memory, so secured runs cannot survive a restart).
+	doc := xmlutil.NewContainer(xmlutil.Q(NS, "JobSetState"),
+		xmlutil.NewElement(QName, spec.Name),
+		xmlutil.NewElement(QStatus, SetRunning),
+	)
+	if principal.Username != "" {
+		doc.SetAttr(qSecured, "true")
+	}
+	snapshot := &xmlutil.Element{Name: qSpecSnapshot}
+	snapshot.Append(specElement(spec)...)
+	doc.Append(snapshot)
+	if !clientFiles.IsZero() {
+		doc.Append(clientFiles.ElementNamed(qClientFiles))
+	}
+	if !clientListener.IsZero() {
+		doc.Append(clientListener.ElementNamed(qClientListener))
+	}
+	for _, j := range spec.Jobs {
+		st := xmlutil.NewElement(QJobState, "")
+		st.SetAttr(qNameAttr, j.Name)
+		st.SetAttr(qStatusAttr, JobPending)
+		doc.Append(st)
+	}
+	setEPR, err := s.svc.CreateResource("", doc)
+	if err != nil {
+		return nil, soap.ReceiverFault("scheduler: create job set resource: %v", err)
+	}
+	id := setEPR.Property(wsrf.QResourceID)
+	// "The Scheduler service then generates a unique topic name for
+	// events related to this job set."
+	topic := "jobset-" + id
+	if err := s.svc.UpdateResource(id, func(doc *xmlutil.Element) error {
+		doc.Append(xmlutil.NewElement(QTopic, topic))
+		return nil
+	}); err != nil {
+		return nil, soap.ReceiverFault("scheduler: %v", err)
+	}
+
+	r := &run{
+		id:          id,
+		topic:       topic,
+		spec:        spec,
+		clientFiles: clientFiles,
+		creds:       wssec.Credentials{Username: principal.Username, Password: principal.Password},
+		jobs:        make(map[string]*jobRun, len(spec.Jobs)),
+		status:      SetRunning,
+	}
+	for i := range spec.Jobs {
+		j := &spec.Jobs[i]
+		r.jobs[j.Name] = &jobRun{spec: j, state: JobPending}
+	}
+	s.mu.Lock()
+	if len(s.runs) == 0 {
+		// First job set: wire the consumer's handler once. "*//" is the
+		// Full-dialect catch-all; onNotification routes by topic root.
+		s.consumer.Handle(wsn.MustTopicExpression(wsn.DialectFull, "*//"), s.onNotification)
+	}
+	s.runs[topic] = r
+	s.mu.Unlock()
+
+	// "subscribe both itself and the client's notification listener".
+	bg := context.WithoutCancel(ctx)
+	if _, err := wsn.SubscribeVia(bg, s.client, s.broker, s.ConsumerEPR(), wsn.Simple(topic)); err != nil {
+		return nil, soap.ReceiverFault("scheduler: broker subscription: %v", err)
+	}
+	if !clientListener.IsZero() {
+		if _, err := wsn.SubscribeVia(bg, s.client, s.broker, clientListener, wsn.Simple(topic)); err != nil {
+			return nil, soap.ReceiverFault("scheduler: client subscription: %v", err)
+		}
+	}
+
+	// Kick scheduling off the request path.
+	go s.scheduleReady(bg, r)
+
+	return xmlutil.NewContainer(qSubmitResp,
+		setEPR.ElementNamed(qJobSetEPR),
+		xmlutil.NewElement(qTopicOut, topic),
+	), nil
+}
+
+func needsClientFiles(spec *JobSetSpec) bool {
+	uses := func(source string) bool {
+		scheme, _, err := sourceParts(source)
+		return err == nil && scheme == SourceLocal
+	}
+	for _, j := range spec.Jobs {
+		if uses(j.Executable) {
+			return true
+		}
+		for _, in := range j.Inputs {
+			if uses(in.Source) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scheduleReady dispatches every job whose dependencies are satisfied.
+func (s *Service) scheduleReady(ctx context.Context, r *run) {
+	for {
+		job, seq := s.nextReady(r)
+		if job == nil {
+			return
+		}
+		if err := s.dispatch(ctx, r, job, seq); err != nil {
+			s.failJob(ctx, r, job.spec.Name, "dispatch: "+err.Error())
+			return
+		}
+	}
+}
+
+// nextReady reserves one ready job (marks it Dispatched) and returns it
+// with its dispatch sequence number. The sequence is captured here,
+// under the lock, because concurrent scheduleReady goroutines (spawned
+// by completion notifications) would otherwise read each other's
+// increments and break round-robin rotation.
+func (s *Service) nextReady(r *run) (*jobRun, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.status != SetRunning {
+		return nil, 0
+	}
+	for _, name := range jobOrder(r.spec) {
+		j := r.jobs[name]
+		if j.state != JobPending {
+			continue
+		}
+		ready := true
+		for _, dep := range j.spec.Dependencies() {
+			if r.jobs[dep].state != JobCompleted {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			j.state = JobDispatched
+			r.seq++
+			return j, r.seq
+		}
+	}
+	return nil, 0
+}
+
+// jobOrder returns job names in declaration order, keeping dispatch
+// deterministic.
+func jobOrder(spec *JobSetSpec) []string {
+	out := make([]string, len(spec.Jobs))
+	for i := range spec.Jobs {
+		out[i] = spec.Jobs[i].Name
+	}
+	return out
+}
+
+// dispatch is steps 2-3 of Fig. 3: poll the NIS, pick a node, send Run.
+func (s *Service) dispatch(ctx context.Context, r *run, j *jobRun, seq int) error {
+	procs, err := nodeinfo.GetProcessorsVia(ctx, s.client, s.nis)
+	if err != nil {
+		return fmt.Errorf("poll NIS: %w", err)
+	}
+	node, err := s.policy.Pick(procs, seq)
+	if err != nil {
+		return err
+	}
+
+	files, executable, err := s.resolveFiles(r, j.spec)
+	if err != nil {
+		return err
+	}
+	req := soap.New(execution.RunRequest(j.spec.Name, r.topic, executable, files))
+	r.mu.Lock()
+	creds := r.creds
+	r.mu.Unlock()
+	if creds.Username != "" {
+		if err := wssec.AttachUsernameToken(req, creds, false, time.Now()); err != nil {
+			return err
+		}
+		if s.esCerts != nil {
+			if cert, ok := s.esCerts(node.ES); ok {
+				if err := wssec.EncryptSecurityHeader(req, cert); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	resp, err := s.client.Invoke(ctx, node.ES, execution.ActionRun, req)
+	if err != nil {
+		return fmt.Errorf("run on %s: %w", node.Host, err)
+	}
+	jobEPR, dirEPR, err := execution.ParseRunResponse(resp.Body)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	j.node = node.Host
+	j.jobEPR = jobEPR
+	if !dirEPR.IsZero() {
+		j.dirEPR = dirEPR
+	}
+	if s.jobTimeout > 0 {
+		name := j.spec.Name
+		j.watchdog = time.AfterFunc(s.jobTimeout, func() {
+			s.jobTimedOut(r, name)
+		})
+	}
+	r.mu.Unlock()
+	s.updateJobDoc(r, j.spec.Name)
+	return nil
+}
+
+// jobTimedOut fires when a dispatched job produced no terminal event in
+// time — the machine died or the network partitioned mid-job.
+func (s *Service) jobTimedOut(r *run, jobName string) {
+	r.mu.Lock()
+	j := r.jobs[jobName]
+	stillLive := j != nil && (j.state == JobDispatched || j.state == JobRunning)
+	r.mu.Unlock()
+	if !stillLive {
+		return
+	}
+	s.failJob(context.Background(), r, jobName, fmt.Sprintf("no completion within %v (machine unreachable?)", s.jobTimeout))
+}
+
+// stopWatchdog cancels a job's timer on any terminal transition. Callers
+// hold r.mu.
+func stopWatchdog(j *jobRun) {
+	if j.watchdog != nil {
+		j.watchdog.Stop()
+		j.watchdog = nil
+	}
+}
+
+// resolveFiles turns spec sources into FSS file references — the
+// "filling in" of output locations the paper assigns to the Scheduler
+// (§4.5).
+func (s *Service) resolveFiles(r *run, spec *JobSpec) ([]filesystem.FileRef, string, error) {
+	resolve := func(localName, source string) (filesystem.FileRef, error) {
+		scheme, name, err := sourceParts(source)
+		if err != nil {
+			return filesystem.FileRef{}, err
+		}
+		if scheme == SourceLocal {
+			return filesystem.FileRef{Source: r.clientFiles, RemoteName: name, LocalName: localName}, nil
+		}
+		r.mu.Lock()
+		producer := r.jobs[scheme]
+		dir := producer.dirEPR
+		r.mu.Unlock()
+		if dir.IsZero() {
+			return filesystem.FileRef{}, fmt.Errorf("scheduler: output directory of %q is not yet known", scheme)
+		}
+		return filesystem.FileRef{Source: dir, RemoteName: name, LocalName: localName}, nil
+	}
+
+	_, exeName, err := sourceParts(spec.Executable)
+	if err != nil {
+		return nil, "", err
+	}
+	exeRef, err := resolve(exeName, spec.Executable)
+	if err != nil {
+		return nil, "", err
+	}
+	files := []filesystem.FileRef{exeRef}
+	for _, in := range spec.Inputs {
+		ref, err := resolve(in.LocalName, in.Source)
+		if err != nil {
+			return nil, "", err
+		}
+		files = append(files, ref)
+	}
+	return files, exeName, nil
+}
+
+// onNotification reacts to broker events: "When the Scheduler gets the
+// message that a job has completed, it schedules the next job that no
+// longer has any uncompleted dependencies."
+func (s *Service) onNotification(n wsn.Notification) {
+	segs := strings.Split(n.Topic, "/")
+	if len(segs) < 3 {
+		return
+	}
+	topic := segs[0]
+	s.mu.Lock()
+	r := s.runs[topic]
+	s.mu.Unlock()
+	if r == nil {
+		return
+	}
+	ev, err := execution.ParseJobEvent(n.Message)
+	if err != nil {
+		return
+	}
+	ctx := context.Background()
+	r.mu.Lock()
+	j := r.jobs[ev.JobName]
+	if j == nil {
+		r.mu.Unlock()
+		return
+	}
+	if !ev.Directory.IsZero() {
+		j.dirEPR = ev.Directory
+	}
+	if !ev.Job.IsZero() {
+		j.jobEPR = ev.Job
+	}
+	switch ev.Kind {
+	case execution.EventStarted:
+		if j.state == JobDispatched {
+			j.state = JobRunning
+		}
+		r.mu.Unlock()
+		s.updateJobDoc(r, ev.JobName)
+	case execution.EventExited:
+		stopWatchdog(j)
+		if ev.HasExit && ev.ExitCode == 0 {
+			j.state = JobCompleted
+			j.exitCode = 0
+			r.mu.Unlock()
+			s.updateJobDoc(r, ev.JobName)
+			s.maybeComplete(ctx, r)
+			s.scheduleReady(ctx, r)
+			return
+		}
+		j.exitCode = ev.ExitCode
+		r.mu.Unlock()
+		s.failJob(ctx, r, ev.JobName, fmt.Sprintf("exit code %d", ev.ExitCode))
+	case execution.EventFailed:
+		stopWatchdog(j)
+		r.mu.Unlock()
+		s.failJob(ctx, r, ev.JobName, ev.Error)
+	default:
+		r.mu.Unlock()
+	}
+}
+
+// maybeComplete finishes the job set when every job completed.
+func (s *Service) maybeComplete(ctx context.Context, r *run) {
+	r.mu.Lock()
+	if r.status != SetRunning {
+		r.mu.Unlock()
+		return
+	}
+	for _, j := range r.jobs {
+		if j.state != JobCompleted {
+			r.mu.Unlock()
+			return
+		}
+	}
+	r.status = SetCompleted
+	r.mu.Unlock()
+	s.setStatus(r, SetCompleted)
+	s.publishSetEvent(ctx, r, SetCompleted, "")
+}
+
+// failJob marks a job failed, fails the set, cancels the rest.
+func (s *Service) failJob(ctx context.Context, r *run, jobName, reason string) {
+	r.mu.Lock()
+	if j := r.jobs[jobName]; j != nil {
+		j.state = JobFailed
+	}
+	alreadyDone := r.status != SetRunning
+	if !alreadyDone {
+		r.status = SetFailed
+	}
+	var toKill []wsa.EndpointReference
+	for _, j := range r.jobs {
+		stopWatchdog(j)
+		switch j.state {
+		case JobPending:
+			j.state = JobCancelled
+		case JobRunning, JobDispatched:
+			if !j.jobEPR.IsZero() {
+				toKill = append(toKill, j.jobEPR)
+			}
+		}
+	}
+	r.mu.Unlock()
+	if alreadyDone {
+		return
+	}
+	for _, epr := range toKill {
+		_, _ = s.client.Call(ctx, epr, execution.ActionKill, execution.KillRequest())
+	}
+	s.updateAllJobDocs(r)
+	s.setStatus(r, SetFailed)
+	s.publishSetEvent(ctx, r, SetFailed, fmt.Sprintf("job %q failed: %s", jobName, reason))
+}
+
+// handleCancel aborts a job set on client request.
+func (s *Service) handleCancel(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	topic := inv.Property(QTopic)
+	s.mu.Lock()
+	r := s.runs[topic]
+	s.mu.Unlock()
+	if r == nil {
+		return nil, wsrf.NewBaseFault("NoSuchJobSetFault", "job set %q has no active run", inv.ResourceID).SOAPFault(soap.CodeSender)
+	}
+	r.mu.Lock()
+	r.status = SetCancelled
+	var toKill []wsa.EndpointReference
+	for _, j := range r.jobs {
+		switch j.state {
+		case JobPending:
+			j.state = JobCancelled
+		case JobRunning, JobDispatched:
+			if !j.jobEPR.IsZero() {
+				toKill = append(toKill, j.jobEPR)
+			}
+		}
+	}
+	states := make(map[string]string, len(r.jobs))
+	for name, j := range r.jobs {
+		states[name] = j.state
+	}
+	r.mu.Unlock()
+	for _, epr := range toKill {
+		_, _ = s.client.Call(ctx, epr, execution.ActionKill, execution.KillRequest())
+	}
+	// Mutate the invocation's own document: the wrapper pipeline holds
+	// this resource's lock, so UpdateResource would self-deadlock here.
+	inv.SetProperty(QStatus, SetCancelled)
+	for _, st := range inv.Doc.ChildrenNamed(QJobState) {
+		if state, ok := states[st.Attr(qNameAttr)]; ok {
+			st.SetAttr(qStatusAttr, state)
+		}
+	}
+	s.publishSetEvent(ctx, r, SetCancelled, "cancelled by client")
+	return &xmlutil.Element{Name: qCancelResp}, nil
+}
+
+// CancelRequest builds the Cancel body.
+func CancelRequest() *xmlutil.Element { return &xmlutil.Element{Name: qCancel} }
+
+// setStatus persists the set-level status into the resource document.
+func (s *Service) setStatus(r *run, status string) {
+	_ = s.svc.UpdateResource(r.id, func(doc *xmlutil.Element) error {
+		if c := doc.Child(QStatus); c != nil {
+			c.Text = status
+		}
+		return nil
+	})
+}
+
+// updateJobDoc mirrors one job's runtime state into the resource doc.
+func (s *Service) updateJobDoc(r *run, jobName string) {
+	r.mu.Lock()
+	j := r.jobs[jobName]
+	state, node, exit := j.state, j.node, j.exitCode
+	dir := j.dirEPR
+	r.mu.Unlock()
+	_ = s.svc.UpdateResource(r.id, func(doc *xmlutil.Element) error {
+		for _, st := range doc.ChildrenNamed(QJobState) {
+			if st.Attr(qNameAttr) == jobName {
+				st.SetAttr(qStatusAttr, state)
+				if node != "" {
+					st.SetAttr(qNodeAttr, node)
+				}
+				if !dir.IsZero() {
+					st.SetAttr(qDirAttr, dir.String())
+				}
+				if state == JobCompleted || state == JobFailed {
+					st.SetAttr(qExitAttr, strconv.Itoa(exit))
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func (s *Service) updateAllJobDocs(r *run) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.jobs))
+	for name := range r.jobs {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	for _, name := range names {
+		s.updateJobDoc(r, name)
+	}
+}
+
+// publishSetEvent broadcasts a set-level event on "<topic>/jobset/<kind>".
+func (s *Service) publishSetEvent(ctx context.Context, r *run, status, detail string) {
+	payload := xmlutil.NewContainer(xmlutil.Q(NS, "JobSetEvent"),
+		xmlutil.NewElement(QStatus, status),
+	)
+	if detail != "" {
+		payload.Append(xmlutil.NewElement(xmlutil.Q(NS, "Detail"), detail))
+	}
+	n := wsn.Notification{
+		Topic:    r.topic + "/jobset/" + strings.ToLower(status),
+		Producer: s.svc.EPRFor(r.id),
+		Message:  payload,
+	}
+	_ = wsn.PublishViaBroker(ctx, s.client, s.broker, n)
+}
+
+// OutputDirectory reports where a job's outputs live, once known —
+// clients use it to retrieve result files.
+func (s *Service) OutputDirectory(topic, jobName string) (wsa.EndpointReference, bool) {
+	s.mu.Lock()
+	r := s.runs[topic]
+	s.mu.Unlock()
+	if r == nil {
+		return wsa.EndpointReference{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j := r.jobs[jobName]
+	if j == nil || j.dirEPR.IsZero() {
+		return wsa.EndpointReference{}, false
+	}
+	return j.dirEPR, true
+}

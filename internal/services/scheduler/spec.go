@@ -1,0 +1,250 @@
+// Package scheduler implements the Scheduler Service (SS) of paper
+// §4.5, "the heart of the remote job execution testbed": its
+// WS-Resources are job sets. It receives a job-set description, polls
+// the Node Info Service for processor state, dispatches each
+// dependency-free job to "the fastest, most available machine", fills
+// in the directory EPRs of files produced by earlier jobs, and advances
+// the DAG as completion notifications arrive from the broker.
+package scheduler
+
+import (
+	"fmt"
+	"strings"
+
+	"uvacg/internal/xmlutil"
+)
+
+// NS is the SS message namespace.
+const NS = "urn:uvacg:ss"
+
+// SourceLocal is the URI scheme for files on the scientist's machine
+// ("local://c:\file1" in the paper; here "local://<name>").
+const SourceLocal = "local"
+
+// FileSpec names one input file: the name the job expects and a source
+// URI — "local://<name>" for client files or "<jobname>://<output>" for
+// the output of another job in the set.
+type FileSpec struct {
+	LocalName string
+	Source    string
+}
+
+// JobSpec describes one job: the {executable, input files, output
+// files} tuple of paper §4.
+type JobSpec struct {
+	Name string
+	// Executable is a source URI; its basename becomes the staged
+	// executable file.
+	Executable string
+	Inputs     []FileSpec
+	// Outputs declare the files this job produces that other jobs may
+	// reference.
+	Outputs []string
+}
+
+// JobSetSpec is a whole job set.
+type JobSetSpec struct {
+	Name string
+	Jobs []JobSpec
+}
+
+// sourceParts splits "scheme://name" source URIs.
+func sourceParts(source string) (scheme, name string, err error) {
+	idx := strings.Index(source, "://")
+	if idx <= 0 || idx+3 >= len(source) {
+		return "", "", fmt.Errorf("scheduler: bad file source %q (want scheme://name)", source)
+	}
+	return source[:idx], source[idx+3:], nil
+}
+
+// DependencyOf reports the producing job a source references, if any.
+func DependencyOf(source string) (job string, ok bool) {
+	scheme, _, err := sourceParts(source)
+	if err != nil || scheme == SourceLocal {
+		return "", false
+	}
+	return scheme, true
+}
+
+// Validate checks structural soundness: unique non-empty job names,
+// executables present, every dependency resolvable to a declared
+// output, and no cycles.
+func (js *JobSetSpec) Validate() error {
+	if len(js.Jobs) == 0 {
+		return fmt.Errorf("scheduler: job set %q has no jobs", js.Name)
+	}
+	byName := make(map[string]*JobSpec, len(js.Jobs))
+	for i := range js.Jobs {
+		j := &js.Jobs[i]
+		if j.Name == "" {
+			return fmt.Errorf("scheduler: job %d has no name", i)
+		}
+		if strings.ContainsAny(j.Name, ":/ ") {
+			return fmt.Errorf("scheduler: job name %q contains reserved characters", j.Name)
+		}
+		if _, dup := byName[j.Name]; dup {
+			return fmt.Errorf("scheduler: duplicate job name %q", j.Name)
+		}
+		if j.Executable == "" {
+			return fmt.Errorf("scheduler: job %q has no executable", j.Name)
+		}
+		byName[j.Name] = j
+	}
+	outputs := make(map[string]map[string]bool, len(js.Jobs))
+	for _, j := range js.Jobs {
+		outs := make(map[string]bool, len(j.Outputs))
+		for _, o := range j.Outputs {
+			outs[o] = true
+		}
+		outputs[j.Name] = outs
+	}
+	check := func(owner, source string) error {
+		scheme, name, err := sourceParts(source)
+		if err != nil {
+			return err
+		}
+		if scheme == SourceLocal {
+			return nil
+		}
+		producer, ok := byName[scheme]
+		if !ok {
+			return fmt.Errorf("scheduler: job %q references unknown job %q", owner, scheme)
+		}
+		if producer.Name == owner {
+			return fmt.Errorf("scheduler: job %q references itself", owner)
+		}
+		if !outputs[scheme][name] {
+			return fmt.Errorf("scheduler: job %q wants %q from %q, which does not declare it", owner, name, scheme)
+		}
+		return nil
+	}
+	for _, j := range js.Jobs {
+		if err := check(j.Name, j.Executable); err != nil {
+			return err
+		}
+		for _, in := range j.Inputs {
+			if in.LocalName == "" {
+				return fmt.Errorf("scheduler: job %q has an input without a local name", j.Name)
+			}
+			if err := check(j.Name, in.Source); err != nil {
+				return err
+			}
+		}
+	}
+	return js.checkAcyclic()
+}
+
+// Dependencies returns the producing jobs a job waits on, deduplicated.
+func (j *JobSpec) Dependencies() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(source string) {
+		if dep, ok := DependencyOf(source); ok && !seen[dep] {
+			seen[dep] = true
+			out = append(out, dep)
+		}
+	}
+	add(j.Executable)
+	for _, in := range j.Inputs {
+		add(in.Source)
+	}
+	return out
+}
+
+func (js *JobSetSpec) checkAcyclic() error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(js.Jobs))
+	byName := make(map[string]*JobSpec, len(js.Jobs))
+	for i := range js.Jobs {
+		byName[js.Jobs[i].Name] = &js.Jobs[i]
+	}
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch color[name] {
+		case grey:
+			return fmt.Errorf("scheduler: dependency cycle through %q", name)
+		case black:
+			return nil
+		}
+		color[name] = grey
+		for _, dep := range byName[name].Dependencies() {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		color[name] = black
+		return nil
+	}
+	for _, j := range js.Jobs {
+		if err := visit(j.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// XML encoding of the spec (the Submit body).
+
+var (
+	qSubmit         = xmlutil.Q(NS, "SubmitJobSet")
+	qSubmitResp     = xmlutil.Q(NS, "SubmitJobSetResponse")
+	qSetName        = xmlutil.Q(NS, "Name")
+	qJobSpec        = xmlutil.Q(NS, "Job")
+	qJobName        = xmlutil.Q(NS, "JobName")
+	qExecutable     = xmlutil.Q(NS, "Executable")
+	qInput          = xmlutil.Q(NS, "Input")
+	qOutput         = xmlutil.Q(NS, "Output")
+	qSourceAttr     = xmlutil.Q("", "source")
+	qNameAttr       = xmlutil.Q("", "name")
+	qClientFiles    = xmlutil.Q(NS, "ClientFiles")
+	qClientListener = xmlutil.Q(NS, "ClientListener")
+	qJobSetEPR      = xmlutil.Q(NS, "JobSet")
+	qTopicOut       = xmlutil.Q(NS, "Topic")
+)
+
+// specElement renders the job set portion of a Submit body.
+func specElement(js *JobSetSpec) []*xmlutil.Element {
+	out := []*xmlutil.Element{xmlutil.NewElement(qSetName, js.Name)}
+	for _, j := range js.Jobs {
+		jobEl := xmlutil.NewContainer(qJobSpec,
+			xmlutil.NewElement(qJobName, j.Name),
+			xmlutil.NewElement(qExecutable, "").SetAttr(qSourceAttr, j.Executable),
+		)
+		for _, in := range j.Inputs {
+			jobEl.Append(xmlutil.NewElement(qInput, "").
+				SetAttr(qNameAttr, in.LocalName).
+				SetAttr(qSourceAttr, in.Source))
+		}
+		for _, o := range j.Outputs {
+			jobEl.Append(xmlutil.NewElement(qOutput, o))
+		}
+		out = append(out, jobEl)
+	}
+	return out
+}
+
+// parseSpec decodes the job set portion of a Submit body.
+func parseSpec(body *xmlutil.Element) (*JobSetSpec, error) {
+	js := &JobSetSpec{Name: body.ChildText(qSetName)}
+	for _, jobEl := range body.ChildrenNamed(qJobSpec) {
+		j := JobSpec{Name: jobEl.ChildText(qJobName)}
+		if exe := jobEl.Child(qExecutable); exe != nil {
+			j.Executable = exe.Attr(qSourceAttr)
+		}
+		for _, in := range jobEl.ChildrenNamed(qInput) {
+			j.Inputs = append(j.Inputs, FileSpec{
+				LocalName: in.Attr(qNameAttr),
+				Source:    in.Attr(qSourceAttr),
+			})
+		}
+		for _, o := range jobEl.ChildrenNamed(qOutput) {
+			j.Outputs = append(j.Outputs, o.Text)
+		}
+		js.Jobs = append(js.Jobs, j)
+	}
+	return js, nil
+}

@@ -1,0 +1,86 @@
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uvacg/internal/wsa"
+)
+
+// genDAGSpec builds a random *valid* job set: jobs only reference
+// outputs of lower-numbered jobs, so it is acyclic by construction.
+func genDAGSpec(r *rand.Rand) *JobSetSpec {
+	n := 1 + r.Intn(10)
+	js := &JobSetSpec{Name: "gen"}
+	for i := 0; i < n; i++ {
+		j := JobSpec{
+			Name:       fmt.Sprintf("job%02d", i),
+			Executable: "local://app",
+			Outputs:    []string{"out"},
+		}
+		// Reference up to three earlier jobs.
+		for k := 0; k < r.Intn(4) && i > 0; k++ {
+			dep := r.Intn(i)
+			j.Inputs = append(j.Inputs, FileSpec{
+				LocalName: fmt.Sprintf("in%d", k),
+				Source:    fmt.Sprintf("job%02d://out", dep),
+			})
+		}
+		js.Jobs = append(js.Jobs, j)
+	}
+	return js
+}
+
+// TestValidateAcceptsRandomDAGs: every topologically-constructed job set
+// validates, and its wire encoding round-trips to an equal spec.
+func TestValidateAcceptsRandomDAGs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		js := genDAGSpec(r)
+		if err := js.Validate(); err != nil {
+			t.Logf("valid DAG rejected: %v", err)
+			return false
+		}
+		body := SubmitRequest(js, wsa.NewEPR("soap.tcp://c:1/f"), wsa.NewEPR("inproc://c/l"))
+		back, err := parseSpec(body)
+		if err != nil {
+			return false
+		}
+		return back.Validate() == nil && len(back.Jobs) == len(js.Jobs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValidateRejectsRandomBackEdge: adding one back-edge (a reference
+// from an earlier job to a later one's output) always breaks a chain
+// DAG with a cycle or an undeclared output.
+func TestValidateRejectsRandomBackEdge(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		js := &JobSetSpec{Name: "chain"}
+		for i := 0; i < n; i++ {
+			j := JobSpec{Name: fmt.Sprintf("job%02d", i), Executable: "local://app", Outputs: []string{"out"}}
+			if i > 0 {
+				j.Inputs = append(j.Inputs, FileSpec{LocalName: "in", Source: fmt.Sprintf("job%02d://out", i-1)})
+			}
+			js.Jobs = append(js.Jobs, j)
+		}
+		// Back edge: an early job consumes a strictly later job's output,
+		// closing a cycle through the chain.
+		early := r.Intn(n - 1)
+		late := early + 1 + r.Intn(n-early-1)
+		js.Jobs[early].Inputs = append(js.Jobs[early].Inputs, FileSpec{
+			LocalName: "cycle",
+			Source:    fmt.Sprintf("job%02d://out", late),
+		})
+		return js.Validate() != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

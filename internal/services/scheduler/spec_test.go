@@ -1,0 +1,129 @@
+package scheduler
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"uvacg/internal/wsa"
+	"uvacg/internal/xmlutil"
+)
+
+func pipelineSpec() *JobSetSpec {
+	return &JobSetSpec{
+		Name: "pipeline",
+		Jobs: []JobSpec{
+			{Name: "gen", Executable: "local://gen.app", Outputs: []string{"data"}},
+			{Name: "proc", Executable: "local://proc.app",
+				Inputs:  []FileSpec{{LocalName: "in", Source: "gen://data"}},
+				Outputs: []string{"result"}},
+			{Name: "final", Executable: "local://final.app",
+				Inputs: []FileSpec{{LocalName: "r", Source: "proc://result"}}},
+		},
+	}
+}
+
+func TestValidateAcceptsPipeline(t *testing.T) {
+	if err := pipelineSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := map[string]func(*JobSetSpec){
+		"empty set":      func(js *JobSetSpec) { js.Jobs = nil },
+		"unnamed job":    func(js *JobSetSpec) { js.Jobs[0].Name = "" },
+		"reserved chars": func(js *JobSetSpec) { js.Jobs[0].Name = "a/b" },
+		"duplicate name": func(js *JobSetSpec) { js.Jobs[1].Name = "gen" },
+		"no executable":  func(js *JobSetSpec) { js.Jobs[0].Executable = "" },
+		"bad source":     func(js *JobSetSpec) { js.Jobs[0].Executable = "not-a-uri" },
+		"unknown dep":    func(js *JobSetSpec) { js.Jobs[1].Inputs[0].Source = "ghost://data" },
+		"undeclared output": func(js *JobSetSpec) {
+			js.Jobs[1].Inputs[0].Source = "gen://nope"
+		},
+		"self reference": func(js *JobSetSpec) {
+			js.Jobs[0].Inputs = []FileSpec{{LocalName: "x", Source: "gen://data"}}
+		},
+		"nameless input": func(js *JobSetSpec) {
+			js.Jobs[1].Inputs[0].LocalName = ""
+		},
+	}
+	for name, mutate := range cases {
+		js := pipelineSpec()
+		mutate(js)
+		if err := js.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	js := &JobSetSpec{Name: "cycle", Jobs: []JobSpec{
+		{Name: "a", Executable: "local://x", Inputs: []FileSpec{{LocalName: "i", Source: "b://o"}}, Outputs: []string{"o"}},
+		{Name: "b", Executable: "local://x", Inputs: []FileSpec{{LocalName: "i", Source: "a://o"}}, Outputs: []string{"o"}},
+	}}
+	err := js.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDependencies(t *testing.T) {
+	j := JobSpec{
+		Name:       "j",
+		Executable: "build://tool",
+		Inputs: []FileSpec{
+			{LocalName: "a", Source: "gen://data"},
+			{LocalName: "b", Source: "gen://data2"},
+			{LocalName: "c", Source: "local://cfg"},
+		},
+	}
+	got := j.Dependencies()
+	if !reflect.DeepEqual(got, []string{"build", "gen"}) {
+		t.Fatalf("deps = %v", got)
+	}
+}
+
+func TestDependencyOf(t *testing.T) {
+	if dep, ok := DependencyOf("local://x"); ok || dep != "" {
+		t.Error("local source reported as dependency")
+	}
+	if dep, ok := DependencyOf("job1://out"); !ok || dep != "job1" {
+		t.Errorf("got %q %v", dep, ok)
+	}
+	if _, ok := DependencyOf("garbage"); ok {
+		t.Error("garbage source reported as dependency")
+	}
+}
+
+func TestSpecXMLRoundTrip(t *testing.T) {
+	js := pipelineSpec()
+	body := SubmitRequest(js, wsa.NewEPR("soap.tcp://client:9/files"), wsa.NewEPR("inproc://client/listener"))
+	data, err := xmlutil.MarshalElement(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := xmlutil.UnmarshalElement(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := parseSpec(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, js) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", js, back)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSubmitResponseErrors(t *testing.T) {
+	if _, _, err := ParseSubmitResponse(nil); err == nil {
+		t.Error("nil body accepted")
+	}
+	if _, _, err := ParseSubmitResponse(&xmlutil.Element{Name: qSubmitResp}); err == nil {
+		t.Error("EPR-less response accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package soap
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// HandlerFunc processes one SOAP request envelope and produces a reply.
+// A (nil, nil) return is the empty response to a void method; one-way
+// messages never have their return delivered (the transport has already
+// closed the connection, per the paper's distinction between one-way
+// messages and void-returning methods).
+type HandlerFunc func(ctx context.Context, req *Envelope) (*Envelope, error)
+
+// Middleware wraps a handler, typically to perform work for every action
+// (security verification, the WSRF state load/save pipeline, logging).
+type Middleware func(next HandlerFunc) HandlerFunc
+
+// Dispatcher routes envelopes to handlers by WS-Addressing action URI.
+// It is the Go analog of the ASP.NET dispatch step in WSRF.NET's wrapper
+// service (paper Fig. 1): one dispatcher per hosted service.
+type Dispatcher struct {
+	mu         sync.RWMutex
+	handlers   map[string]HandlerFunc
+	middleware []Middleware
+}
+
+// NewDispatcher creates an empty dispatcher.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{handlers: make(map[string]HandlerFunc)}
+}
+
+// Use appends middleware. Middleware registered earlier runs outermost.
+// Must be called before Dispatch traffic begins.
+func (d *Dispatcher) Use(mw Middleware) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.middleware = append(d.middleware, mw)
+}
+
+// Register binds an action URI to a handler. Registering a duplicate
+// action panics: port-type composition bugs should fail at wiring time,
+// not be discovered as silently shadowed methods.
+func (d *Dispatcher) Register(action string, h HandlerFunc) {
+	if action == "" {
+		panic("soap: Register with empty action")
+	}
+	if h == nil {
+		panic("soap: Register with nil handler for " + action)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.handlers[action]; dup {
+		panic("soap: duplicate handler for action " + action)
+	}
+	d.handlers[action] = h
+}
+
+// Actions returns the registered action URIs, sorted.
+func (d *Dispatcher) Actions() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.handlers))
+	for a := range d.handlers {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handles reports whether an action is registered.
+func (d *Dispatcher) Handles(action string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.handlers[action]
+	return ok
+}
+
+// Dispatch routes a request to the handler for action, running the
+// middleware chain around it. Unknown actions yield a Sender fault.
+func (d *Dispatcher) Dispatch(ctx context.Context, action string, req *Envelope) (*Envelope, error) {
+	d.mu.RLock()
+	h, ok := d.handlers[action]
+	mws := d.middleware
+	d.mu.RUnlock()
+	if !ok {
+		return nil, SenderFault("no handler for action %q", action)
+	}
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	resp, err := h(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// DispatchToEnvelope is Dispatch with errors converted to SOAP fault
+// envelopes, the form a transport server sends back on the wire. The
+// second return distinguishes a fault reply from a normal one.
+func (d *Dispatcher) DispatchToEnvelope(ctx context.Context, action string, req *Envelope) (resp *Envelope, faulted bool) {
+	out, err := d.Dispatch(ctx, action, req)
+	if err != nil {
+		return FaultFromError(err).Envelope(), true
+	}
+	if out == nil {
+		out = &Envelope{} // empty-body void response
+	}
+	return out, false
+}
+
+// Mux routes to one of several dispatchers by service path, letting a
+// single listener host many services the way one IIS instance hosts many
+// ASP.NET endpoints.
+type Mux struct {
+	mu       sync.RWMutex
+	services map[string]*Dispatcher
+}
+
+// NewMux creates an empty Mux.
+func NewMux() *Mux { return &Mux{services: make(map[string]*Dispatcher)} }
+
+// Handle binds a service path (e.g. "/FileSystemService") to a
+// dispatcher. Duplicate paths panic, as with Register.
+func (m *Mux) Handle(path string, d *Dispatcher) {
+	if path == "" || path[0] != '/' {
+		panic(fmt.Sprintf("soap: service path %q must begin with '/'", path))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.services[path]; dup {
+		panic("soap: duplicate service path " + path)
+	}
+	m.services[path] = d
+}
+
+// Lookup finds the dispatcher for a path.
+func (m *Mux) Lookup(path string) (*Dispatcher, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d, ok := m.services[path]
+	return d, ok
+}
+
+// Paths returns the registered service paths, sorted.
+func (m *Mux) Paths() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.services))
+	for p := range m.services {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,152 @@
+package soap
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"uvacg/internal/xmlutil"
+)
+
+func echoHandler(ctx context.Context, req *Envelope) (*Envelope, error) {
+	return New(req.Body.Clone()), nil
+}
+
+func TestDispatcherRoutesByAction(t *testing.T) {
+	d := NewDispatcher()
+	d.Register("urn:Echo", echoHandler)
+	d.Register("urn:Fail", func(ctx context.Context, req *Envelope) (*Envelope, error) {
+		return nil, SenderFault("always fails")
+	})
+
+	req := New(xmlutil.NewElement(xmlutil.Q(nsT, "ping"), "hi"))
+	resp, err := d.Dispatch(context.Background(), "urn:Echo", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Body.Text != "hi" {
+		t.Errorf("echo = %q", resp.Body.Text)
+	}
+
+	_, err = d.Dispatch(context.Background(), "urn:Fail", req)
+	if f, ok := AsFault(err); !ok || f.Code != CodeSender {
+		t.Fatalf("want sender fault, got %v", err)
+	}
+
+	_, err = d.Dispatch(context.Background(), "urn:Nope", req)
+	if f, ok := AsFault(err); !ok || f.Code != CodeSender {
+		t.Fatalf("unknown action should be a sender fault, got %v", err)
+	}
+}
+
+func TestDispatcherVoidResponse(t *testing.T) {
+	d := NewDispatcher()
+	d.Register("urn:Void", func(ctx context.Context, req *Envelope) (*Envelope, error) {
+		return nil, nil
+	})
+	resp, faulted := d.DispatchToEnvelope(context.Background(), "urn:Void", &Envelope{})
+	if faulted {
+		t.Fatal("void should not fault")
+	}
+	if resp == nil || resp.Body != nil {
+		t.Fatalf("void response should be an empty envelope, got %+v", resp)
+	}
+}
+
+func TestDispatchToEnvelopeFault(t *testing.T) {
+	d := NewDispatcher()
+	resp, faulted := d.DispatchToEnvelope(context.Background(), "urn:Missing", &Envelope{})
+	if !faulted || !IsFault(resp.Body) {
+		t.Fatalf("want fault envelope, got faulted=%v body=%v", faulted, resp.Body)
+	}
+}
+
+func TestDispatcherMiddlewareOrder(t *testing.T) {
+	d := NewDispatcher()
+	var order []string
+	mk := func(name string) Middleware {
+		return func(next HandlerFunc) HandlerFunc {
+			return func(ctx context.Context, req *Envelope) (*Envelope, error) {
+				order = append(order, name+"-in")
+				resp, err := next(ctx, req)
+				order = append(order, name+"-out")
+				return resp, err
+			}
+		}
+	}
+	d.Use(mk("outer"))
+	d.Use(mk("inner"))
+	d.Register("urn:Echo", echoHandler)
+	if _, err := d.Dispatch(context.Background(), "urn:Echo", New(xmlutil.NewElement(xmlutil.Q(nsT, "p"), ""))); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"outer-in", "inner-in", "inner-out", "outer-out"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("middleware order = %v", order)
+	}
+}
+
+func TestDispatcherRegistrationPanics(t *testing.T) {
+	d := NewDispatcher()
+	d.Register("urn:A", echoHandler)
+	for name, fn := range map[string]func(){
+		"duplicate": func() { d.Register("urn:A", echoHandler) },
+		"empty":     func() { d.Register("", echoHandler) },
+		"nil":       func() { d.Register("urn:B", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDispatcherIntrospection(t *testing.T) {
+	d := NewDispatcher()
+	d.Register("urn:B", echoHandler)
+	d.Register("urn:A", echoHandler)
+	if got := d.Actions(); !reflect.DeepEqual(got, []string{"urn:A", "urn:B"}) {
+		t.Errorf("Actions = %v", got)
+	}
+	if !d.Handles("urn:A") || d.Handles("urn:C") {
+		t.Error("Handles misreports")
+	}
+}
+
+func TestMux(t *testing.T) {
+	m := NewMux()
+	fss := NewDispatcher()
+	es := NewDispatcher()
+	m.Handle("/FileSystemService", fss)
+	m.Handle("/ExecutionService", es)
+	if d, ok := m.Lookup("/FileSystemService"); !ok || d != fss {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := m.Lookup("/Nope"); ok {
+		t.Fatal("lookup of absent path should fail")
+	}
+	want := []string{"/ExecutionService", "/FileSystemService"}
+	if got := m.Paths(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Paths = %v", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate path should panic")
+			}
+		}()
+		m.Handle("/ExecutionService", es)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("relative path should panic")
+			}
+		}()
+		m.Handle("nope", es)
+	}()
+}

@@ -1,0 +1,106 @@
+package soap
+
+import (
+	"errors"
+	"fmt"
+
+	"uvacg/internal/xmlutil"
+)
+
+// Fault code values defined by SOAP 1.2.
+const (
+	CodeSender   = "Sender"   // the message was malformed or unauthorized
+	CodeReceiver = "Receiver" // the service failed to process a valid message
+)
+
+var (
+	qFault  = xmlutil.Q(NS, "Fault")
+	qCode   = xmlutil.Q(NS, "Code")
+	qValue  = xmlutil.Q(NS, "Value")
+	qReason = xmlutil.Q(NS, "Reason")
+	qText   = xmlutil.Q(NS, "Text")
+	qDetail = xmlutil.Q(NS, "Detail")
+)
+
+// Fault is a SOAP fault. It implements error so service code can return
+// one directly; the dispatcher serializes it into the response body.
+// WS-BaseFaults ride in the Detail element (see internal/wsrf/basefault).
+type Fault struct {
+	Code   string // CodeSender or CodeReceiver
+	Reason string
+	Detail *xmlutil.Element
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault [%s]: %s", f.Code, f.Reason)
+}
+
+// SenderFault builds a Sender fault with a formatted reason.
+func SenderFault(format string, args ...any) *Fault {
+	return &Fault{Code: CodeSender, Reason: fmt.Sprintf(format, args...)}
+}
+
+// ReceiverFault builds a Receiver fault with a formatted reason.
+func ReceiverFault(format string, args ...any) *Fault {
+	return &Fault{Code: CodeReceiver, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Element renders the fault as the SOAP Fault body element.
+func (f *Fault) Element() *xmlutil.Element {
+	code := f.Code
+	if code == "" {
+		code = CodeReceiver
+	}
+	el := xmlutil.NewContainer(qFault,
+		xmlutil.NewContainer(qCode, xmlutil.NewElement(qValue, code)),
+		xmlutil.NewContainer(qReason, xmlutil.NewElement(qText, f.Reason)),
+	)
+	if f.Detail != nil {
+		el.Append(xmlutil.NewContainer(qDetail, f.Detail))
+	}
+	return el
+}
+
+// Envelope wraps the fault in a complete SOAP envelope.
+func (f *Fault) Envelope() *Envelope { return New(f.Element()) }
+
+// IsFault reports whether a body element is a SOAP fault.
+func IsFault(body *xmlutil.Element) bool {
+	return body != nil && body.Name == qFault
+}
+
+// ParseFault decodes a SOAP Fault body element.
+func ParseFault(body *xmlutil.Element) (*Fault, error) {
+	if !IsFault(body) {
+		return nil, fmt.Errorf("soap: element %v is not a Fault", body.Name)
+	}
+	f := &Fault{}
+	if code := body.Child(qCode); code != nil {
+		f.Code = code.ChildText(qValue)
+	}
+	if reason := body.Child(qReason); reason != nil {
+		f.Reason = reason.ChildText(qText)
+	}
+	if detail := body.Child(qDetail); detail != nil && len(detail.Children) > 0 {
+		f.Detail = detail.Children[0]
+	}
+	return f, nil
+}
+
+// FaultFromError converts any error into a Fault, passing *Fault values
+// through unchanged so typed faults survive layered handlers.
+func FaultFromError(err error) *Fault {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f
+	}
+	return ReceiverFault("%s", err.Error())
+}
+
+// AsFault extracts a *Fault from an error chain, if one is present.
+func AsFault(err error) (*Fault, bool) {
+	var f *Fault
+	ok := errors.As(err, &f)
+	return f, ok
+}

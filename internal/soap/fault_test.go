@@ -1,0 +1,87 @@
+package soap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"uvacg/internal/xmlutil"
+)
+
+func TestFaultRoundTrip(t *testing.T) {
+	f := SenderFault("bad request %d", 7)
+	f.Detail = xmlutil.NewElement(xmlutil.Q(nsT, "JobFault"), "job-12")
+	data, err := f.Envelope().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsFault(env.Body) {
+		t.Fatal("body should be a fault")
+	}
+	back, err := ParseFault(env.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Code != CodeSender || back.Reason != "bad request 7" {
+		t.Fatalf("got %+v", back)
+	}
+	if back.Detail == nil || back.Detail.Text != "job-12" {
+		t.Fatalf("detail lost: %v", back.Detail)
+	}
+}
+
+func TestFaultDefaultsToReceiver(t *testing.T) {
+	f := &Fault{Reason: "boom"}
+	el := f.Element()
+	code := el.Child(qCode).ChildText(qValue)
+	if code != CodeReceiver {
+		t.Errorf("default code = %q", code)
+	}
+}
+
+func TestFaultErrorInterface(t *testing.T) {
+	var err error = ReceiverFault("disk full")
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("Error() = %q", err.Error())
+	}
+}
+
+func TestParseFaultRejectsNonFault(t *testing.T) {
+	if _, err := ParseFault(xmlutil.NewElement(xmlutil.Q(nsT, "x"), "")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestIsFaultNil(t *testing.T) {
+	if IsFault(nil) {
+		t.Fatal("nil body is not a fault")
+	}
+}
+
+func TestFaultFromErrorPassthrough(t *testing.T) {
+	orig := SenderFault("denied")
+	wrapped := fmt.Errorf("while dispatching: %w", orig)
+	got := FaultFromError(wrapped)
+	if got != orig {
+		t.Fatal("wrapped fault should be extracted intact")
+	}
+	plain := FaultFromError(errors.New("plain"))
+	if plain.Code != CodeReceiver || plain.Reason != "plain" {
+		t.Fatalf("plain error conversion: %+v", plain)
+	}
+}
+
+func TestAsFault(t *testing.T) {
+	f, ok := AsFault(fmt.Errorf("x: %w", SenderFault("nope")))
+	if !ok || f.Reason != "nope" {
+		t.Fatalf("AsFault = %v %v", f, ok)
+	}
+	if _, ok := AsFault(errors.New("y")); ok {
+		t.Fatal("plain error should not be a fault")
+	}
+}

@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// contentTypeSOAP is the SOAP 1.2 media type.
+const contentTypeSOAP = "application/soap+xml; charset=utf-8"
+
+// headerOneWay marks a POST as a one-way message: the server acknowledges
+// receipt with 202 Accepted before dispatch, matching the paper's
+// "one-way message closes the connection immediately" semantics as
+// closely as HTTP allows.
+const headerOneWay = "X-Soap-One-Way"
+
+// HTTPTransport is the http:// client binding.
+type HTTPTransport struct {
+	client *http.Client
+}
+
+// NewHTTPTransport builds the binding with sane connection pooling.
+func NewHTTPTransport() *HTTPTransport {
+	return &HTTPTransport{client: &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     30 * time.Second,
+		},
+	}}
+}
+
+// RoundTrip implements RoundTripper.
+func (t *HTTPTransport) RoundTrip(ctx context.Context, addr string, request []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr, bytes.NewReader(request))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentTypeSOAP)
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	// SOAP faults ride on 500s; both 200 and 500 carry envelopes.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusInternalServerError {
+		return nil, fmt.Errorf("http status %s", resp.Status)
+	}
+	return body, nil
+}
+
+// Send implements RoundTripper's one-way hand-off.
+func (t *HTTPTransport) Send(ctx context.Context, addr string, request []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr, bytes.NewReader(request))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentTypeSOAP)
+	req.Header.Set(headerOneWay, "1")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("one-way message not accepted: %s", resp.Status)
+	}
+	return nil
+}
+
+// HTTPHandler adapts a Server to net/http, so standard listeners (and
+// httptest) can host the SOAP services.
+type HTTPHandler struct {
+	server *Server
+}
+
+// NewHTTPHandler wraps srv for HTTP hosting.
+func NewHTTPHandler(srv *Server) *HTTPHandler { return &HTTPHandler{server: srv} }
+
+// ServeHTTP implements http.Handler.
+func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	if r.Header.Get(headerOneWay) == "1" {
+		h.server.HandleOneWay(r.Context(), r.URL.Path, body)
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	resp := h.server.HandleRequest(r.Context(), r.URL.Path, body)
+	w.Header().Set("Content-Type", contentTypeSOAP)
+	w.Write(resp)
+}
+
+// ListenHTTP starts an HTTP listener for srv on addr (host:port, empty
+// port picks a free one) and returns the base URL and a shutdown func.
+func ListenHTTP(srv *Server, addr string) (baseURL string, shutdown func() error, err error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: NewHTTPHandler(srv)}
+	go hs.Serve(l)
+	return "http://" + l.Addr().String(), func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}, nil
+}

@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"sync"
+)
+
+// SchemeInproc is the URI scheme of the in-process binding used by
+// simulated grids, tests and benchmarks. Messages still pass through
+// their full wire encoding, so a service behaves identically whether
+// reached via inproc://, http:// or soap.tcp://.
+const SchemeInproc = "inproc"
+
+// Network is an in-process fabric of named hosts. Each simulated grid
+// machine registers its Server under a host name; EPR addresses look
+// like inproc://node-a/ExecutionService.
+type Network struct {
+	mu    sync.RWMutex
+	hosts map[string]*Server
+}
+
+// NewNetwork creates an empty fabric.
+func NewNetwork() *Network { return &Network{hosts: make(map[string]*Server)} }
+
+// Register binds a host name to a server. Re-registering a host panics;
+// simulated machines are wired once at grid construction.
+func (n *Network) Register(host string, srv *Server) {
+	if host == "" || srv == nil {
+		panic("transport: Register with empty host or nil server")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.hosts[host]; dup {
+		panic("transport: duplicate inproc host " + host)
+	}
+	n.hosts[host] = srv
+}
+
+// Deregister removes a host (a machine leaving the simulated grid).
+func (n *Network) Deregister(host string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.hosts, host)
+}
+
+// Lookup finds the server for a host.
+func (n *Network) Lookup(host string) (*Server, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	srv, ok := n.hosts[host]
+	return srv, ok
+}
+
+// URL builds an inproc address for a service path on a host.
+func (n *Network) URL(host, path string) string {
+	return SchemeInproc + "://" + host + path
+}
+
+type inprocTransport struct {
+	network *Network
+}
+
+func (t *inprocTransport) resolve(addr string) (*Server, string, error) {
+	u, err := url.Parse(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	if t.network == nil {
+		return nil, "", fmt.Errorf("transport: inproc binding has no network")
+	}
+	srv, ok := t.network.Lookup(u.Host)
+	if !ok {
+		return nil, "", fmt.Errorf("transport: unknown inproc host %q", u.Host)
+	}
+	path := u.Path
+	if path == "" {
+		path = "/"
+	}
+	return srv, path, nil
+}
+
+// RoundTrip implements RoundTripper.
+func (t *inprocTransport) RoundTrip(ctx context.Context, addr string, request []byte) ([]byte, error) {
+	srv, path, err := t.resolve(addr)
+	if err != nil {
+		return nil, err
+	}
+	return srv.HandleRequest(ctx, path, request), nil
+}
+
+// Send implements RoundTripper.
+func (t *inprocTransport) Send(ctx context.Context, addr string, request []byte) error {
+	srv, path, err := t.resolve(addr)
+	if err != nil {
+		return err
+	}
+	srv.HandleOneWay(ctx, path, request)
+	return nil
+}

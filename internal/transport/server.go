@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/wsa"
+)
+
+// Server hosts SOAP services behind any of the bindings. It owns the
+// binding-independent receive pipeline: parse envelope, extract
+// WS-Addressing headers, select the service by path, dispatch by action,
+// stamp reply headers — the Go rendering of IIS + the WSRF.NET wrapper's
+// outer loop (paper Fig. 1).
+type Server struct {
+	mux *soap.Mux
+	// ErrorLog, when set, receives one-way dispatch failures, which have
+	// no connection left to report on.
+	ErrorLog *log.Logger
+}
+
+// NewServer wraps a service mux.
+func NewServer(mux *soap.Mux) *Server { return &Server{mux: mux} }
+
+// Mux exposes the underlying service mux for registration.
+func (s *Server) Mux() *soap.Mux { return s.mux }
+
+// HandleRequest processes one request-response exchange for the service
+// at path, returning the serialized reply (possibly a fault envelope).
+func (s *Server) HandleRequest(ctx context.Context, path string, request []byte) []byte {
+	resp := s.process(ctx, path, request)
+	data, err := resp.Marshal()
+	if err != nil {
+		// A reply we constructed failed to serialize: fall back to a
+		// minimal fault so the client is never left hanging.
+		data, _ = soap.ReceiverFault("response serialization failed: %v", err).Envelope().Marshal()
+	}
+	return data
+}
+
+// HandleOneWay accepts a one-way message for the service at path. The
+// caller's connection obligation ends as soon as this returns; dispatch
+// proceeds asynchronously, and failures go to ErrorLog.
+func (s *Server) HandleOneWay(ctx context.Context, path string, request []byte) {
+	// Detach from the transport's per-connection context: the sender has
+	// already gone away by design.
+	bg := context.WithoutCancel(ctx)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.logf("one-way handler panic on %s: %v", path, r)
+			}
+		}()
+		resp := s.process(bg, path, request)
+		if soap.IsFault(resp.Body) {
+			if f, err := soap.ParseFault(resp.Body); err == nil {
+				s.logf("one-way %s faulted: %v", path, f)
+			}
+		}
+	}()
+}
+
+// process runs the full receive pipeline and always produces a reply
+// envelope (faults included).
+func (s *Server) process(ctx context.Context, path string, request []byte) *soap.Envelope {
+	env, err := soap.Unmarshal(request)
+	if err != nil {
+		return soap.SenderFault("malformed envelope: %v", err).Envelope()
+	}
+	info, err := wsa.Extract(env)
+	if err != nil {
+		return soap.SenderFault("%v", err).Envelope()
+	}
+	dispatcher, ok := s.mux.Lookup(path)
+	if !ok {
+		return soap.SenderFault("no service at %q", path).Envelope()
+	}
+	ctx = wsa.NewContext(ctx, info)
+	resp, _ := dispatcher.DispatchToEnvelope(ctx, info.Action, env)
+	wsa.ApplyReply(resp, info, info.Action+"Response")
+	return resp
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.ErrorLog != nil {
+		s.ErrorLog.Printf(format, args...)
+		return
+	}
+	log.Printf("transport: "+format, args...)
+}
+
+// servicePathError standardizes bad-path failures across bindings.
+func servicePathError(path string) error {
+	return fmt.Errorf("transport: invalid service path %q", path)
+}

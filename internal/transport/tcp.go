@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// SchemeTCP is the URI scheme of the framed-TCP binding, the analog of
+// WSE's SOAP-over-TCP that the paper's File System Service prefers for
+// moving large files (paper §4.1).
+const SchemeTCP = "soap.tcp"
+
+// Frame kinds on the wire.
+const (
+	frameRequest byte = 0 // request-response request; a response frame follows
+	frameOneWay  byte = 1 // one-way message; the connection closes after receipt
+	frameReply   byte = 2 // response to a request frame
+)
+
+// maxFrameSize bounds a single message (64 MiB): large enough for the
+// testbed's file chunks, small enough to stop a corrupt length prefix
+// from allocating unbounded memory.
+const maxFrameSize = 64 << 20
+
+// Wire layout of a frame:
+//
+//	kind    uint8
+//	pathLen uint16 (big endian)   service path, request/one-way only
+//	path    [pathLen]byte
+//	bodyLen uint32 (big endian)
+//	body    [bodyLen]byte         serialized SOAP envelope
+
+func writeFrame(w io.Writer, kind byte, path string, body []byte) error {
+	if len(path) > 0xFFFF {
+		return fmt.Errorf("transport: service path too long (%d bytes)", len(path))
+	}
+	if len(body) > maxFrameSize {
+		return fmt.Errorf("transport: frame body %d exceeds limit %d", len(body), maxFrameSize)
+	}
+	header := make([]byte, 0, 7+len(path))
+	header = append(header, kind)
+	header = binary.BigEndian.AppendUint16(header, uint16(len(path)))
+	header = append(header, path...)
+	header = binary.BigEndian.AppendUint32(header, uint32(len(body)))
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) (kind byte, path string, body []byte, err error) {
+	var kb [1]byte
+	if _, err = io.ReadFull(r, kb[:]); err != nil {
+		return 0, "", nil, err
+	}
+	kind = kb[0]
+	var plen uint16
+	if err = binary.Read(r, binary.BigEndian, &plen); err != nil {
+		return 0, "", nil, err
+	}
+	pbuf := make([]byte, plen)
+	if _, err = io.ReadFull(r, pbuf); err != nil {
+		return 0, "", nil, err
+	}
+	var blen uint32
+	if err = binary.Read(r, binary.BigEndian, &blen); err != nil {
+		return 0, "", nil, err
+	}
+	if blen > maxFrameSize {
+		return 0, "", nil, fmt.Errorf("transport: frame body %d exceeds limit %d", blen, maxFrameSize)
+	}
+	body = make([]byte, blen)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, "", nil, err
+	}
+	return kind, string(pbuf), body, nil
+}
+
+// TCPTransport is the soap.tcp:// client binding. Connections are dialed
+// per message; the framing keeps each exchange self-delimiting.
+type TCPTransport struct {
+	dialer net.Dialer
+}
+
+// NewTCPTransport builds the binding.
+func NewTCPTransport() *TCPTransport {
+	return &TCPTransport{dialer: net.Dialer{Timeout: 10 * time.Second}}
+}
+
+func splitTCPAddr(addr string) (hostport, path string, err error) {
+	u, err := url.Parse(addr)
+	if err != nil {
+		return "", "", err
+	}
+	if u.Scheme != SchemeTCP {
+		return "", "", fmt.Errorf("transport: %q is not a %s address", addr, SchemeTCP)
+	}
+	path = u.Path
+	if path == "" {
+		path = "/"
+	}
+	return u.Host, path, nil
+}
+
+// RoundTrip implements RoundTripper.
+func (t *TCPTransport) RoundTrip(ctx context.Context, addr string, request []byte) ([]byte, error) {
+	hostport, path, err := splitTCPAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := t.dialer.DialContext(ctx, "tcp", hostport)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, frameRequest, path, request); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	kind, _, body, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		return nil, fmt.Errorf("reading reply frame: %w", err)
+	}
+	if kind != frameReply {
+		return nil, fmt.Errorf("unexpected frame kind %d in reply", kind)
+	}
+	return body, nil
+}
+
+// Send implements RoundTripper's one-way hand-off: write the frame and
+// close, exactly the connection discipline the paper describes.
+func (t *TCPTransport) Send(ctx context.Context, addr string, request []byte) error {
+	hostport, path, err := splitTCPAddr(addr)
+	if err != nil {
+		return err
+	}
+	conn, err := t.dialer.DialContext(ctx, "tcp", hostport)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, frameOneWay, path, request); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// TCPListener hosts a Server behind the soap.tcp binding.
+type TCPListener struct {
+	srv      *Server
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// ListenTCP starts serving srv on addr (host:port; empty port picks a
+// free one). The returned listener reports its bound address and stops
+// on Close.
+func ListenTCP(srv *Server, addr string) (*TCPListener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	tl := &TCPListener{srv: srv, listener: l, closed: make(chan struct{})}
+	tl.wg.Add(1)
+	go tl.acceptLoop()
+	return tl, nil
+}
+
+// Addr returns the bound host:port.
+func (tl *TCPListener) Addr() string { return tl.listener.Addr().String() }
+
+// BaseURL returns the soap.tcp:// URL prefix for this listener.
+func (tl *TCPListener) BaseURL() string { return SchemeTCP + "://" + tl.Addr() }
+
+// Close stops accepting and waits for in-flight connections.
+func (tl *TCPListener) Close() error {
+	close(tl.closed)
+	err := tl.listener.Close()
+	tl.wg.Wait()
+	return err
+}
+
+func (tl *TCPListener) acceptLoop() {
+	defer tl.wg.Done()
+	for {
+		conn, err := tl.listener.Accept()
+		if err != nil {
+			select {
+			case <-tl.closed:
+				return
+			default:
+				continue
+			}
+		}
+		tl.wg.Add(1)
+		go func() {
+			defer tl.wg.Done()
+			tl.serveConn(conn)
+		}()
+	}
+}
+
+func (tl *TCPListener) serveConn(conn net.Conn) {
+	defer conn.Close()
+	kind, path, body, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		return
+	}
+	ctx := context.Background()
+	switch kind {
+	case frameOneWay:
+		tl.srv.HandleOneWay(ctx, path, body)
+	case frameRequest:
+		resp := tl.srv.HandleRequest(ctx, path, body)
+		bw := bufio.NewWriter(conn)
+		if err := writeFrame(bw, frameReply, "", resp); err != nil {
+			return
+		}
+		bw.Flush()
+	}
+}

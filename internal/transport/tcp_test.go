@@ -1,0 +1,85 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		kind := byte(r.Intn(3))
+		path := "/Svc"
+		if r.Intn(2) == 0 {
+			path = ""
+		}
+		body := make([]byte, r.Intn(4096))
+		r.Read(body)
+
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, kind, path, body); err != nil {
+			return false
+		}
+		gk, gp, gb, err := readFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return gk == kind && gp == path && bytes.Equal(gb, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	// Forge a frame header that claims a body beyond the limit.
+	buf.Write([]byte{frameRequest, 0, 0})     // kind + empty path
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB body length
+	if _, _, _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestWriteFrameRejectsOversizeBody(t *testing.T) {
+	// Can't allocate 64 MiB+1 cheaply in every CI run; use a fake slice
+	// header via limited test: writeFrame checks len(body) only.
+	body := make([]byte, maxFrameSize+1)
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameRequest, "/S", body); err == nil {
+		t.Fatal("oversize body accepted")
+	}
+}
+
+func TestFrameTruncatedRead(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameRequest, "/Svc", []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut += 3 {
+		trunc := bytes.NewReader(full[:cut])
+		if _, _, _, err := readFrame(trunc); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestSplitTCPAddr(t *testing.T) {
+	host, path, err := splitTCPAddr("soap.tcp://10.0.0.1:9999/FileSystemService")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host != "10.0.0.1:9999" || path != "/FileSystemService" {
+		t.Fatalf("got %q %q", host, path)
+	}
+	if _, _, err := splitTCPAddr("http://x/y"); err == nil {
+		t.Fatal("wrong scheme accepted")
+	}
+	_, path, err = splitTCPAddr("soap.tcp://h:1")
+	if err != nil || path != "/" {
+		t.Fatalf("empty path: %q %v", path, err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package transport carries SOAP envelopes between services. Three
+// bindings are provided, selected by the URI scheme of the target EPR's
+// address, mirroring the paper's testbed:
+//
+//	http://     the ordinary web service binding (IIS/ASP.NET analog)
+//	soap.tcp:// framed SOAP over raw TCP (the WSE messaging analog used
+//	            for large file movement from the client's machine)
+//	inproc://   in-process loopback; envelopes still round-trip through
+//	            their wire encoding so behaviour matches the networked
+//	            bindings byte-for-byte
+//
+// The package distinguishes request-response calls from one-way messages:
+// a one-way send completes as soon as the message is handed over, before
+// the service has processed it — the property the File System Service
+// depends on for non-blocking uploads (paper §4.1).
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/wsa"
+	"uvacg/internal/xmlutil"
+)
+
+// RoundTripper moves serialized envelopes for one URI scheme.
+type RoundTripper interface {
+	// RoundTrip performs a request-response exchange.
+	RoundTrip(ctx context.Context, addr string, request []byte) (response []byte, err error)
+	// Send delivers a one-way message, returning once it is handed off.
+	Send(ctx context.Context, addr string, request []byte) error
+}
+
+// Client invokes SOAP operations on WS-Resources. The zero value is not
+// usable; construct with NewClient.
+type Client struct {
+	schemes map[string]RoundTripper
+}
+
+// NewClient builds a client with the http and soap.tcp bindings
+// installed. Attach an inproc Network with WithNetwork when simulated
+// in-process grids are in play.
+func NewClient() *Client {
+	c := &Client{schemes: make(map[string]RoundTripper)}
+	c.RegisterScheme("http", NewHTTPTransport())
+	c.RegisterScheme(SchemeTCP, NewTCPTransport())
+	return c
+}
+
+// WithNetwork installs the inproc binding backed by n and returns the
+// client for chaining.
+func (c *Client) WithNetwork(n *Network) *Client {
+	c.RegisterScheme(SchemeInproc, &inprocTransport{network: n})
+	return c
+}
+
+// RegisterScheme installs or replaces the transport for a URI scheme.
+func (c *Client) RegisterScheme(scheme string, rt RoundTripper) {
+	if scheme == "" || rt == nil {
+		panic("transport: RegisterScheme with empty scheme or nil transport")
+	}
+	c.schemes[scheme] = rt
+}
+
+func (c *Client) transportFor(addr string) (RoundTripper, error) {
+	u, err := url.Parse(addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bad address %q: %w", addr, err)
+	}
+	rt, ok := c.schemes[u.Scheme]
+	if !ok {
+		return nil, fmt.Errorf("transport: no binding for scheme %q (address %q)", u.Scheme, addr)
+	}
+	return rt, nil
+}
+
+// Invoke performs a request-response exchange of a fully prepared
+// envelope (custom headers intact). WS-Addressing headers for the target
+// and action are stamped here. A SOAP fault reply is returned as a
+// *soap.Fault error.
+func (c *Client) Invoke(ctx context.Context, to wsa.EndpointReference, action string, env *soap.Envelope) (*soap.Envelope, error) {
+	rt, err := c.transportFor(to.Address)
+	if err != nil {
+		return nil, err
+	}
+	wsa.Apply(env, to, action)
+	data, err := env.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	respData, err := rt.RoundTrip(ctx, to.Address, data)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %s %s: %w", action, to.Address, err)
+	}
+	resp, err := soap.Unmarshal(respData)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bad response from %s: %w", to.Address, err)
+	}
+	if soap.IsFault(resp.Body) {
+		f, perr := soap.ParseFault(resp.Body)
+		if perr != nil {
+			return nil, perr
+		}
+		return nil, f
+	}
+	return resp, nil
+}
+
+// Call is the convenience request-response form: wraps body in an
+// envelope, invokes, and returns the response body element (nil for a
+// void response).
+func (c *Client) Call(ctx context.Context, to wsa.EndpointReference, action string, body *xmlutil.Element) (*xmlutil.Element, error) {
+	resp, err := c.Invoke(ctx, to, action, soap.New(body))
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// SendOneWay delivers env as a one-way message: the connection is
+// released as soon as the message is handed over and no reply is read.
+func (c *Client) SendOneWay(ctx context.Context, to wsa.EndpointReference, action string, env *soap.Envelope) error {
+	rt, err := c.transportFor(to.Address)
+	if err != nil {
+		return err
+	}
+	wsa.Apply(env, to, action)
+	data, err := env.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := rt.Send(ctx, to.Address, data); err != nil {
+		return fmt.Errorf("transport: one-way %s %s: %w", action, to.Address, err)
+	}
+	return nil
+}
+
+// Notify is SendOneWay for a bare body element.
+func (c *Client) Notify(ctx context.Context, to wsa.EndpointReference, action string, body *xmlutil.Element) error {
+	return c.SendOneWay(ctx, to, action, soap.New(body))
+}

@@ -1,0 +1,289 @@
+// Package vfs is the sandboxed per-machine file system that the File
+// System Service controls — "the portion of the file system usable by
+// the Campus Grid on the machine on which the FSS resides" (paper §4.1).
+// It is an in-memory tree of directories holding named files, giving the
+// testbed deterministic, portable storage with the same operations the
+// FSS exposes: Read, Write, List, plus the local fast-path Move the FSS
+// uses when a wanted file is already on the same machine.
+package vfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileInfo describes one file in a directory listing.
+type FileInfo struct {
+	Name string
+	Size int64
+}
+
+// FS is one machine's grid-visible file system.
+type FS struct {
+	mu   sync.RWMutex
+	dirs map[string]map[string][]byte
+	seq  int
+}
+
+// New creates a file system containing only the root directory "/".
+func New() *FS {
+	return &FS{dirs: map[string]map[string][]byte{"/": {}}}
+}
+
+// CleanPath canonicalizes a directory path: leading '/', no trailing
+// '/', no empty segments.
+func CleanPath(path string) (string, error) {
+	if path == "" {
+		return "", fmt.Errorf("vfs: empty path")
+	}
+	segs := strings.Split(strings.Trim(path, "/"), "/")
+	if len(segs) == 1 && segs[0] == "" {
+		return "/", nil
+	}
+	for _, s := range segs {
+		if s == "" || s == "." || s == ".." {
+			return "", fmt.Errorf("vfs: invalid path %q", path)
+		}
+	}
+	return "/" + strings.Join(segs, "/"), nil
+}
+
+// Mkdir creates a directory (parents included). Existing directories
+// are left untouched.
+func (fs *FS) Mkdir(path string) (string, error) {
+	clean, err := CleanPath(path)
+	if err != nil {
+		return "", err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.mkdirLocked(clean)
+	return clean, nil
+}
+
+func (fs *FS) mkdirLocked(clean string) {
+	if _, ok := fs.dirs[clean]; ok {
+		return
+	}
+	// Create parents.
+	segs := strings.Split(strings.TrimPrefix(clean, "/"), "/")
+	cur := ""
+	for _, s := range segs {
+		cur = cur + "/" + s
+		if _, ok := fs.dirs[cur]; !ok {
+			fs.dirs[cur] = make(map[string][]byte)
+		}
+	}
+}
+
+// MkdirUnique creates a fresh directory under parent with the given
+// prefix and returns its path — how the FSS provisions a working
+// directory per job.
+func (fs *FS) MkdirUnique(parent, prefix string) (string, error) {
+	clean, err := CleanPath(parent)
+	if err != nil {
+		return "", err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.mkdirLocked(clean)
+	for {
+		fs.seq++
+		candidate := fmt.Sprintf("%s/%s-%06d", strings.TrimSuffix(clean, "/"), prefix, fs.seq)
+		if candidate[0] != '/' {
+			candidate = "/" + candidate
+		}
+		if _, exists := fs.dirs[candidate]; !exists {
+			fs.dirs[candidate] = make(map[string][]byte)
+			return candidate, nil
+		}
+	}
+}
+
+// DirExists reports whether a directory exists.
+func (fs *FS) DirExists(path string) bool {
+	clean, err := CleanPath(path)
+	if err != nil {
+		return false
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.dirs[clean]
+	return ok
+}
+
+func validateName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("vfs: invalid file name %q", name)
+	}
+	return nil
+}
+
+// Write stores a file in a directory, replacing any existing content.
+func (fs *FS) Write(dir, name string, data []byte) error {
+	clean, err := CleanPath(dir)
+	if err != nil {
+		return err
+	}
+	if err := validateName(name); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, ok := fs.dirs[clean]
+	if !ok {
+		return fmt.Errorf("vfs: no such directory %q", clean)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d[name] = cp
+	return nil
+}
+
+// Read returns a copy of a file's content.
+func (fs *FS) Read(dir, name string) ([]byte, error) {
+	clean, err := CleanPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	d, ok := fs.dirs[clean]
+	if !ok {
+		return nil, fmt.Errorf("vfs: no such directory %q", clean)
+	}
+	data, ok := d[name]
+	if !ok {
+		return nil, fmt.Errorf("vfs: no such file %q in %q", name, clean)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Exists reports whether a file exists.
+func (fs *FS) Exists(dir, name string) bool {
+	clean, err := CleanPath(dir)
+	if err != nil {
+		return false
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	d, ok := fs.dirs[clean]
+	if !ok {
+		return false
+	}
+	_, ok = d[name]
+	return ok
+}
+
+// List returns the directory's files sorted by name.
+func (fs *FS) List(dir string) ([]FileInfo, error) {
+	clean, err := CleanPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	d, ok := fs.dirs[clean]
+	if !ok {
+		return nil, fmt.Errorf("vfs: no such directory %q", clean)
+	}
+	out := make([]FileInfo, 0, len(d))
+	for name, data := range d {
+		out = append(out, FileInfo{Name: name, Size: int64(len(data))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Move relocates a file between directories on the same machine without
+// copying through the network — the FSS fast path for files already
+// local ("the FSS simply moves the file within the portion of the file
+// system it controls", paper §4.6).
+func (fs *FS) Move(srcDir, srcName, dstDir, dstName string) error {
+	src, err := CleanPath(srcDir)
+	if err != nil {
+		return err
+	}
+	dst, err := CleanPath(dstDir)
+	if err != nil {
+		return err
+	}
+	if err := validateName(srcName); err != nil {
+		return err
+	}
+	if err := validateName(dstName); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	sd, ok := fs.dirs[src]
+	if !ok {
+		return fmt.Errorf("vfs: no such directory %q", src)
+	}
+	dd, ok := fs.dirs[dst]
+	if !ok {
+		return fmt.Errorf("vfs: no such directory %q", dst)
+	}
+	data, ok := sd[srcName]
+	if !ok {
+		return fmt.Errorf("vfs: no such file %q in %q", srcName, src)
+	}
+	dd[dstName] = data
+	if !(src == dst && srcName == dstName) {
+		delete(sd, srcName)
+	}
+	return nil
+}
+
+// RemoveDir deletes a directory and its files. The root cannot be
+// removed. Subdirectories are removed too.
+func (fs *FS) RemoveDir(path string) error {
+	clean, err := CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if clean == "/" {
+		return fmt.Errorf("vfs: cannot remove root")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.dirs[clean]; !ok {
+		return fmt.Errorf("vfs: no such directory %q", clean)
+	}
+	prefix := clean + "/"
+	for d := range fs.dirs {
+		if d == clean || strings.HasPrefix(d, prefix) {
+			delete(fs.dirs, d)
+		}
+	}
+	return nil
+}
+
+// Usage reports total file count and byte count across the file system.
+func (fs *FS) Usage() (files int, bytes int64) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	for _, d := range fs.dirs {
+		for _, data := range d {
+			files++
+			bytes += int64(len(data))
+		}
+	}
+	return files, bytes
+}
+
+// Dirs lists all directory paths, sorted.
+func (fs *FS) Dirs() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]string, 0, len(fs.dirs))
+	for d := range fs.dirs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

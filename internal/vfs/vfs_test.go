@@ -1,0 +1,270 @@
+package vfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanPath(t *testing.T) {
+	good := map[string]string{
+		"/":     "/",
+		"/a":    "/a",
+		"a":     "/a",
+		"/a/b/": "/a/b",
+		"a/b/c": "/a/b/c",
+	}
+	for in, want := range good {
+		got, err := CleanPath(in)
+		if err != nil || got != want {
+			t.Errorf("CleanPath(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "/a//b", "/a/./b", "/a/../b"} {
+		if _, err := CleanPath(bad); err == nil {
+			t.Errorf("CleanPath(%q): expected error", bad)
+		}
+	}
+}
+
+func TestMkdirCreatesParents(t *testing.T) {
+	fs := New()
+	path, err := fs.Mkdir("/grid/jobs/j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "/grid/jobs/j1" {
+		t.Fatalf("path = %q", path)
+	}
+	for _, d := range []string{"/grid", "/grid/jobs", "/grid/jobs/j1"} {
+		if !fs.DirExists(d) {
+			t.Errorf("missing parent %q", d)
+		}
+	}
+	// Idempotent.
+	if _, err := fs.Mkdir("/grid/jobs/j1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMkdirUnique(t *testing.T) {
+	fs := New()
+	seen := make(map[string]bool)
+	for i := 0; i < 20; i++ {
+		d, err := fs.MkdirUnique("/grid", "job")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[d] {
+			t.Fatalf("duplicate unique dir %q", d)
+		}
+		seen[d] = true
+		if !fs.DirExists(d) {
+			t.Fatalf("unique dir %q not created", d)
+		}
+	}
+}
+
+func TestWriteReadList(t *testing.T) {
+	fs := New()
+	if _, err := fs.Mkdir("/work"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/work", "in.dat", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/work", "app.exe", []byte{0x4d, 0x5a}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.Read("/work", "in.dat")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read: %q %v", data, err)
+	}
+	list, err := fs.List("/work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FileInfo{{Name: "app.exe", Size: 2}, {Name: "in.dat", Size: 5}}
+	if !reflect.DeepEqual(list, want) {
+		t.Fatalf("list = %v", list)
+	}
+	if !fs.Exists("/work", "in.dat") || fs.Exists("/work", "nope") {
+		t.Error("Exists misreports")
+	}
+}
+
+func TestReadIsACopy(t *testing.T) {
+	fs := New()
+	fs.Mkdir("/d")
+	if err := fs.Write("/d", "f", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.Read("/d", "f")
+	data[0] = 'X'
+	again, _ := fs.Read("/d", "f")
+	if string(again) != "abc" {
+		t.Fatal("mutation through Read leaked into the store")
+	}
+}
+
+func TestWriteIsACopy(t *testing.T) {
+	fs := New()
+	fs.Mkdir("/d")
+	buf := []byte("abc")
+	if err := fs.Write("/d", "f", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	got, _ := fs.Read("/d", "f")
+	if string(got) != "abc" {
+		t.Fatal("caller mutation leaked into the store")
+	}
+}
+
+func TestErrorsOnMissing(t *testing.T) {
+	fs := New()
+	if err := fs.Write("/ghost", "f", nil); err == nil {
+		t.Error("write to missing dir accepted")
+	}
+	if _, err := fs.Read("/", "ghost"); err == nil {
+		t.Error("read of missing file accepted")
+	}
+	if _, err := fs.List("/ghost"); err == nil {
+		t.Error("list of missing dir accepted")
+	}
+	if err := fs.Write("/", "bad/name", nil); err == nil {
+		t.Error("slash in file name accepted")
+	}
+	if err := fs.Write("/", "", nil); err == nil {
+		t.Error("empty file name accepted")
+	}
+}
+
+func TestMove(t *testing.T) {
+	fs := New()
+	fs.Mkdir("/a")
+	fs.Mkdir("/b")
+	if err := fs.Write("/a", "f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Move("/a", "f", "/b", "g"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/a", "f") {
+		t.Error("source survived move")
+	}
+	got, err := fs.Read("/b", "g")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("dest: %q %v", got, err)
+	}
+	// Self-move is a no-op, not a delete.
+	if err := fs.Move("/b", "g", "/b", "g"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/b", "g") {
+		t.Fatal("self-move deleted the file")
+	}
+	if err := fs.Move("/b", "ghost", "/a", "x"); err == nil {
+		t.Error("move of missing file accepted")
+	}
+}
+
+func TestRemoveDirRecursive(t *testing.T) {
+	fs := New()
+	fs.Mkdir("/jobs/j1/sub")
+	fs.Write("/jobs/j1", "f", []byte("x"))
+	if err := fs.RemoveDir("/jobs/j1"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.DirExists("/jobs/j1") || fs.DirExists("/jobs/j1/sub") {
+		t.Error("directory tree survived removal")
+	}
+	if !fs.DirExists("/jobs") {
+		t.Error("parent removed")
+	}
+	if err := fs.RemoveDir("/"); err == nil {
+		t.Error("root removal accepted")
+	}
+	if err := fs.RemoveDir("/ghost"); err == nil {
+		t.Error("missing dir removal accepted")
+	}
+}
+
+func TestUsage(t *testing.T) {
+	fs := New()
+	fs.Mkdir("/a")
+	fs.Write("/a", "f1", make([]byte, 100))
+	fs.Write("/a", "f2", make([]byte, 50))
+	files, byteCount := fs.Usage()
+	if files != 2 || byteCount != 150 {
+		t.Fatalf("usage = %d files %d bytes", files, byteCount)
+	}
+}
+
+func TestDirs(t *testing.T) {
+	fs := New()
+	fs.Mkdir("/b")
+	fs.Mkdir("/a")
+	got := fs.Dirs()
+	if !reflect.DeepEqual(got, []string{"/", "/a", "/b"}) {
+		t.Fatalf("Dirs = %v", got)
+	}
+}
+
+// TestWriteReadRoundTripProperty: what is written is read back intact,
+// for arbitrary content.
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	fs := New()
+	fs.Mkdir("/p")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		data := make([]byte, r.Intn(4096))
+		r.Read(data)
+		name := fmt.Sprintf("f-%d", seed)
+		if err := fs.Write("/p", name, data); err != nil {
+			return false
+		}
+		got, err := fs.Read("/p", name)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	fs := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dir := fmt.Sprintf("/g%d", g)
+			if _, err := fs.Mkdir(dir); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("f%d", i)
+				if err := fs.Write(dir, name, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := fs.Read(dir, name); err != nil {
+					t.Error(err)
+					return
+				}
+				fs.Usage()
+			}
+		}(g)
+	}
+	wg.Wait()
+	files, _ := fs.Usage()
+	if files != 400 {
+		t.Fatalf("files = %d", files)
+	}
+}

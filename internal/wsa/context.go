@@ -1,0 +1,18 @@
+package wsa
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext attaches the decoded message info of the current invocation
+// to a context. The transport server does this before dispatch so
+// service code and WSRF middleware can recover the addressed resource.
+func NewContext(ctx context.Context, info MessageInfo) context.Context {
+	return context.WithValue(ctx, ctxKey{}, info)
+}
+
+// FromContext recovers the invocation's message info.
+func FromContext(ctx context.Context) (MessageInfo, bool) {
+	info, ok := ctx.Value(ctxKey{}).(MessageInfo)
+	return info, ok
+}

@@ -1,0 +1,109 @@
+package wsn
+
+import (
+	"context"
+	"sync"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/xmlutil"
+)
+
+// Consumer is the light-weight notification receiver clients run
+// (paper §4.6): a NotificationConsumer endpoint that filters incoming
+// notifications through topic expressions and calls the registered
+// functions — "notification consumers (sinks) register interest in
+// various notification types (the topics) and provide functions to be
+// called when those notifications are received" (paper §5).
+type Consumer struct {
+	dispatcher *soap.Dispatcher
+
+	mu       sync.RWMutex
+	handlers []consumerHandler
+}
+
+type consumerHandler struct {
+	te *TopicExpression
+	fn func(Notification)
+}
+
+// NewConsumer builds a consumer endpoint.
+func NewConsumer() *Consumer {
+	c := &Consumer{dispatcher: soap.NewDispatcher()}
+	c.dispatcher.Register(ActionNotify, c.handleNotify)
+	return c
+}
+
+// Dispatcher exposes the endpoint for mounting on a transport mux.
+func (c *Consumer) Dispatcher() *soap.Dispatcher { return c.dispatcher }
+
+// Mount registers the consumer on a mux at path.
+func (c *Consumer) Mount(mux *soap.Mux, path string) { mux.Handle(path, c.dispatcher) }
+
+// Handle registers fn for notifications matching te. Registration order
+// is preserved; every matching handler fires.
+func (c *Consumer) Handle(te *TopicExpression, fn func(Notification)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handlers = append(c.handlers, consumerHandler{te: te, fn: fn})
+}
+
+// Channel registers a buffered channel for notifications matching te and
+// returns it. Notifications overflowing the buffer are dropped rather
+// than blocking delivery (the consumer is on the one-way path).
+func (c *Consumer) Channel(te *TopicExpression, buffer int) <-chan Notification {
+	ch := make(chan Notification, buffer)
+	c.Handle(te, func(n Notification) {
+		select {
+		case ch <- n:
+		default:
+		}
+	})
+	return ch
+}
+
+func (c *Consumer) handleNotify(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+	notifications, err := ParseNotifyBody(req.Body)
+	if err != nil {
+		return nil, soap.SenderFault("%v", err)
+	}
+	c.mu.RLock()
+	handlers := make([]consumerHandler, len(c.handlers))
+	copy(handlers, c.handlers)
+	c.mu.RUnlock()
+	for _, n := range notifications {
+		for _, h := range handlers {
+			if h.te.Matches(n.Topic) {
+				h.fn(n)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// Deliver injects a notification directly (in-process producers and
+// tests), bypassing the wire.
+func (c *Consumer) Deliver(n Notification) {
+	c.mu.RLock()
+	handlers := make([]consumerHandler, len(c.handlers))
+	copy(handlers, c.handlers)
+	c.mu.RUnlock()
+	for _, h := range handlers {
+		if h.te.Matches(n.Topic) {
+			h.fn(n)
+		}
+	}
+}
+
+// PayloadText is a convenience for string payload elements published via
+// TextMessage.
+func (n Notification) PayloadText() string {
+	if n.Message == nil {
+		return ""
+	}
+	return n.Message.Text
+}
+
+// TextMessage builds a simple text payload element.
+func TextMessage(name xmlutil.QName, text string) *xmlutil.Element {
+	return xmlutil.NewElement(name, text)
+}

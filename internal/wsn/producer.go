@@ -1,0 +1,343 @@
+package wsn
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/xmlutil"
+)
+
+// Subscription management actions (pause/resume are part of
+// WS-BaseNotification's subscription manager).
+const (
+	ActionPauseSubscription  = NS + "/PauseSubscription"
+	ActionResumeSubscription = NS + "/ResumeSubscription"
+	// ActionGetCurrentMessage returns the last notification published on
+	// a topic (WS-BaseNotification GetCurrentMessage) — how a
+	// late-joining consumer learns the current state without waiting for
+	// the next change.
+	ActionGetCurrentMessage = NS + "/GetCurrentMessage"
+)
+
+var (
+	qSubscription = xmlutil.Q(NS, "Subscription")
+	qCreationTime = xmlutil.Q(NS, "CreationTime")
+	qPaused       = xmlutil.Q(NS, "Paused")
+	qPauseReq     = xmlutil.Q(NS, "PauseSubscription")
+	qPauseResp    = xmlutil.Q(NS, "PauseSubscriptionResponse")
+	qResumeReq    = xmlutil.Q(NS, "ResumeSubscription")
+	qResumeResp   = xmlutil.Q(NS, "ResumeSubscriptionResponse")
+	qGetCurrent   = xmlutil.Q(NS, "GetCurrentMessage")
+)
+
+// maxDeliveryFailures is how many consecutive delivery failures a
+// subscription survives before the producer destroys it, so dead
+// consumers do not accumulate forever.
+const maxDeliveryFailures = 8
+
+type subscription struct {
+	id       string
+	consumer wsa.EndpointReference
+	te       *TopicExpression
+	paused   bool
+}
+
+// Producer makes a WSRF service a NotificationProducer: it registers the
+// Subscribe action on the owning service, manages subscriptions as
+// WS-Resources (destroyable, property-readable — destroying the
+// subscription resource is how consumers unsubscribe), and offers the
+// single Publish call the paper praises WSRF.NET for ("a single function
+// that services may invoke", §5).
+type Producer struct {
+	owner  *wsrf.Service
+	subSvc *wsrf.Service
+	client *transport.Client
+
+	mu       sync.RWMutex
+	subs     map[string]subscription
+	failures map[string]int
+	// current caches the last notification per concrete topic for
+	// GetCurrentMessage; seq orders them so the newest match wins.
+	current map[string]currentEntry
+	seq     int
+}
+
+type currentEntry struct {
+	n   Notification
+	seq int
+}
+
+// NewProducer wires notification production into owner. The returned
+// producer's SubscriptionService must be mounted on the same mux as the
+// owner. Existing subscriptions in subHome are recovered (surviving a
+// service restart).
+func NewProducer(owner *wsrf.Service, subHome wsrf.ResourceHome, client *transport.Client) (*Producer, error) {
+	subSvc, err := wsrf.NewService(wsrf.ServiceConfig{
+		Path:    owner.Path() + "-subscriptions",
+		Address: owner.Address(),
+		Home:    subHome,
+	})
+	if err != nil {
+		return nil, err
+	}
+	subSvc.Enable(wsrf.ResourcePropertiesPortType{})
+	subSvc.Enable(wsrf.LifetimePortType{})
+
+	p := &Producer{
+		owner:    owner,
+		subSvc:   subSvc,
+		client:   client,
+		subs:     make(map[string]subscription),
+		failures: make(map[string]int),
+		current:  make(map[string]currentEntry),
+	}
+	subSvc.OnDestroy(func(id string) {
+		p.mu.Lock()
+		delete(p.subs, id)
+		delete(p.failures, id)
+		p.mu.Unlock()
+	})
+	subSvc.RegisterMethod(ActionPauseSubscription, p.handlePause)
+	subSvc.RegisterMethod(ActionResumeSubscription, p.handleResume)
+	if err := p.recover(); err != nil {
+		return nil, err
+	}
+	owner.RegisterServiceMethod(ActionSubscribe, p.handleSubscribe)
+	owner.RegisterServiceMethod(ActionGetCurrentMessage, p.handleGetCurrentMessage)
+	return p, nil
+}
+
+// handleGetCurrentMessage returns the most recent notification whose
+// topic matches the request's topic expression.
+func (p *Producer) handleGetCurrentMessage(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	te, err := ParseTopicExpressionElement(body.Child(qTopicExpression))
+	if err != nil {
+		return nil, soap.SenderFault("%v", err)
+	}
+	p.mu.RLock()
+	var latest *Notification
+	best := -1
+	for topic, entry := range p.current {
+		if entry.seq > best && te.Matches(topic) {
+			n := entry.n
+			latest = &n
+			best = entry.seq
+		}
+	}
+	p.mu.RUnlock()
+	if latest == nil {
+		return nil, soap.SenderFault("wsn: no current message on %q", te.Expr)
+	}
+	return NotifyBody(*latest), nil
+}
+
+// GetCurrentMessageVia fetches a producer's last notification matching
+// te.
+func GetCurrentMessageVia(ctx context.Context, c *transport.Client, producer wsa.EndpointReference, te *TopicExpression) (Notification, error) {
+	body, err := c.Call(ctx, producer, ActionGetCurrentMessage,
+		xmlutil.NewContainer(qGetCurrent, te.Element(qTopicExpression)))
+	if err != nil {
+		return Notification{}, err
+	}
+	ns, err := ParseNotifyBody(body)
+	if err != nil {
+		return Notification{}, err
+	}
+	return ns[0], nil
+}
+
+// handlePause suspends delivery to a subscription without destroying it
+// (WS-BaseNotification PauseSubscription). The paused flag is itself a
+// resource property.
+func (p *Producer) handlePause(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	p.setPaused(inv, true)
+	return &xmlutil.Element{Name: qPauseResp}, nil
+}
+
+// handleResume re-enables delivery.
+func (p *Producer) handleResume(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	p.setPaused(inv, false)
+	return &xmlutil.Element{Name: qResumeResp}, nil
+}
+
+func (p *Producer) setPaused(inv *wsrf.Invocation, paused bool) {
+	if paused {
+		inv.SetProperty(qPaused, "true")
+	} else {
+		inv.RemoveProperty(qPaused)
+	}
+	p.mu.Lock()
+	if sub, ok := p.subs[inv.ResourceID]; ok {
+		sub.paused = paused
+		p.subs[inv.ResourceID] = sub
+	}
+	p.mu.Unlock()
+}
+
+// PauseRequest builds the PauseSubscription body.
+func PauseRequest() *xmlutil.Element { return &xmlutil.Element{Name: qPauseReq} }
+
+// ResumeRequest builds the ResumeSubscription body.
+func ResumeRequest() *xmlutil.Element { return &xmlutil.Element{Name: qResumeReq} }
+
+// MustProducer is NewProducer that panics; for static wiring.
+func MustProducer(owner *wsrf.Service, subHome wsrf.ResourceHome, client *transport.Client) *Producer {
+	p, err := NewProducer(owner, subHome, client)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SubscriptionService returns the subscription-manager service to mount
+// alongside the owner.
+func (p *Producer) SubscriptionService() *wsrf.Service { return p.subSvc }
+
+// recover rebuilds the in-memory subscription cache from the home.
+func (p *Producer) recover() error {
+	home := p.subSvc.Home()
+	for _, id := range home.IDs() {
+		doc, err := home.Load(id)
+		if err != nil {
+			continue
+		}
+		sub, err := subscriptionFromDoc(id, doc)
+		if err != nil {
+			return fmt.Errorf("wsn: corrupt subscription %q: %w", id, err)
+		}
+		p.subs[id] = sub
+	}
+	return nil
+}
+
+func subscriptionFromDoc(id string, doc *xmlutil.Element) (subscription, error) {
+	consEl := doc.Child(qConsumerRef)
+	if consEl == nil {
+		return subscription{}, fmt.Errorf("no consumer reference")
+	}
+	consumer, err := wsa.ParseEPR(consEl)
+	if err != nil {
+		return subscription{}, err
+	}
+	te, err := ParseTopicExpressionElement(doc.Child(qTopicExpression))
+	if err != nil {
+		return subscription{}, err
+	}
+	return subscription{id: id, consumer: consumer, te: te, paused: doc.ChildText(qPaused) == "true"}, nil
+}
+
+func subscriptionDoc(consumer wsa.EndpointReference, te *TopicExpression) *xmlutil.Element {
+	return xmlutil.NewContainer(qSubscription,
+		consumer.ElementNamed(qConsumerRef),
+		te.Element(qTopicExpression),
+		xmlutil.NewElement(qCreationTime, time.Now().UTC().Format(time.RFC3339Nano)),
+	)
+}
+
+// handleSubscribe is the wire entry point for Subscribe.
+func (p *Producer) handleSubscribe(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	consumer, te, err := ParseSubscribeRequest(body)
+	if err != nil {
+		return nil, soap.SenderFault("%v", err)
+	}
+	epr, err := p.Subscribe(consumer, te)
+	if err != nil {
+		return nil, soap.ReceiverFault("wsn: subscribe: %v", err)
+	}
+	return SubscribeResponseBody(epr), nil
+}
+
+// Subscribe registers a consumer directly (server-local path; the wire
+// path arrives via the Subscribe action). It returns the subscription's
+// WS-Resource EPR.
+func (p *Producer) Subscribe(consumer wsa.EndpointReference, te *TopicExpression) (wsa.EndpointReference, error) {
+	if consumer.IsZero() {
+		return wsa.EndpointReference{}, fmt.Errorf("wsn: subscribe with empty consumer EPR")
+	}
+	epr, err := p.subSvc.CreateResource("", subscriptionDoc(consumer, te))
+	if err != nil {
+		return wsa.EndpointReference{}, err
+	}
+	id := epr.Property(wsrf.QResourceID)
+	p.mu.Lock()
+	p.subs[id] = subscription{id: id, consumer: consumer, te: te}
+	p.mu.Unlock()
+	return epr, nil
+}
+
+// Unsubscribe destroys a subscription by its resource id.
+func (p *Producer) Unsubscribe(id string) error {
+	return p.subSvc.DestroyResource(id)
+}
+
+// SubscriptionCount reports the live subscription count.
+func (p *Producer) SubscriptionCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.subs)
+}
+
+// Publish delivers a notification on a concrete topic to every matching
+// subscriber as a one-way Notify, returning the number of deliveries
+// attempted. Consumers whose deliveries keep failing are unsubscribed.
+func (p *Producer) Publish(ctx context.Context, topic string, producerRef wsa.EndpointReference, message *xmlutil.Element) int {
+	n := Notification{Topic: topic, Producer: producerRef, Message: message}
+	p.mu.Lock()
+	p.seq++
+	p.current[topic] = currentEntry{n: n, seq: p.seq}
+	p.mu.Unlock()
+	p.mu.RLock()
+	matched := make([]subscription, 0, len(p.subs))
+	for _, sub := range p.subs {
+		if !sub.paused && sub.te.Matches(topic) {
+			matched = append(matched, sub)
+		}
+	}
+	p.mu.RUnlock()
+
+	delivered := 0
+	for _, sub := range matched {
+		err := p.client.Notify(ctx, sub.consumer, ActionNotify, NotifyBody(n))
+		if err != nil {
+			p.recordFailure(sub.id)
+			continue
+		}
+		p.clearFailures(sub.id)
+		delivered++
+	}
+	return delivered
+}
+
+func (p *Producer) recordFailure(id string) {
+	p.mu.Lock()
+	p.failures[id]++
+	dead := p.failures[id] >= maxDeliveryFailures
+	p.mu.Unlock()
+	if dead {
+		// DestroyResource triggers the OnDestroy hook, which evicts the
+		// cache entry.
+		_ = p.subSvc.DestroyResource(id)
+	}
+}
+
+func (p *Producer) clearFailures(id string) {
+	p.mu.Lock()
+	delete(p.failures, id)
+	p.mu.Unlock()
+}
+
+// SubscribeVia performs a wire Subscribe against any producer service
+// and returns the subscription EPR — the client-side helper.
+func SubscribeVia(ctx context.Context, c *transport.Client, producer wsa.EndpointReference, consumer wsa.EndpointReference, te *TopicExpression) (wsa.EndpointReference, error) {
+	body, err := c.Call(ctx, producer, ActionSubscribe, SubscribeRequest(consumer, te))
+	if err != nil {
+		return wsa.EndpointReference{}, err
+	}
+	return ParseSubscribeResponse(body)
+}

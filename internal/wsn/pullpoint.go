@@ -1,0 +1,160 @@
+package wsn
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/xmlutil"
+)
+
+// Pull-point actions (WS-BaseNotification's pull-style delivery, for
+// consumers that cannot run a listener — e.g. clients behind NAT, which
+// a campus grid's scientists often are).
+const (
+	ActionCreatePullPoint = NS + "/CreatePullPoint"
+	ActionGetMessages     = NS + "/GetMessages"
+)
+
+var (
+	qCreatePullPoint     = xmlutil.Q(NS, "CreatePullPoint")
+	qCreatePullPointResp = xmlutil.Q(NS, "CreatePullPointResponse")
+	qPullPoint           = xmlutil.Q(NS, "PullPoint")
+	qGetMessages         = xmlutil.Q(NS, "GetMessages")
+	qGetMessagesResp     = xmlutil.Q(NS, "GetMessagesResponse")
+	qMaximumNumber       = xmlutil.Q("", "MaximumNumber")
+	// QQueueLength is the pull point's resource property reporting how
+	// many notifications are waiting.
+	QQueueLength = xmlutil.Q(NS, "QueueLength")
+)
+
+// maxPullPointQueue bounds each pull point; past it the oldest messages
+// are dropped (a slow consumer must not grow server memory forever).
+const maxPullPointQueue = 1024
+
+// PullPointService hosts pull-point WS-Resources: queues a producer can
+// Notify into and a consumer drains with GetMessages. Each pull point is
+// an ordinary WS-Resource — destroyable, property-readable.
+type PullPointService struct {
+	svc *wsrf.Service
+
+	mu     sync.Mutex
+	queues map[string][]Notification
+}
+
+// NewPullPointService builds the service at path/address.
+func NewPullPointService(path, address string, home wsrf.ResourceHome) (*PullPointService, error) {
+	svc, err := wsrf.NewService(wsrf.ServiceConfig{Path: path, Address: address, Home: home})
+	if err != nil {
+		return nil, err
+	}
+	pp := &PullPointService{svc: svc, queues: make(map[string][]Notification)}
+	svc.Enable(wsrf.ResourcePropertiesPortType{})
+	svc.Enable(wsrf.LifetimePortType{})
+	svc.OnDestroy(func(id string) {
+		pp.mu.Lock()
+		delete(pp.queues, id)
+		pp.mu.Unlock()
+	})
+	svc.RegisterProperty(QQueueLength, func(ctx context.Context, inv *wsrf.Invocation) ([]*xmlutil.Element, error) {
+		pp.mu.Lock()
+		n := len(pp.queues[inv.ResourceID])
+		pp.mu.Unlock()
+		return []*xmlutil.Element{xmlutil.NewElement(QQueueLength, strconv.Itoa(n))}, nil
+	})
+	svc.RegisterServiceMethod(ActionCreatePullPoint, pp.handleCreate)
+	svc.RegisterMethod(ActionNotify, pp.handleNotify)
+	svc.RegisterMethod(ActionGetMessages, pp.handleGetMessages)
+	return pp, nil
+}
+
+// WSRF returns the underlying service for mounting.
+func (pp *PullPointService) WSRF() *wsrf.Service { return pp.svc }
+
+func (pp *PullPointService) handleCreate(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	epr, err := pp.svc.CreateResource("", xmlutil.NewContainer(xmlutil.Q(NS, "PullPointState")))
+	if err != nil {
+		return nil, soap.ReceiverFault("wsn: create pull point: %v", err)
+	}
+	return xmlutil.NewContainer(qCreatePullPointResp, epr.ElementNamed(qPullPoint)), nil
+}
+
+// handleNotify enqueues; the pull point is a NotificationConsumer whose
+// EPR producers and brokers can subscribe like any listener.
+func (pp *PullPointService) handleNotify(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	notifications, err := ParseNotifyBody(body)
+	if err != nil {
+		return nil, soap.SenderFault("%v", err)
+	}
+	pp.mu.Lock()
+	q := append(pp.queues[inv.ResourceID], notifications...)
+	if over := len(q) - maxPullPointQueue; over > 0 {
+		q = q[over:]
+	}
+	pp.queues[inv.ResourceID] = q
+	pp.mu.Unlock()
+	return nil, nil
+}
+
+func (pp *PullPointService) handleGetMessages(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	max := maxPullPointQueue
+	if body != nil {
+		if raw := body.Attr(qMaximumNumber); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 1 {
+				return nil, soap.SenderFault("wsn: bad MaximumNumber %q", raw)
+			}
+			max = n
+		}
+	}
+	pp.mu.Lock()
+	q := pp.queues[inv.ResourceID]
+	take := len(q)
+	if take > max {
+		take = max
+	}
+	taken := q[:take]
+	pp.queues[inv.ResourceID] = q[take:]
+	pp.mu.Unlock()
+
+	resp := NotifyBody(taken...)
+	resp.Name = qGetMessagesResp
+	return resp, nil
+}
+
+// CreatePullPointVia asks a pull-point service for a fresh queue and
+// returns its EPR.
+func CreatePullPointVia(ctx context.Context, c *transport.Client, service wsa.EndpointReference) (wsa.EndpointReference, error) {
+	body, err := c.Call(ctx, service, ActionCreatePullPoint, &xmlutil.Element{Name: qCreatePullPoint})
+	if err != nil {
+		return wsa.EndpointReference{}, err
+	}
+	el := body.Child(qPullPoint)
+	if el == nil {
+		return wsa.EndpointReference{}, fmt.Errorf("wsn: CreatePullPointResponse has no PullPoint EPR")
+	}
+	return wsa.ParseEPR(el)
+}
+
+// PullMessages drains up to max notifications from a pull point (max <=
+// 0 means all).
+func PullMessages(ctx context.Context, c *transport.Client, pullPoint wsa.EndpointReference, max int) ([]Notification, error) {
+	req := &xmlutil.Element{Name: qGetMessages}
+	if max > 0 {
+		req.SetAttr(qMaximumNumber, strconv.Itoa(max))
+	}
+	body, err := c.Call(ctx, pullPoint, ActionGetMessages, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(body.Children) == 0 {
+		return nil, nil
+	}
+	body.Name = qNotify // reuse the Notify decoder
+	return ParseNotifyBody(body)
+}

@@ -1,0 +1,239 @@
+package wsn
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/xmlutil"
+)
+
+// pullHarness hosts a producer and a pull-point service on one network.
+type pullHarness struct {
+	client   *transport.Client
+	producer *Producer
+	owner    *wsrf.Service
+	pp       *PullPointService
+}
+
+func newPullHarness(t *testing.T) *pullHarness {
+	t.Helper()
+	network := transport.NewNetwork()
+	client := transport.NewClient().WithNetwork(network)
+	store := resourcedb.NewStore()
+
+	owner := wsrf.MustService(wsrf.ServiceConfig{Path: "/ES", Address: "inproc://node-a"})
+	producer := MustProducer(owner, wsrf.NewStateHome(store.MustTable("subs", resourcedb.BlobCodec{})), client)
+	nodeMux := soap.NewMux()
+	nodeMux.Handle(owner.Path(), owner.Dispatcher())
+	nodeMux.Handle(producer.SubscriptionService().Path(), producer.SubscriptionService().Dispatcher())
+	network.Register("node-a", transport.NewServer(nodeMux))
+
+	pp, err := NewPullPointService("/PullPoints", "inproc://client", wsrf.NewStateHome(store.MustTable("pp", resourcedb.BlobCodec{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppMux := soap.NewMux()
+	ppMux.Handle(pp.WSRF().Path(), pp.WSRF().Dispatcher())
+	network.Register("client", transport.NewServer(ppMux))
+
+	return &pullHarness{client: client, producer: producer, owner: owner, pp: pp}
+}
+
+func TestPullPointEndToEnd(t *testing.T) {
+	h := newPullHarness(t)
+	ctx := context.Background()
+
+	point, err := CreatePullPointVia(ctx, h.client, h.pp.WSRF().EPR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A NAT-bound client subscribes its pull point instead of a
+	// listener; the producer delivers into the queue.
+	if _, err := h.producer.Subscribe(point, Simple("jobs")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		h.producer.Publish(ctx, fmt.Sprintf("jobs/j%d/exited", i), h.owner.EPR(), TextMessage(qEvent, fmt.Sprint(i)))
+	}
+	// Delivery is one-way: wait for the queue to fill.
+	rc := wsrf.NewResourceClient(h.client, point)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n, err := rc.GetPropertyText(ctx, QQueueLength)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == "3" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue length = %s", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Drain two, then the rest. One-way delivery does not order events
+	// across publishes, so assert the pulls partition the three
+	// messages rather than their sequence.
+	seen := map[string]bool{}
+	msgs, err := PullMessages(ctx, h.client, point, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("first pull = %+v", msgs)
+	}
+	for _, m := range msgs {
+		seen[m.Topic] = true
+	}
+	msgs, err = PullMessages(ctx, h.client, point, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("second pull = %+v", msgs)
+	}
+	seen[msgs[0].Topic] = true
+	for i := 0; i < 3; i++ {
+		topic := fmt.Sprintf("jobs/j%d/exited", i)
+		if !seen[topic] {
+			t.Fatalf("message %s lost (saw %v)", topic, seen)
+		}
+	}
+	// Empty queue pulls cleanly.
+	msgs, err = PullMessages(ctx, h.client, point, 0)
+	if err != nil || msgs != nil {
+		t.Fatalf("empty pull = %v %v", msgs, err)
+	}
+}
+
+func TestPullPointQueueBounded(t *testing.T) {
+	h := newPullHarness(t)
+	ctx := context.Background()
+	point, err := CreatePullPointVia(ctx, h.client, h.pp.WSRF().EPR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := point.Property(wsrf.QResourceID)
+	// Enqueue directly (bypassing the wire) to overflow quickly.
+	h.pp.mu.Lock()
+	for i := 0; i < maxPullPointQueue+50; i++ {
+		h.pp.queues[id] = append(h.pp.queues[id], Notification{Topic: fmt.Sprintf("t/%d", i)})
+	}
+	over := len(h.pp.queues[id]) - maxPullPointQueue
+	h.pp.queues[id] = h.pp.queues[id][over:]
+	h.pp.mu.Unlock()
+
+	msgs, err := PullMessages(ctx, h.client, point, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != maxPullPointQueue {
+		t.Fatalf("queue held %d", len(msgs))
+	}
+	// The oldest were dropped.
+	if msgs[0].Topic != "t/50" {
+		t.Fatalf("oldest retained = %s", msgs[0].Topic)
+	}
+}
+
+func TestPullPointDestroyDropsQueue(t *testing.T) {
+	h := newPullHarness(t)
+	ctx := context.Background()
+	point, err := CreatePullPointVia(ctx, h.client, h.pp.WSRF().EPR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.producer.Subscribe(point, Simple("jobs")); err != nil {
+		t.Fatal(err)
+	}
+	rc := wsrf.NewResourceClient(h.client, point)
+	if err := rc.Destroy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PullMessages(ctx, h.client, point, 0); err == nil {
+		t.Fatal("destroyed pull point still answers")
+	}
+}
+
+func TestPullPointRejectsBadMaximum(t *testing.T) {
+	h := newPullHarness(t)
+	ctx := context.Background()
+	point, _ := CreatePullPointVia(ctx, h.client, h.pp.WSRF().EPR())
+	req := &xmlutil.Element{Name: qGetMessages}
+	req.SetAttr(qMaximumNumber, "zero")
+	if _, err := h.client.Call(ctx, point, ActionGetMessages, req); err == nil {
+		t.Fatal("bad MaximumNumber accepted")
+	}
+}
+
+func TestPauseResumeSubscription(t *testing.T) {
+	h := newWSNHarness(t)
+	ctx := context.Background()
+	events := h.consumer.Channel(Simple("jobs"), 16)
+	subEPR, err := SubscribeVia(ctx, h.client, h.owner.EPR(), h.consEPR, Simple("jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paused: nothing delivered.
+	if _, err := h.client.Call(ctx, subEPR, ActionPauseSubscription, PauseRequest()); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.producer.Publish(ctx, "jobs/x", h.owner.EPR(), nil); n != 0 {
+		t.Fatalf("paused subscription delivered (%d)", n)
+	}
+	// Paused is visible as a resource property.
+	rc := wsrf.NewResourceClient(h.client, subEPR)
+	if got, err := rc.GetPropertyText(ctx, qPaused); err != nil || got != "true" {
+		t.Fatalf("Paused property = %q %v", got, err)
+	}
+
+	// Resumed: delivery comes back.
+	if _, err := h.client.Call(ctx, subEPR, ActionResumeSubscription, ResumeRequest()); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.producer.Publish(ctx, "jobs/y", h.owner.EPR(), TextMessage(qEvent, "back")); n != 1 {
+		t.Fatalf("resumed subscription not delivered (%d)", n)
+	}
+	n := waitFor(t, events)
+	if n.PayloadText() != "back" {
+		t.Fatalf("got %+v", n)
+	}
+}
+
+func TestPausedStateSurvivesRestart(t *testing.T) {
+	network := transport.NewNetwork()
+	client := transport.NewClient().WithNetwork(network)
+	store := resourcedb.NewStore()
+	home := wsrf.NewStateHome(store.MustTable("subs", resourcedb.BlobCodec{}))
+
+	owner1 := wsrf.MustService(wsrf.ServiceConfig{Path: "/ES", Address: "inproc://node-a"})
+	p1 := MustProducer(owner1, home, client)
+	subEPR, err := p1.Subscribe(wsa.NewEPR("inproc://client/listener"), Simple("jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := soap.NewMux()
+	mux.Handle(owner1.Path(), owner1.Dispatcher())
+	mux.Handle(p1.SubscriptionService().Path(), p1.SubscriptionService().Dispatcher())
+	network.Register("node-a", transport.NewServer(mux))
+	ctx := context.Background()
+	if _, err := client.Call(ctx, subEPR, ActionPauseSubscription, PauseRequest()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restarted producer over the same home sees the pause.
+	owner2 := wsrf.MustService(wsrf.ServiceConfig{Path: "/ES2", Address: "inproc://node-a"})
+	p2 := MustProducer(owner2, home, client)
+	if n := p2.Publish(ctx, "jobs/x", owner2.EPR(), nil); n != 0 {
+		t.Fatalf("restart lost the paused flag (%d deliveries)", n)
+	}
+}

@@ -1,0 +1,200 @@
+package wsn
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"uvacg/internal/xmlutil"
+)
+
+func TestTopicExpressionValidation(t *testing.T) {
+	valid := []struct{ dialect, expr string }{
+		{DialectSimple, "jobset-42"},
+		{DialectConcrete, "jobset-42/job-1/exited"},
+		{DialectFull, "jobset-42/*/exited"},
+		{DialectFull, "jobset-42//exited"},
+	}
+	for _, c := range valid {
+		if _, err := ParseTopicExpression(c.dialect, c.expr); err != nil {
+			t.Errorf("%s %q: %v", c.dialect, c.expr, err)
+		}
+	}
+	invalid := []struct{ dialect, expr string }{
+		{DialectSimple, "a/b"},
+		{DialectSimple, ""},
+		{DialectConcrete, "a/*/b"},
+		{DialectConcrete, "a//b"},
+		{"urn:bogus", "a"},
+		{DialectFull, "/a"},
+	}
+	for _, c := range invalid {
+		if _, err := ParseTopicExpression(c.dialect, c.expr); err == nil {
+			t.Errorf("%s %q: expected error", c.dialect, c.expr)
+		}
+	}
+}
+
+func TestTopicMatchingSimple(t *testing.T) {
+	te := Simple("jobset-42")
+	for topic, want := range map[string]bool{
+		"jobset-42":              true,
+		"jobset-42/job-1":        true,
+		"jobset-42/job-1/exited": true,
+		"jobset-43":              false,
+		"other/jobset-42":        false,
+	} {
+		if got := te.Matches(topic); got != want {
+			t.Errorf("simple match %q = %v, want %v", topic, got, want)
+		}
+	}
+}
+
+func TestTopicMatchingConcrete(t *testing.T) {
+	te := MustTopicExpression(DialectConcrete, "a/b/c")
+	for topic, want := range map[string]bool{
+		"a/b/c":   true,
+		"a/b":     false,
+		"a/b/c/d": false,
+		"a/x/c":   false,
+	} {
+		if got := te.Matches(topic); got != want {
+			t.Errorf("concrete match %q = %v, want %v", topic, got, want)
+		}
+	}
+}
+
+func TestTopicMatchingFull(t *testing.T) {
+	cases := []struct {
+		expr  string
+		topic string
+		want  bool
+	}{
+		{"a/*/c", "a/b/c", true},
+		{"a/*/c", "a/c", false},
+		{"a/*/c", "a/b/b/c", false},
+		{"a//c", "a/c", true},
+		{"a//c", "a/b/c", true},
+		{"a//c", "a/b/b/c", true},
+		{"a//c", "a/b", false},
+		{"*", "a", true},
+		{"*", "a/b", false},
+		{"a//", "a/anything/here", true},
+		{"a//", "a", true},
+	}
+	for _, c := range cases {
+		te := MustTopicExpression(DialectFull, c.expr)
+		if got := te.Matches(c.topic); got != c.want {
+			t.Errorf("full %q vs %q = %v, want %v", c.expr, c.topic, got, c.want)
+		}
+	}
+}
+
+// TestConcreteAlwaysMatchesItself: any concrete topic expression matches
+// exactly the topic it names.
+func TestConcreteAlwaysMatchesItself(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		segs := make([]string, 1+r.Intn(4))
+		for i := range segs {
+			segs[i] = string(rune('a' + r.Intn(26)))
+		}
+		topic := strings.Join(segs, "/")
+		te, err := ParseTopicExpression(DialectConcrete, topic)
+		if err != nil {
+			return false
+		}
+		if !te.Matches(topic) {
+			return false
+		}
+		// And it never matches the topic with one segment appended.
+		return !te.Matches(topic + "/extra")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopicExpressionElementRoundTrip(t *testing.T) {
+	te := MustTopicExpression(DialectFull, "jobset-1/*/exited")
+	el := te.Element(xmlutil.Q(NS, "TopicExpression"))
+	back, err := ParseTopicExpressionElement(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dialect != te.Dialect || back.Expr != te.Expr {
+		t.Fatalf("round trip changed expression: %+v", back)
+	}
+	if _, err := ParseTopicExpressionElement(nil); err == nil {
+		t.Fatal("nil element accepted")
+	}
+}
+
+func TestMustTopicExpressionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustTopicExpression(DialectSimple, "a/b")
+}
+
+// TestFullDialectMetamorphic checks the Full dialect's wildcard algebra
+// against randomly generated topics: any topic matches itself; matches
+// survive replacing one segment with '*'; matches survive collapsing a
+// run of segments into '//'; and a topic with a segment changed to a
+// fresh name no longer matches the original concrete pattern.
+func TestFullDialectMetamorphic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		segs := make([]string, n)
+		for i := range segs {
+			segs[i] = fmt.Sprintf("s%c%d", 'a'+rune(r.Intn(26)), i)
+		}
+		topic := strings.Join(segs, "/")
+
+		// (1) Self-match.
+		if !MustTopicExpression(DialectFull, topic).Matches(topic) {
+			return false
+		}
+		// (2) Star substitution at a random position.
+		star := make([]string, n)
+		copy(star, segs)
+		star[r.Intn(n)] = "*"
+		if !MustTopicExpression(DialectFull, strings.Join(star, "/")).Matches(topic) {
+			return false
+		}
+		// (3) Collapse a run [i,j) into '//' (an empty segment).
+		i := r.Intn(n)
+		j := i + r.Intn(n-i+1)
+		collapsed := append(append(append([]string{}, segs[:i]...), ""), segs[j:]...)
+		expr := strings.Join(collapsed, "/")
+		if strings.HasPrefix(expr, "/") || expr == "" {
+			expr = "" // a leading gap is invalid in our grammar; skip this case
+		}
+		if expr != "" {
+			te, err := ParseTopicExpression(DialectFull, expr)
+			if err != nil {
+				return false
+			}
+			if !te.Matches(topic) {
+				t.Logf("collapsed %q should match %q", expr, topic)
+				return false
+			}
+		}
+		// (4) A mutated topic no longer matches the concrete pattern.
+		mutated := make([]string, n)
+		copy(mutated, segs)
+		mutated[r.Intn(n)] = "zzz-other"
+		if MustTopicExpression(DialectFull, topic).Matches(strings.Join(mutated, "/")) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package wsrf_test
+
+import (
+	"context"
+	"fmt"
+
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/xmlutil"
+)
+
+// Example_programmingModel is the Go rendering of paper Fig. 2: a
+// service declares state (the [Resource] member), a derived property
+// (the [ResourceProperty] getter) and imports WSRF port types
+// ([WSRFPortType]); any client then reads it through the standard
+// GetResourceProperty plumbing.
+func Example_programmingModel() {
+	const ns = "urn:example:myserv"
+	someData := xmlutil.Q(ns, "SomeData")
+	myData := xmlutil.Q(ns, "MyData")
+
+	store := resourcedb.NewStore()
+	svc := wsrf.MustService(wsrf.ServiceConfig{
+		Path:    "/MyServ",
+		Address: "inproc://host",
+		Home:    wsrf.NewStateHome(store.MustTable("myserv", resourcedb.StructuredCodec{})),
+	})
+	// [WSRFPortType(typeof(GetResourcePropertyPortType))]
+	svc.Enable(wsrf.ResourcePropertiesPortType{})
+	// [ResourceProperty] public string MyData { get { ... } }
+	svc.RegisterProperty(myData, func(ctx context.Context, inv *wsrf.Invocation) ([]*xmlutil.Element, error) {
+		return []*xmlutil.Element{
+			xmlutil.NewElement(myData, "the string is "+inv.Property(someData)),
+		}, nil
+	})
+
+	// [Resource] public string some_data;  — initial state per resource.
+	epr, err := svc.CreateResource("r1", xmlutil.NewContainer(xmlutil.Q(ns, "State"),
+		xmlutil.NewElement(someData, "hello"),
+	))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	mux := soap.NewMux()
+	mux.Handle(svc.Path(), svc.Dispatcher())
+	network := transport.NewNetwork()
+	network.Register("host", transport.NewServer(mux))
+	client := transport.NewClient().WithNetwork(network)
+
+	// Any WSRF client reads the derived property with zero
+	// service-specific code.
+	rc := wsrf.NewResourceClient(client, epr)
+	value, err := rc.GetPropertyText(context.Background(), myData)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(value)
+	// Output: the string is hello
+}

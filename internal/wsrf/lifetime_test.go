@@ -1,0 +1,137 @@
+package wsrf
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDestroyViaPortType(t *testing.T) {
+	h := newHarness(t)
+	rc := h.mustCreate(t, "job-1")
+	ctx := context.Background()
+
+	var destroyed []string
+	var mu sync.Mutex
+	h.svc.OnDestroy(func(id string) {
+		mu.Lock()
+		destroyed = append(destroyed, id)
+		mu.Unlock()
+	})
+
+	if err := rc.Destroy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if h.svc.Home().Exists("job-1") {
+		t.Fatal("resource survived Destroy")
+	}
+	mu.Lock()
+	if len(destroyed) != 1 || destroyed[0] != "job-1" {
+		t.Fatalf("destroy hooks saw %v", destroyed)
+	}
+	mu.Unlock()
+
+	// Destroying again faults: the resource is gone.
+	if err := rc.Destroy(ctx); err == nil {
+		t.Fatal("double destroy succeeded")
+	}
+	// The save-back suppression worked: Destroy must not resurrect the
+	// row via the pipeline's save.
+	if h.svc.Home().Exists("job-1") {
+		t.Fatal("pipeline save resurrected destroyed resource")
+	}
+}
+
+func TestSetTerminationTimeAndReaper(t *testing.T) {
+	h := newHarness(t)
+	rc1 := h.mustCreate(t, "job-1")
+	h.mustCreate(t, "job-2")
+	ctx := context.Background()
+
+	base := time.Now().UTC()
+	if err := rc1.SetTerminationTime(ctx, base.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Termination time is itself a readable resource property.
+	if got, err := rc1.GetPropertyText(ctx, QTerminationTime); err != nil || got == "" {
+		t.Fatalf("TerminationTime property: %q %v", got, err)
+	}
+
+	clock := base
+	reaper := NewReaper(h.svc, time.Hour).WithClock(func() time.Time { return clock })
+	if n := reaper.SweepOnce(); n != 0 {
+		t.Fatalf("premature reap of %d resources", n)
+	}
+	clock = base.Add(2 * time.Hour)
+	if n := reaper.SweepOnce(); n != 1 {
+		t.Fatalf("reaped %d resources, want 1", n)
+	}
+	if h.svc.Home().Exists("job-1") {
+		t.Fatal("expired resource survived sweep")
+	}
+	if !h.svc.Home().Exists("job-2") {
+		t.Fatal("unscheduled resource was reaped")
+	}
+}
+
+func TestSetTerminationTimeIndefinite(t *testing.T) {
+	h := newHarness(t)
+	rc := h.mustCreate(t, "job-1")
+	ctx := context.Background()
+	if err := rc.SetTerminationTime(ctx, time.Now().Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// Clearing with the zero time removes the scheduled destruction.
+	if err := rc.SetTerminationTime(ctx, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := h.svc.LoadResource("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, scheduled := TerminationTimeOf(doc); scheduled {
+		t.Fatal("termination time not cleared")
+	}
+}
+
+func TestSetTerminationTimeRejectsGarbage(t *testing.T) {
+	h := newHarness(t)
+	rc := h.mustCreate(t, "job-1")
+	req := SetTerminationTimeRequest(time.Time{})
+	req.Children[0].Text = "not-a-time"
+	_, err := h.client.Call(context.Background(), rc.EPR(), ActionSetTerminationTime, req)
+	if bf, ok := BaseFaultFromError(err); !ok || bf.ErrorCode != "UnableToSetTerminationTimeFault" {
+		t.Fatalf("want UnableToSetTerminationTimeFault, got %v", err)
+	}
+}
+
+func TestReaperStartStop(t *testing.T) {
+	h := newHarness(t)
+	rc := h.mustCreate(t, "job-1")
+	if err := rc.SetTerminationTime(context.Background(), time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	reaper := NewReaper(h.svc, time.Millisecond)
+	reaper.Start()
+	reaper.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for h.svc.Home().Exists("job-1") {
+		if time.Now().After(deadline) {
+			t.Fatal("reaper never collected the expired resource")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	reaper.Stop()
+	reaper.Stop() // idempotent
+}
+
+func TestTerminationTimeOfMalformed(t *testing.T) {
+	doc := jobStateDoc("Running", 0)
+	if _, ok := TerminationTimeOf(doc); ok {
+		t.Fatal("doc without TT reported scheduled")
+	}
+	if _, ok := TerminationTimeOf(nil); ok {
+		t.Fatal("nil doc reported scheduled")
+	}
+}

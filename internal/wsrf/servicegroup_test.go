@@ -1,0 +1,169 @@
+package wsrf
+
+import (
+	"context"
+	"testing"
+
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsa"
+	"uvacg/internal/xmlutil"
+)
+
+var (
+	qProcessor = xmlutil.Q("urn:uvacg:nis", "Processor")
+	qUtil      = xmlutil.Q("urn:uvacg:nis", "Utilization")
+)
+
+func processorContent(util string) *xmlutil.Element {
+	return xmlutil.NewContainer(qProcessor, xmlutil.NewElement(qUtil, util))
+}
+
+func newGroupHarness(t *testing.T) (*Service, *ResourceClient) {
+	t.Helper()
+	store := resourcedb.NewStore()
+	home := NewStateHome(store.MustTable("groups", resourcedb.BlobCodec{}))
+	svc := MustService(ServiceConfig{Path: "/NodeInfo", Address: "inproc://master", Home: home})
+	svc.Enable(ServiceGroupPortType{})
+	svc.Enable(ResourcePropertiesPortType{})
+
+	mux := soap.NewMux()
+	mux.Handle(svc.Path(), svc.Dispatcher())
+	network := transport.NewNetwork()
+	network.Register("master", transport.NewServer(mux))
+	client := transport.NewClient().WithNetwork(network)
+
+	epr, err := svc.CreateResource("processors", NewServiceGroupDocument())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, NewResourceClient(client, epr)
+}
+
+func TestServiceGroupAddViaWire(t *testing.T) {
+	svc, rc := newGroupHarness(t)
+	ctx := context.Background()
+
+	memberA := wsa.NewEPR("inproc://node-a/Utilization")
+	memberB := wsa.NewEPR("inproc://node-b/Utilization")
+	keyA, err := rc.Add(ctx, memberA, processorContent("10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyB, err := rc.Add(ctx, memberB, processorContent("90"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyA == "" || keyB == "" || keyA == keyB {
+		t.Fatalf("keys %q %q", keyA, keyB)
+	}
+
+	doc, err := svc.LoadResource("processors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Entries(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	if !entries[0].Member.Equal(memberA) || entries[0].Content.ChildText(qUtil) != "10" {
+		t.Fatalf("entry[0] = %+v", entries[0])
+	}
+}
+
+func TestServiceGroupReregistrationReplaces(t *testing.T) {
+	svc, rc := newGroupHarness(t)
+	ctx := context.Background()
+	member := wsa.NewEPR("inproc://node-a/Utilization")
+
+	key1, err := rc.Add(ctx, member, processorContent("10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2, err := rc.Add(ctx, member, processorContent("55"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key1 != key2 {
+		t.Fatalf("re-registration minted new key: %q vs %q", key1, key2)
+	}
+	doc, _ := svc.LoadResource("processors")
+	entries, _ := Entries(doc)
+	if len(entries) != 1 {
+		t.Fatalf("%d entries after re-registration", len(entries))
+	}
+	if entries[0].Content.ChildText(qUtil) != "55" {
+		t.Fatalf("content not replaced: %v", entries[0].Content)
+	}
+}
+
+func TestServiceGroupEntriesAreQueryable(t *testing.T) {
+	_, rc := newGroupHarness(t)
+	ctx := context.Background()
+	if _, err := rc.Add(ctx, wsa.NewEPR("inproc://node-a/U"), processorContent("10")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Add(ctx, wsa.NewEPR("inproc://node-b/U"), processorContent("90")); err != nil {
+		t.Fatal(err)
+	}
+	// The Entry elements are resource properties: query them like any
+	// other state (this is how the Scheduler could find idle nodes).
+	matches, err := rc.Query(ctx, "/Entry/Content/Processor[Utilization='10']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("query found %d idle processors", len(matches))
+	}
+}
+
+func TestServiceGroupDocumentHelpers(t *testing.T) {
+	doc := NewServiceGroupDocument()
+	m1 := wsa.NewEPR("inproc://a/U")
+	m2 := wsa.NewEPR("inproc://b/U")
+	k1 := AddEntry(doc, m1, processorContent("1"))
+	k2 := AddEntry(doc, m2, processorContent("2"))
+
+	if !UpdateEntryContent(doc, k2, processorContent("77")) {
+		t.Fatal("update failed")
+	}
+	entries, err := Entries(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[1].Content.ChildText(qUtil) != "77" {
+		t.Fatalf("content = %v", entries[1].Content)
+	}
+	if UpdateEntryContent(doc, "ghost", nil) {
+		t.Fatal("update of missing key succeeded")
+	}
+	if !RemoveEntry(doc, k1) {
+		t.Fatal("remove failed")
+	}
+	if RemoveEntry(doc, k1) {
+		t.Fatal("double remove succeeded")
+	}
+	entries, _ = Entries(doc)
+	if len(entries) != 1 || entries[0].Key != k2 {
+		t.Fatalf("entries after remove: %+v", entries)
+	}
+	// Keys never collide, even after removals shrink the entry count.
+	k3 := AddEntry(doc, wsa.NewEPR("inproc://c/U"), nil)
+	if k3 == k2 {
+		t.Fatalf("key collision: %q", k3)
+	}
+}
+
+func TestServiceGroupAddRequestValidation(t *testing.T) {
+	_, rc := newGroupHarness(t)
+	ctx := context.Background()
+	// Missing member EPR.
+	_, err := rc.c.Call(ctx, rc.EPR(), ActionAdd, xmlutil.NewContainer(qAdd))
+	if _, ok := soap.AsFault(err); !ok {
+		t.Fatalf("want fault, got %v", err)
+	}
+}

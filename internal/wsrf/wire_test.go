@@ -1,0 +1,127 @@
+package wsrf
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+)
+
+// TestForeignClientWireFormat drives the service with a hand-written
+// SOAP envelope posted over plain HTTP — the kind of message a non-Go
+// WSRF implementation (WSRF.NET itself, or Globus Toolkit 4, whose
+// interoperability the paper's conclusion was beginning to test) would
+// put on the wire. No Go client code is involved on the request path.
+func TestForeignClientWireFormat(t *testing.T) {
+	h := newHarness(t)
+	if _, err := h.svc.CreateResource("job-7", jobStateDoc("Running", 5)); err != nil {
+		t.Fatal(err)
+	}
+	mux := soap.NewMux()
+	mux.Handle(h.svc.Path(), h.svc.Dispatcher())
+	hs := httptest.NewServer(transport.NewHTTPHandler(transport.NewServer(mux)))
+	defer hs.Close()
+
+	request := `<?xml version="1.0" encoding="utf-8"?>
+<s:Envelope xmlns:s="http://www.w3.org/2003/05/soap-envelope"
+            xmlns:wsa="http://schemas.xmlsoap.org/ws/2004/08/addressing"
+            xmlns:impl="urn:uvacg:wsrf"
+            xmlns:wsrp="http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceProperties-1.2-draft-01.xsd">
+  <s:Header>
+    <wsa:To>` + hs.URL + `/ExecutionService</wsa:To>
+    <wsa:Action>` + ActionGetResourceProperty + `</wsa:Action>
+    <wsa:MessageID>urn:uuid:00000000-0000-4000-8000-000000000001</wsa:MessageID>
+    <impl:ResourceID wsa:isReferenceParameter="true">job-7</impl:ResourceID>
+  </s:Header>
+  <s:Body>
+    <wsrp:GetResourceProperty>{urn:uvacg:es}Status</wsrp:GetResourceProperty>
+  </s:Body>
+</s:Envelope>`
+
+	resp, err := http.Post(hs.URL+"/ExecutionService", "application/soap+xml", strings.NewReader(request))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: %s", resp.Status, body)
+	}
+	env, err := soap.Unmarshal(body)
+	if err != nil {
+		t.Fatalf("reply not SOAP: %v\n%s", err, body)
+	}
+	if soap.IsFault(env.Body) {
+		f, _ := soap.ParseFault(env.Body)
+		t.Fatalf("fault: %v", f)
+	}
+	if !bytes.Contains(body, []byte("Running")) {
+		t.Fatalf("reply missing property value:\n%s", body)
+	}
+	// Reply carries WS-Addressing response headers.
+	found := false
+	for _, hdr := range env.Headers {
+		if hdr.Name.Local == "RelatesTo" && hdr.Text == "urn:uuid:00000000-0000-4000-8000-000000000001" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("reply has no RelatesTo correlating the request")
+	}
+}
+
+// TestForeignClientFaultWireFormat checks that a foreign client asking
+// for a missing resource gets a well-formed SOAP fault with a
+// WS-BaseFaults detail, not a transport error.
+func TestForeignClientFaultWireFormat(t *testing.T) {
+	h := newHarness(t)
+	mux := soap.NewMux()
+	mux.Handle(h.svc.Path(), h.svc.Dispatcher())
+	hs := httptest.NewServer(transport.NewHTTPHandler(transport.NewServer(mux)))
+	defer hs.Close()
+
+	request := `<?xml version="1.0"?>
+<s:Envelope xmlns:s="http://www.w3.org/2003/05/soap-envelope"
+            xmlns:wsa="http://schemas.xmlsoap.org/ws/2004/08/addressing"
+            xmlns:impl="urn:uvacg:wsrf"
+            xmlns:wsrp="http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceProperties-1.2-draft-01.xsd">
+  <s:Header>
+    <wsa:Action>` + ActionGetResourceProperty + `</wsa:Action>
+    <impl:ResourceID wsa:isReferenceParameter="true">no-such-job</impl:ResourceID>
+  </s:Header>
+  <s:Body><wsrp:GetResourceProperty>{urn:uvacg:es}Status</wsrp:GetResourceProperty></s:Body>
+</s:Envelope>`
+
+	resp, err := http.Post(hs.URL+"/ExecutionService", "application/soap+xml", strings.NewReader(request))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	env, err := soap.Unmarshal(body)
+	if err != nil {
+		t.Fatalf("reply not SOAP: %v", err)
+	}
+	if !soap.IsFault(env.Body) {
+		t.Fatalf("expected fault, got %s", body)
+	}
+	f, err := soap.ParseFault(env.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := ParseBaseFault(f.Detail)
+	if err != nil {
+		t.Fatalf("fault detail is not a BaseFault: %v\n%s", err, body)
+	}
+	if bf.ErrorCode != "ResourceUnknownFault" {
+		t.Fatalf("fault code %q", bf.ErrorCode)
+	}
+}

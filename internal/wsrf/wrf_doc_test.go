@@ -1,0 +1,22 @@
+package wsrf
+
+import (
+	"context"
+	"testing"
+)
+
+func TestGetResourcePropertyDocument(t *testing.T) {
+	h := newHarness(t)
+	rc := h.mustCreate(t, "job-1")
+	doc, err := rc.GetDocument(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.ChildText(qStatus) != "Running" {
+		t.Fatalf("document missing state: %s", doc)
+	}
+	// Computed properties appear in the document too.
+	if doc.ChildText(qBanner) != "job is Running" {
+		t.Fatalf("document missing computed property: %s", doc)
+	}
+}

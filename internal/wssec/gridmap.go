@@ -1,0 +1,34 @@
+package wssec
+
+// GridMap maps authenticated grid identities to local machine accounts —
+// the gridmap-file pattern the paper anticipates: "we anticipate having
+// either the ES or the ProcSpawn service be able to map 'grid
+// credentials' to local user accounts in the future" (§4.2). A client
+// authenticates once with grid-wide credentials; each machine runs the
+// job under whatever local account its map assigns.
+type GridMap map[string]Credentials
+
+// Map resolves a verified grid principal to local credentials.
+func (m GridMap) Map(p Principal) (Credentials, bool) {
+	creds, ok := m[p.Username]
+	return creds, ok
+}
+
+// AccountMapper is anything that turns a grid principal into local
+// credentials. Execution Services accept one to decouple grid identity
+// from machine accounts.
+type AccountMapper interface {
+	Map(p Principal) (Credentials, bool)
+}
+
+var _ AccountMapper = GridMap(nil)
+
+// IdentityMapper passes the grid principal through unchanged — the
+// testbed's original behaviour where the Run request carries the local
+// account directly.
+type IdentityMapper struct{}
+
+// Map implements AccountMapper.
+func (IdentityMapper) Map(p Principal) (Credentials, bool) {
+	return Credentials{Username: p.Username, Password: p.Password}, true
+}

@@ -1,0 +1,330 @@
+package wssec
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/xmlutil"
+)
+
+var qBody = xmlutil.Q("urn:uvacg:test", "Run")
+
+func newEnv() *soap.Envelope { return soap.New(xmlutil.NewElement(qBody, "payload")) }
+
+func TestUsernameTokenPlainRoundTrip(t *testing.T) {
+	env := newEnv()
+	creds := Credentials{Username: "gridimp", Password: "s3cret"}
+	if err := AttachUsernameToken(env, creds, false, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := env.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := soap.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := ExtractToken(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Username != "gridimp" || tok.PasswordType != PasswordText {
+		t.Fatalf("token = %+v", tok)
+	}
+	if err := tok.Verify("s3cret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tok.Verify("wrong"); err == nil {
+		t.Fatal("wrong password accepted")
+	}
+}
+
+func TestUsernameTokenDigest(t *testing.T) {
+	env := newEnv()
+	if err := AttachUsernameToken(env, Credentials{Username: "u", Password: "pw"}, true, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := ExtractToken(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.PasswordType != PasswordDigest {
+		t.Fatalf("type = %q", tok.PasswordType)
+	}
+	if tok.Password == "pw" {
+		t.Fatal("digest form leaked plaintext password")
+	}
+	if err := tok.Verify("pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tok.Verify("other"); err == nil {
+		t.Fatal("wrong password accepted under digest")
+	}
+}
+
+func TestAttachUsernameTokenReplaces(t *testing.T) {
+	env := newEnv()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(AttachUsernameToken(env, Credentials{Username: "a", Password: "1"}, false, time.Now()))
+	must(AttachUsernameToken(env, Credentials{Username: "b", Password: "2"}, false, time.Now()))
+	tok, err := ExtractToken(env)
+	must(err)
+	if tok.Username != "b" {
+		t.Fatalf("stale token survived: %+v", tok)
+	}
+	n := 0
+	for _, h := range env.Headers {
+		if h.Name == qSecurity {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%d security headers", n)
+	}
+}
+
+func TestAttachRequiresUsername(t *testing.T) {
+	if err := AttachUsernameToken(newEnv(), Credentials{}, false, time.Now()); err == nil {
+		t.Fatal("empty username accepted")
+	}
+}
+
+func TestExtractTokenErrors(t *testing.T) {
+	if _, err := ExtractToken(newEnv()); err == nil {
+		t.Fatal("no header should error")
+	}
+	env := newEnv()
+	env.AddHeader(xmlutil.NewContainer(qSecurity))
+	if _, err := ExtractToken(env); err == nil {
+		t.Fatal("empty security header should error")
+	}
+}
+
+func TestEncryptDecryptSecurityHeader(t *testing.T) {
+	service, err := NewIdentity("CN=ExecutionService/node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv()
+	creds := Credentials{Username: "labuser", Password: "hunter2"}
+	if err := AttachUsernameToken(env, creds, false, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncryptSecurityHeader(env, service.Certificate()); err != nil {
+		t.Fatal(err)
+	}
+	if !HasEncryptedHeader(env) {
+		t.Fatal("no encrypted header present")
+	}
+	// Credentials must be opaque on the wire.
+	data, err := env.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "hunter2") || strings.Contains(string(data), "labuser") {
+		t.Fatal("credentials leaked in ciphertext envelope")
+	}
+	if _, err := ExtractToken(env); err == nil {
+		t.Fatal("token readable while encrypted")
+	}
+
+	back, err := soap.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecryptSecurityHeader(back, service); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := ExtractToken(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Username != "labuser" || tok.Verify("hunter2") != nil {
+		t.Fatalf("token corrupted: %+v", tok)
+	}
+}
+
+func TestDecryptWithWrongIdentityFails(t *testing.T) {
+	right, _ := NewIdentity("CN=right")
+	wrong, _ := NewIdentity("CN=wrong")
+	env := newEnv()
+	if err := AttachUsernameToken(env, Credentials{Username: "u", Password: "p"}, false, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncryptSecurityHeader(env, right.Certificate()); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecryptSecurityHeader(env, wrong); err == nil {
+		t.Fatal("decryption with wrong identity succeeded")
+	}
+}
+
+func TestEncryptWithoutHeaderFails(t *testing.T) {
+	id, _ := NewIdentity("CN=x")
+	if err := EncryptSecurityHeader(newEnv(), id.Certificate()); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := DecryptSecurityHeader(newEnv(), id); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestReplayCache(t *testing.T) {
+	rc := NewReplayCache(time.Minute)
+	now := time.Now()
+	if err := rc.Check("n1", now, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Check("n1", now, now); err == nil {
+		t.Fatal("replay accepted")
+	}
+	if err := rc.Check("n2", now.Add(-2*time.Minute), now); err == nil {
+		t.Fatal("stale token accepted")
+	}
+	if err := rc.Check("n3", now.Add(2*time.Minute), now); err == nil {
+		t.Fatal("future token accepted")
+	}
+	if err := rc.Check("n4", time.Time{}, now); err == nil {
+		t.Fatal("zero Created accepted")
+	}
+	// Nonces age out, so a long-running service's cache stays bounded.
+	later := now.Add(3 * time.Minute)
+	if err := rc.Check("n1", later, later); err != nil {
+		t.Fatalf("expired nonce should be reusable: %v", err)
+	}
+}
+
+func TestCertificateFingerprintStable(t *testing.T) {
+	id, _ := NewIdentity("CN=a")
+	if id.Certificate().Fingerprint() != id.Certificate().Fingerprint() {
+		t.Fatal("fingerprint unstable")
+	}
+	other, _ := NewIdentity("CN=a")
+	if id.Certificate().Fingerprint() == other.Certificate().Fingerprint() {
+		t.Fatal("distinct keys share a fingerprint")
+	}
+}
+
+func TestNewIdentityRequiresSubject(t *testing.T) {
+	if _, err := NewIdentity(""); err == nil {
+		t.Fatal("empty subject accepted")
+	}
+}
+
+func okHandler(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+	p, _ := PrincipalFrom(ctx)
+	return soap.New(xmlutil.NewElement(qBody, p.Username)), nil
+}
+
+func TestMiddlewareAuthenticates(t *testing.T) {
+	service, _ := NewIdentity("CN=ES")
+	accounts := StaticAccounts{"labuser": "pw"}
+	mw := Middleware(VerifierConfig{
+		Identity: service,
+		Accounts: accounts,
+		Replay:   NewReplayCache(time.Minute),
+		Required: true,
+	})
+	h := mw(okHandler)
+
+	env := newEnv()
+	if err := AttachUsernameToken(env, Credentials{Username: "labuser", Password: "pw"}, false, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncryptSecurityHeader(env, service.Certificate()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := h(context.Background(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Body.Text != "labuser" {
+		t.Fatalf("principal = %q", resp.Body.Text)
+	}
+}
+
+func TestMiddlewareRejections(t *testing.T) {
+	service, _ := NewIdentity("CN=ES")
+	accounts := StaticAccounts{"u": "pw"}
+	mw := Middleware(VerifierConfig{Identity: service, Accounts: accounts, Required: true})
+	h := mw(okHandler)
+	ctx := context.Background()
+
+	t.Run("missing header", func(t *testing.T) {
+		if _, err := h(ctx, newEnv()); err == nil {
+			t.Fatal("unauthenticated request accepted")
+		}
+	})
+	t.Run("unknown account", func(t *testing.T) {
+		env := newEnv()
+		if err := AttachUsernameToken(env, Credentials{Username: "ghost", Password: "x"}, false, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h(ctx, env); err == nil {
+			t.Fatal("unknown account accepted")
+		}
+	})
+	t.Run("wrong password", func(t *testing.T) {
+		env := newEnv()
+		if err := AttachUsernameToken(env, Credentials{Username: "u", Password: "bad"}, true, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h(ctx, env); err == nil {
+			t.Fatal("wrong password accepted")
+		}
+	})
+	t.Run("replay", func(t *testing.T) {
+		mwR := Middleware(VerifierConfig{Accounts: accounts, Replay: NewReplayCache(time.Minute), Required: true})
+		hR := mwR(okHandler)
+		env := newEnv()
+		if err := AttachUsernameToken(env, Credentials{Username: "u", Password: "pw"}, true, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hR(ctx, env.Clone()); err != nil {
+			t.Fatalf("first use rejected: %v", err)
+		}
+		if _, err := hR(ctx, env.Clone()); err == nil {
+			t.Fatal("replayed envelope accepted")
+		}
+	})
+}
+
+func TestMiddlewareOptionalPassthrough(t *testing.T) {
+	mw := Middleware(VerifierConfig{Accounts: StaticAccounts{}, Required: false})
+	h := mw(func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+		if _, ok := PrincipalFrom(ctx); ok {
+			t.Error("unexpected principal")
+		}
+		return nil, nil
+	})
+	if _, err := h(context.Background(), newEnv()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridMap(t *testing.T) {
+	m := GridMap{"wasson@virginia.edu": {Username: "labuser", Password: "pw"}}
+	creds, ok := m.Map(Principal{Username: "wasson@virginia.edu", Password: "gridpw"})
+	if !ok || creds.Username != "labuser" || creds.Password != "pw" {
+		t.Fatalf("mapped %+v %v", creds, ok)
+	}
+	if _, ok := m.Map(Principal{Username: "stranger"}); ok {
+		t.Fatal("unmapped identity resolved")
+	}
+}
+
+func TestIdentityMapperPassthrough(t *testing.T) {
+	creds, ok := IdentityMapper{}.Map(Principal{Username: "u", Password: "p"})
+	if !ok || creds.Username != "u" || creds.Password != "p" {
+		t.Fatalf("identity map %+v %v", creds, ok)
+	}
+}

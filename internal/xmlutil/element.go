@@ -1,0 +1,214 @@
+package xmlutil
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Element is a generic XML infoset node. Resource property documents,
+// notification message payloads and fault detail blocks are all trees of
+// Elements; the type round-trips through encoding/xml so payloads survive
+// SOAP serialization without schema-specific structs.
+type Element struct {
+	Name     QName
+	Attrs    map[QName]string
+	Text     string
+	Children []*Element
+}
+
+// NewElement builds a leaf element carrying character data.
+func NewElement(name QName, text string) *Element {
+	return &Element{Name: name, Text: text}
+}
+
+// NewContainer builds an element with the given children.
+func NewContainer(name QName, children ...*Element) *Element {
+	return &Element{Name: name, Children: children}
+}
+
+// SetAttr sets an attribute, allocating the map on first use, and returns
+// the element to allow chaining during document construction.
+func (e *Element) SetAttr(name QName, value string) *Element {
+	if e.Attrs == nil {
+		e.Attrs = make(map[QName]string)
+	}
+	e.Attrs[name] = value
+	return e
+}
+
+// Attr returns the value of the named attribute, or "" when absent.
+func (e *Element) Attr(name QName) string {
+	return e.Attrs[name]
+}
+
+// Append adds children and returns the element for chaining.
+func (e *Element) Append(children ...*Element) *Element {
+	e.Children = append(e.Children, children...)
+	return e
+}
+
+// Child returns the first child with the given name, or nil.
+func (e *Element) Child(name QName) *Element {
+	for _, c := range e.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildText returns the text of the first child with the given name.
+func (e *Element) ChildText(name QName) string {
+	if c := e.Child(name); c != nil {
+		return c.Text
+	}
+	return ""
+}
+
+// ChildrenNamed returns every direct child with the given name.
+func (e *Element) ChildrenNamed(name QName) []*Element {
+	var out []*Element
+	for _, c := range e.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the element tree.
+func (e *Element) Clone() *Element {
+	if e == nil {
+		return nil
+	}
+	out := &Element{Name: e.Name, Text: e.Text}
+	if len(e.Attrs) > 0 {
+		out.Attrs = make(map[QName]string, len(e.Attrs))
+		for k, v := range e.Attrs {
+			out.Attrs[k] = v
+		}
+	}
+	if len(e.Children) > 0 {
+		out.Children = make([]*Element, len(e.Children))
+		for i, c := range e.Children {
+			out.Children[i] = c.Clone()
+		}
+	}
+	return out
+}
+
+// Equal reports deep equality of two element trees.
+func (e *Element) Equal(o *Element) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if e.Name != o.Name || e.Text != o.Text || len(e.Attrs) != len(o.Attrs) || len(e.Children) != len(o.Children) {
+		return false
+	}
+	for k, v := range e.Attrs {
+		if ov, ok := o.Attrs[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for i := range e.Children {
+		if !e.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalXML implements xml.Marshaler. Attributes are emitted in a
+// deterministic (sorted) order so serialized documents are canonical and
+// comparable byte-for-byte.
+func (e *Element) MarshalXML(enc *xml.Encoder, _ xml.StartElement) error {
+	start := xml.StartElement{Name: e.Name.Name()}
+	keys := make([]QName, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Space != keys[j].Space {
+			return keys[i].Space < keys[j].Space
+		}
+		return keys[i].Local < keys[j].Local
+	})
+	for _, k := range keys {
+		start.Attr = append(start.Attr, xml.Attr{Name: k.Name(), Value: e.Attrs[k]})
+	}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	if e.Text != "" {
+		if err := enc.EncodeToken(xml.CharData(e.Text)); err != nil {
+			return err
+		}
+	}
+	for _, c := range e.Children {
+		if err := c.MarshalXML(enc, xml.StartElement{}); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(start.End())
+}
+
+// UnmarshalXML implements xml.Unmarshaler.
+func (e *Element) UnmarshalXML(dec *xml.Decoder, start xml.StartElement) error {
+	e.Name = FromName(start.Name)
+	e.Text = ""
+	e.Attrs = nil
+	e.Children = nil
+	for _, a := range start.Attr {
+		// Skip namespace declarations: encoding/xml resolves prefixes
+		// for us, and re-emitting xmlns attrs would double-declare.
+		if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
+			continue
+		}
+		e.SetAttr(FromName(a.Name), a.Value)
+	}
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			child := &Element{}
+			if err := child.UnmarshalXML(dec, t); err != nil {
+				return err
+			}
+			e.Children = append(e.Children, child)
+		case xml.CharData:
+			text.Write(t)
+		case xml.EndElement:
+			e.Text = strings.TrimSpace(text.String())
+			return nil
+		}
+	}
+}
+
+// MarshalElement serializes an element tree to bytes.
+func MarshalElement(e *Element) ([]byte, error) {
+	return xml.Marshal(e)
+}
+
+// UnmarshalElement parses bytes into an element tree.
+func UnmarshalElement(data []byte) (*Element, error) {
+	var e Element
+	if err := xml.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("xmlutil: unmarshal element: %w", err)
+	}
+	return &e, nil
+}
+
+// String renders the element as XML text, or a diagnostic on error.
+func (e *Element) String() string {
+	b, err := MarshalElement(e)
+	if err != nil {
+		return fmt.Sprintf("<!-- marshal error: %v -->", err)
+	}
+	return string(b)
+}
