@@ -11,6 +11,7 @@ import (
 
 	"uvacg/internal/benchkit"
 	"uvacg/internal/core"
+	"uvacg/internal/pipeline"
 	"uvacg/internal/resourcedb"
 	"uvacg/internal/services/scheduler"
 )
@@ -50,6 +51,10 @@ func BenchmarkF1_WrapperPipeline(b *testing.B) {
 // BenchmarkE1_PropertyAccess compares the standardized
 // WS-ResourceProperties interface against a bespoke accessor on the
 // same state (§5: does the canonical view of state cost anything?).
+// The plain cases run with an empty interceptor chain; the chain cases
+// re-run GetResourceProperty with the full pipeline (request-ID,
+// deadline, metrics) engaged on both sides, to price the invocation
+// substrate itself.
 func BenchmarkE1_PropertyAccess(b *testing.B) {
 	h := mustPropertyHarness(b, 8)
 	cases := []struct {
@@ -72,6 +77,18 @@ func BenchmarkE1_PropertyAccess(b *testing.B) {
 			}
 		})
 	}
+
+	hc := mustPropertyHarness(b, 8)
+	metrics := pipeline.NewMetrics()
+	hc.Client.Use(pipeline.ClientRequestID(), pipeline.ClientDeadline(), metrics.Interceptor())
+	hc.Server.Use(pipeline.ServerRequestID(), pipeline.ServerDeadline())
+	b.Run("GetResourceProperty/pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := hc.GetProperty(benchCtx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkE2_EPRRediscovery measures recovering lost client-side EPRs

@@ -18,6 +18,8 @@ import (
 	"syscall"
 	"time"
 
+	"uvacg/internal/core"
+	"uvacg/internal/pipeline"
 	"uvacg/internal/resourcedb"
 	"uvacg/internal/services/nodeinfo"
 	"uvacg/internal/services/scheduler"
@@ -35,11 +37,29 @@ func main() {
 	accountsFlag := flag.String("accounts", "", "comma-separated user:password accounts; empty disables WS-Security")
 	snapshot := flag.String("snapshot", "", "path for resource database snapshots: loaded at startup if present, written on shutdown")
 	jobTimeout := flag.Duration("job-timeout", 0, "fail dispatched jobs with no completion inside this window (0 disables)")
+	metricsFlag := flag.Bool("metrics", false, "dump per-action call metrics on shutdown")
+	retries := flag.Int("retries", 1, "max attempts for idempotent outbound calls (1 disables retry)")
+	trace := flag.Bool("trace", false, "log one line per call with its request ID")
 	flag.Parse()
 
 	port := portOf(*addr)
 	address := fmt.Sprintf("http://%s:%s", *host, port)
 	client := transport.NewClient()
+	client.Use(pipeline.ClientRequestID(), pipeline.ClientDeadline())
+	if *trace {
+		client.Use(pipeline.Trace(log.Default()))
+	}
+	if *retries > 1 {
+		client.Use(pipeline.Retry(pipeline.RetryPolicy{
+			MaxAttempts: *retries,
+			Idempotent:  core.IdempotentActions(),
+		}))
+	}
+	var metrics *pipeline.Metrics
+	if *metricsFlag {
+		metrics = pipeline.NewMetrics()
+		client.Use(metrics.Interceptor())
+	}
 	store := resourcedb.NewStore()
 	if *snapshot != "" {
 		if err := store.LoadFile(*snapshot); err == nil {
@@ -88,7 +108,15 @@ func main() {
 	mux.Handle(ss.WSRF().Path(), ss.WSRF().Dispatcher())
 	ss.Consumer().Mount(mux, ss.ConsumerPath())
 
-	base, shutdown, err := transport.ListenHTTP(transport.NewServer(mux), *addr)
+	srv := transport.NewServer(mux)
+	srv.Use(pipeline.ServerRequestID(), pipeline.ServerDeadline())
+	if *trace {
+		srv.Use(pipeline.Trace(log.Default()))
+	}
+	if metrics != nil {
+		srv.Use(metrics.Interceptor())
+	}
+	base, shutdown, err := transport.ListenHTTP(srv, *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -116,7 +144,14 @@ func main() {
 			log.Printf("resource database saved to %s", *snapshot)
 		}
 	}
-	shutdown()
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	if err := shutdown(shCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if metrics != nil {
+		metrics.Dump(os.Stderr)
+	}
 }
 
 func portOf(addr string) string {

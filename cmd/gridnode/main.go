@@ -18,6 +18,8 @@ import (
 	"syscall"
 	"time"
 
+	"uvacg/internal/core"
+	"uvacg/internal/pipeline"
 	"uvacg/internal/procspawn"
 	"uvacg/internal/resourcedb"
 	"uvacg/internal/services/execution"
@@ -41,6 +43,9 @@ func main() {
 	ram := flag.Int("ram", 1024, "RAM (MB)")
 	accountsFlag := flag.String("accounts", "", "comma-separated user:password local accounts")
 	threshold := flag.Float64("threshold", 0.1, "utilization report threshold")
+	metricsFlag := flag.Bool("metrics", false, "dump per-action call metrics on shutdown")
+	retries := flag.Int("retries", 1, "max attempts for idempotent outbound calls (1 disables retry)")
+	trace := flag.Bool("trace", false, "log one line per call with its request ID")
 	flag.Parse()
 	if *name == "" {
 		log.Fatal("gridnode: -name is required")
@@ -49,6 +54,21 @@ func main() {
 	port := (*addr)[strings.LastIndex(*addr, ":")+1:]
 	address := fmt.Sprintf("http://%s:%s", *host, port)
 	client := transport.NewClient()
+	client.Use(pipeline.ClientRequestID(), pipeline.ClientDeadline())
+	if *trace {
+		client.Use(pipeline.Trace(log.Default()))
+	}
+	if *retries > 1 {
+		client.Use(pipeline.Retry(pipeline.RetryPolicy{
+			MaxAttempts: *retries,
+			Idempotent:  core.IdempotentActions(),
+		}))
+	}
+	var metrics *pipeline.Metrics
+	if *metricsFlag {
+		metrics = pipeline.NewMetrics()
+		client.Use(metrics.Interceptor())
+	}
 	fs := vfs.New()
 	store := resourcedb.NewStore()
 	brokerEPR := wsa.NewEPR(*master + "/NotificationBroker")
@@ -117,7 +137,15 @@ func main() {
 	mux := soap.NewMux()
 	mux.Handle(fss.WSRF().Path(), fss.WSRF().Dispatcher())
 	mux.Handle(es.WSRF().Path(), es.WSRF().Dispatcher())
-	base, shutdown, err := transport.ListenHTTP(transport.NewServer(mux), *addr)
+	srv := transport.NewServer(mux)
+	srv.Use(pipeline.ServerRequestID(), pipeline.ServerDeadline())
+	if *trace {
+		srv.Use(pipeline.Trace(log.Default()))
+	}
+	if metrics != nil {
+		srv.Use(metrics.Interceptor())
+	}
+	base, shutdown, err := transport.ListenHTTP(srv, *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -135,7 +163,14 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	monitor.Stop()
-	shutdown()
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	if err := shutdown(shCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if metrics != nil {
+		metrics.Dump(os.Stderr)
+	}
 }
 
 func parseAccounts(s string) wssec.StaticAccounts {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"uvacg/internal/core"
+	"uvacg/internal/pipeline"
 	"uvacg/internal/services/execution"
 	"uvacg/internal/services/filesystem"
 	"uvacg/internal/services/scheduler"
@@ -38,6 +39,9 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "notification listener address")
 	outDir := flag.String("out", ".", "directory fetched outputs are written to")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	metricsFlag := flag.Bool("metrics", false, "dump per-action call metrics after the run")
+	retries := flag.Int("retries", 1, "max attempts for idempotent calls (1 disables retry)")
+	trace := flag.Bool("trace", false, "log one line per call with its request ID")
 	flag.Parse()
 	if *jobsetPath == "" {
 		log.Fatal("gridsub: -jobset is required")
@@ -54,6 +58,22 @@ func main() {
 	}
 
 	client := transport.NewClient()
+	client.Use(pipeline.ClientRequestID(), pipeline.ClientDeadline())
+	if *trace {
+		client.Use(pipeline.Trace(log.Default()))
+	}
+	if *retries > 1 {
+		client.Use(pipeline.Retry(pipeline.RetryPolicy{
+			MaxAttempts: *retries,
+			Idempotent:  core.IdempotentActions(),
+		}))
+	}
+	var metrics *pipeline.Metrics
+	if *metricsFlag {
+		metrics = pipeline.NewMetrics()
+		client.Use(metrics.Interceptor())
+		defer metrics.Dump(os.Stderr)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
@@ -82,11 +102,20 @@ func main() {
 	events := consumer.Channel(wsn.MustTopicExpression(wsn.DialectFull, "*//"), 256)
 	listenerMux := soap.NewMux()
 	consumer.Mount(listenerMux, "/listener")
-	listenerBase, stopListener, err := transport.ListenHTTP(transport.NewServer(listenerMux), *listen)
+	listenerSrv := transport.NewServer(listenerMux)
+	listenerSrv.Use(pipeline.ServerRequestID(), pipeline.ServerDeadline())
+	if *trace {
+		listenerSrv.Use(pipeline.Trace(log.Default()))
+	}
+	listenerBase, stopListener, err := transport.ListenHTTP(listenerSrv, *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer stopListener()
+	defer func() {
+		shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shCancel()
+		stopListener(shCtx)
+	}()
 	listenerEPR := wsa.NewEPR(listenerBase + "/listener")
 
 	// Submit (step 1).

@@ -46,6 +46,7 @@ var (
 // E1/F1 rig.
 type PropertyHarness struct {
 	Client   *transport.Client
+	Server   *transport.Server
 	Service  *wsrf.Service
 	Resource wsa.EndpointReference
 	RC       *wsrf.ResourceClient
@@ -92,10 +93,12 @@ func NewPropertyHarness(codec resourcedb.Codec, nprops int) (*PropertyHarness, e
 	mux := soap.NewMux()
 	mux.Handle(svc.Path(), svc.Dispatcher())
 	network := transport.NewNetwork()
-	network.Register("bench", transport.NewServer(mux))
+	server := transport.NewServer(mux)
+	network.Register("bench", server)
 	client := transport.NewClient().WithNetwork(network)
 	return &PropertyHarness{
 		Client:   client,
+		Server:   server,
 		Service:  svc,
 		Resource: epr,
 		RC:       wsrf.NewResourceClient(client, epr),

@@ -95,7 +95,7 @@ func NewNotifyHarness(consumers int, viaBroker bool) (*NotifyHarness, error) {
 
 	for i := 0; i < consumers; i++ {
 		cons := wsn.NewConsumer()
-		cons.Handle(wsn.Simple("bench"), func(wsn.Notification) {
+		cons.Handle(wsn.Simple("bench"), func(context.Context, wsn.Notification) {
 			h.received.Add(1)
 		})
 		mux := soap.NewMux()

@@ -27,17 +27,20 @@ func NewSecurityHarness() (*SecurityHarness, error) {
 	if err != nil {
 		return nil, err
 	}
-	mw := wssec.Middleware(wssec.VerifierConfig{
+	ic := wssec.Interceptor(wssec.VerifierConfig{
 		Identity: id,
 		Accounts: wssec.StaticAccounts{"scientist": "secret"},
 		Required: true,
 	})
-	verify := mw(func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
-		if _, ok := wssec.PrincipalFrom(ctx); !ok {
-			return nil, fmt.Errorf("benchkit: no principal after verification")
-		}
-		return nil, nil
-	})
+	verify := func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+		call := &soap.CallInfo{Side: soap.ServerSide, Request: req}
+		return ic(ctx, call, func(ctx context.Context, call *soap.CallInfo) (*soap.Envelope, error) {
+			if _, ok := wssec.PrincipalFrom(ctx); !ok {
+				return nil, fmt.Errorf("benchkit: no principal after verification")
+			}
+			return nil, nil
+		})
+	}
 	return &SecurityHarness{
 		identity: id,
 		creds:    wssec.Credentials{Username: "scientist", Password: "secret"},

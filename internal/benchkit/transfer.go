@@ -33,7 +33,7 @@ type TransferHarness struct {
 
 	uploadDone chan struct{}
 
-	httpShutdown func() error
+	httpShutdown func(context.Context) error
 	tcpListener  *transport.TCPListener
 }
 
@@ -125,7 +125,7 @@ func NewTransferHarness(payloadSize int) (*TransferHarness, error) {
 // Close stops the real listeners.
 func (h *TransferHarness) Close() {
 	if h.httpShutdown != nil {
-		h.httpShutdown()
+		h.httpShutdown(context.Background())
 	}
 	if h.tcpListener != nil {
 		h.tcpListener.Close()

@@ -66,7 +66,9 @@ func (g *Grid) NewClient(creds wssec.Credentials, useTCP bool) (*Client, error) 
 		c.files.Mount(mux)
 		c.filesEPR = wsa.NewEPR("inproc://" + host + c.files.Path())
 	}
-	g.Network.Register(host, transport.NewServer(mux))
+	srv := transport.NewServer(mux)
+	srv.Use(serverInterceptors()...)
+	g.Network.Register(host, srv)
 	return c, nil
 }
 
@@ -160,7 +162,7 @@ func (c *Client) Submit(ctx context.Context, spec *JobSet) (*Submission, error) 
 }
 
 // route delivers incoming notifications to their submission.
-func (c *Client) route(n wsn.Notification) {
+func (c *Client) route(_ context.Context, n wsn.Notification) {
 	root, _, found := strings.Cut(n.Topic, "/")
 	if !found {
 		return

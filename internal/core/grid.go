@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"uvacg/internal/node"
+	"uvacg/internal/pipeline"
 	"uvacg/internal/resourcedb"
+	"uvacg/internal/services/filesystem"
 	"uvacg/internal/services/nodeinfo"
 	"uvacg/internal/services/scheduler"
 	"uvacg/internal/soap"
@@ -22,6 +24,23 @@ import (
 	"uvacg/internal/wsrf"
 	"uvacg/internal/wssec"
 )
+
+// IdempotentActions is the grid's safe-to-retry predicate: the pure
+// reads of the WSRF property port types, the NIS processor query and
+// the FSS file reads. Mutating operations — Submit, Run, uploads,
+// lifetime changes — are excluded; they must reach a service at most
+// once.
+func IdempotentActions() func(string) bool {
+	return pipeline.IdempotentActions(
+		wsrf.ActionGetResourceProperty,
+		wsrf.ActionGetResourcePropertyDocument,
+		wsrf.ActionGetMultipleResourceProperties,
+		wsrf.ActionQueryResourceProperties,
+		nodeinfo.ActionGetProcessors,
+		filesystem.ActionRead,
+		filesystem.ActionList,
+	)
+}
 
 // NodeSpec describes one simulated machine.
 type NodeSpec struct {
@@ -55,12 +74,21 @@ type GridConfig struct {
 	JobTimeout time.Duration
 	// MasterHost names the master machine (default "master").
 	MasterHost string
+	// Metrics, when set, records every outbound call the grid makes
+	// (per wire attempt, retries included), keyed by service path and
+	// action.
+	Metrics *pipeline.Metrics
+	// Retry, when set, retries idempotent actions on transient
+	// transport failures. A nil Idempotent predicate defaults to
+	// IdempotentActions().
+	Retry *pipeline.RetryPolicy
 }
 
 // Grid is a running campus grid.
 type Grid struct {
 	Network   *transport.Network
 	Client    *transport.Client
+	Master    *transport.Server
 	Nodes     []*node.Node
 	Broker    *wsn.Broker
 	NIS       *nodeinfo.Service
@@ -82,6 +110,23 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 	network := transport.NewNetwork()
 	client := transport.NewClient().WithNetwork(network)
 	masterAddr := "inproc://" + cfg.MasterHost
+
+	// The invocation pipeline: request correlation and deadline
+	// propagation always on; retry and metrics by configuration.
+	// Installation order is nesting order (earlier = outermost), so the
+	// metrics interceptor sits innermost and records every wire attempt
+	// a retry makes.
+	client.Use(pipeline.ClientRequestID(), pipeline.ClientDeadline())
+	if cfg.Retry != nil {
+		p := *cfg.Retry
+		if p.Idempotent == nil {
+			p.Idempotent = IdempotentActions()
+		}
+		client.Use(pipeline.Retry(p))
+	}
+	if cfg.Metrics != nil {
+		client.Use(cfg.Metrics.Interceptor())
+	}
 
 	g := &Grid{Network: network, Client: client, cfg: cfg}
 
@@ -135,10 +180,13 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 	masterMux.Handle(nis.WSRF().Path(), nis.WSRF().Dispatcher())
 	masterMux.Handle(ss.WSRF().Path(), ss.WSRF().Dispatcher())
 	ss.Consumer().Mount(masterMux, ss.ConsumerPath())
-	network.Register(cfg.MasterHost, transport.NewServer(masterMux))
+	g.Master = transport.NewServer(masterMux)
+	g.Master.Use(serverInterceptors()...)
+	network.Register(cfg.MasterHost, g.Master)
 
 	for _, spec := range cfg.Nodes {
 		n, err := node.New(node.Config{
+			Interceptors:         serverInterceptors(),
 			Name:                 spec.Name,
 			Network:              network,
 			Client:               client,
@@ -170,6 +218,13 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 		return nil, fmt.Errorf("core: scheduler recovery: %w", err)
 	}
 	return g, nil
+}
+
+// serverInterceptors is the receive pipeline every grid host runs:
+// lift the propagated request ID onto the handler context and
+// re-establish the caller's deadline.
+func serverInterceptors() []soap.Interceptor {
+	return []soap.Interceptor{pipeline.ServerRequestID(), pipeline.ServerDeadline()}
 }
 
 // certFor resolves the ES certificate for credential encryption.

@@ -58,6 +58,10 @@ type Config struct {
 	Background func() float64
 	// Codec selects the resource database codec (default structured).
 	Codec resourcedb.Codec
+	// Interceptors form the machine's server-side receive pipeline
+	// (deadline re-establishment, request correlation), shared by the
+	// FSS and ES it hosts.
+	Interceptors []soap.Interceptor
 }
 
 // Node is a running grid machine.
@@ -179,9 +183,14 @@ func New(cfg Config) (*Node, error) {
 	mux.Handle(n.FSS.WSRF().Path(), n.FSS.WSRF().Dispatcher())
 	mux.Handle(n.ES.WSRF().Path(), n.ES.WSRF().Dispatcher())
 	n.server = transport.NewServer(mux)
+	n.server.Use(cfg.Interceptors...)
 	cfg.Network.Register(cfg.Name, n.server)
 	return n, nil
 }
+
+// Server exposes the machine's transport server, e.g. for installing
+// additional receive interceptors.
+func (n *Node) Server() *transport.Server { return n.server }
 
 // Processor describes this machine for the NIS.
 func (n *Node) Processor() nodeinfo.Processor {

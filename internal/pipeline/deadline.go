@@ -1,0 +1,49 @@
+package pipeline
+
+import (
+	"context"
+	"time"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/xmlutil"
+)
+
+// ClientDeadline returns a client-side interceptor that serializes the
+// caller's context deadline into a Deadline header, so the serving side
+// can re-establish it even across bindings whose server contexts carry
+// no deadline of their own (soap.tcp serves from a background context).
+// Calls without a deadline send no header.
+func ClientDeadline() soap.Interceptor {
+	return func(ctx context.Context, call *soap.CallInfo, next soap.Handler) (*soap.Envelope, error) {
+		call.Request.RemoveHeader(qDeadline)
+		if dl, ok := ctx.Deadline(); ok {
+			call.Request.AddHeader(xmlutil.NewElement(qDeadline, dl.UTC().Format(time.RFC3339Nano)))
+		}
+		return next(ctx, call)
+	}
+}
+
+// ServerDeadline returns a server-side interceptor that reads the
+// Deadline header and re-establishes it on the handler's context. A
+// deadline already in the past fails fast with a Sender fault instead
+// of dispatching work whose caller has given up. An unparseable header
+// is ignored — a foreign client's sloppy timestamp should not break an
+// otherwise valid call.
+func ServerDeadline() soap.Interceptor {
+	return func(ctx context.Context, call *soap.CallInfo, next soap.Handler) (*soap.Envelope, error) {
+		text := call.Request.HeaderText(qDeadline)
+		if text == "" {
+			return next(ctx, call)
+		}
+		dl, err := time.Parse(time.RFC3339Nano, text)
+		if err != nil {
+			return next(ctx, call)
+		}
+		if !dl.After(time.Now()) {
+			return nil, soap.SenderFault("pipeline: deadline %s already expired on arrival", text)
+		}
+		ctx, cancel := context.WithDeadline(ctx, dl)
+		defer cancel()
+		return next(ctx, call)
+	}
+}

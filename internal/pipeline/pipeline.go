@@ -1,0 +1,26 @@
+// Package pipeline supplies the built-in cross-cutting interceptors of
+// the invocation path: deadline propagation, retry with backoff,
+// per-action metrics, and request-ID correlation. Each is a plain
+// soap.Interceptor, installable on a transport.Client (outbound), a
+// transport.Server (inbound, all services), or an individual
+// soap.Dispatcher — the client and server halves of a concern are
+// exported as separate constructors so a deployment can choose either
+// end independently.
+//
+// Propagated state crosses the wire as SOAP header blocks under NS,
+// playing the role WS-Addressing plays for addressing state: what the
+// paper's WSRF.NET wrapper keeps implicit in the hosting environment
+// (timeouts, correlation) becomes explicit message context here.
+package pipeline
+
+import (
+	"uvacg/internal/xmlutil"
+)
+
+// NS is the namespace of the pipeline's wire headers.
+const NS = "http://uvacg.example.org/2026/pipeline"
+
+var (
+	qDeadline  = xmlutil.Q(NS, "Deadline")
+	qRequestID = xmlutil.Q(NS, "RequestID")
+)

@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"context"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/wsa"
+	"uvacg/internal/xmlutil"
+)
+
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying an explicit request ID. The
+// client interceptor prefers a context-carried ID over minting one, so
+// a caller can correlate a whole multi-service flow under one ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom recovers the request ID from a context, if any.
+func RequestIDFrom(ctx context.Context) (string, bool) {
+	id, ok := ctx.Value(requestIDKey{}).(string)
+	return id, ok && id != ""
+}
+
+// NewRequestID mints a fresh request identifier.
+func NewRequestID() string { return wsa.NewMessageID() }
+
+// ClientRequestID returns a client-side interceptor that stamps a
+// RequestID header on every outbound message: the context's ID when one
+// is present (set either by WithRequestID or by ServerRequestID on an
+// upstream hop — this is how the ID survives the scheduler's hop to the
+// ES, the ES's hops to the FSS and the broker), otherwise freshly
+// minted. The ID is also placed on the context for the caller's own
+// logging.
+//
+// The header is a plain block, deliberately not marked as a
+// WS-Addressing reference parameter: reference parameters are promoted
+// into the extracted EPR server-side and would pollute resource
+// identity.
+func ClientRequestID() soap.Interceptor {
+	return func(ctx context.Context, call *soap.CallInfo, next soap.Handler) (*soap.Envelope, error) {
+		id, ok := RequestIDFrom(ctx)
+		if !ok {
+			id = NewRequestID()
+			ctx = WithRequestID(ctx, id)
+		}
+		call.Request.RemoveHeader(qRequestID)
+		call.Request.AddHeader(xmlutil.NewElement(qRequestID, id))
+		return next(ctx, call)
+	}
+}
+
+// ServerRequestID returns a server-side interceptor that lifts the
+// RequestID header onto the handler's context, where downstream
+// outbound calls (through ClientRequestID) re-propagate it. Messages
+// without the header pass through unchanged.
+func ServerRequestID() soap.Interceptor {
+	return func(ctx context.Context, call *soap.CallInfo, next soap.Handler) (*soap.Envelope, error) {
+		if id := call.Request.HeaderText(qRequestID); id != "" {
+			ctx = WithRequestID(ctx, id)
+		}
+		return next(ctx, call)
+	}
+}

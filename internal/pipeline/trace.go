@@ -1,0 +1,35 @@
+package pipeline
+
+import (
+	"context"
+	"log"
+	"time"
+
+	"uvacg/internal/soap"
+)
+
+// Trace returns an interceptor that logs one line per call — side,
+// path, action, request ID, outcome, latency — to the given logger.
+// Installed inside ClientRequestID/ServerRequestID it sees the flow's
+// request ID on the context, which is what makes one job set's hops
+// greppable across the scheduler, ES, FSS and broker logs.
+func Trace(logger *log.Logger) soap.Interceptor {
+	return func(ctx context.Context, call *soap.CallInfo, next soap.Handler) (*soap.Envelope, error) {
+		id, _ := RequestIDFrom(ctx)
+		if id == "" {
+			id = "-"
+		}
+		start := time.Now()
+		out, err := next(ctx, call)
+		outcome := "ok"
+		if err != nil {
+			outcome = "fault"
+		}
+		dir := "->"
+		if call.Side == soap.ServerSide {
+			dir = "<-"
+		}
+		logger.Printf("trace %s %s %s req=%s %s %s", dir, call.Path, call.Action, id, outcome, time.Since(start).Round(time.Microsecond))
+		return out, err
+	}
+}

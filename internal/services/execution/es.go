@@ -153,7 +153,7 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Security != nil {
 		// Only Run carries credentials; FSS callbacks and WSRF property
 		// reads are unauthenticated, as in the paper's testbed.
-		svc.Use(wssec.MiddlewareFor(*cfg.Security, ActionRun))
+		svc.Use(wssec.InterceptorFor(*cfg.Security, ActionRun))
 	}
 	svc.Enable(wsrf.ResourcePropertiesPortType{})
 	svc.Enable(wsrf.LifetimePortType{})
@@ -354,7 +354,10 @@ func (s *Service) handleUploadComplete(ctx context.Context, inv *wsrf.Invocation
 		Username:   creds.Username,
 		Password:   creds.Password,
 		OnExit: func(p *procspawn.Process) {
-			s.onProcessExit(jobID, jobName, topic, jobEPR, dirEPR, p)
+			// Detach from the Run request's cancellation but keep its
+			// values, so the exit event publishes under the same
+			// request ID as the rest of the job's lifecycle.
+			s.onProcessExit(context.WithoutCancel(ctx), jobID, jobName, topic, jobEPR, dirEPR, p)
 		},
 	})
 	if err != nil {
@@ -373,7 +376,7 @@ func (s *Service) handleUploadComplete(ctx context.Context, inv *wsrf.Invocation
 }
 
 // onProcessExit is step 10: record the exit and broadcast it.
-func (s *Service) onProcessExit(jobID, jobName, topic string, jobEPR, dirEPR wsa.EndpointReference, p *procspawn.Process) {
+func (s *Service) onProcessExit(ctx context.Context, jobID, jobName, topic string, jobEPR, dirEPR wsa.EndpointReference, p *procspawn.Process) {
 	code, _ := p.ExitCode()
 	status := StatusExited
 	if p.State() == procspawn.StateKilled {
@@ -388,7 +391,6 @@ func (s *Service) onProcessExit(jobID, jobName, topic string, jobEPR, dirEPR wsa
 		// The resource may have been destroyed; still publish the exit.
 		_ = err
 	}
-	ctx := context.Background()
 	s.publishEvent(ctx, topic, jobName, EventExited, jobEPR, dirEPR, strconv.Itoa(code), "")
 }
 

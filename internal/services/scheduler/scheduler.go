@@ -169,7 +169,7 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Security != nil {
 		// Submit carries the account credentials; status reads and
 		// cancellation stay open like the rest of the WSRF surface.
-		svc.Use(wssec.MiddlewareFor(*cfg.Security, ActionSubmit))
+		svc.Use(wssec.InterceptorFor(*cfg.Security, ActionSubmit))
 	}
 	svc.Enable(wsrf.ResourcePropertiesPortType{})
 	svc.Enable(wsrf.LifetimePortType{})
@@ -534,7 +534,7 @@ func (s *Service) resolveFiles(r *run, spec *JobSpec) ([]filesystem.FileRef, str
 // onNotification reacts to broker events: "When the Scheduler gets the
 // message that a job has completed, it schedules the next job that no
 // longer has any uncompleted dependencies."
-func (s *Service) onNotification(n wsn.Notification) {
+func (s *Service) onNotification(ctx context.Context, n wsn.Notification) {
 	segs := strings.Split(n.Topic, "/")
 	if len(segs) < 3 {
 		return
@@ -550,7 +550,9 @@ func (s *Service) onNotification(n wsn.Notification) {
 	if err != nil {
 		return
 	}
-	ctx := context.Background()
+	// Keep the delivery's values (request ID) but not its cancellation:
+	// scheduling the next job must outlive the notify exchange.
+	ctx = context.WithoutCancel(ctx)
 	r.mu.Lock()
 	j := r.jobs[ev.JobName]
 	if j == nil {

@@ -14,17 +14,16 @@ import (
 // messages and void-returning methods).
 type HandlerFunc func(ctx context.Context, req *Envelope) (*Envelope, error)
 
-// Middleware wraps a handler, typically to perform work for every action
-// (security verification, the WSRF state load/save pipeline, logging).
-type Middleware func(next HandlerFunc) HandlerFunc
-
 // Dispatcher routes envelopes to handlers by WS-Addressing action URI.
 // It is the Go analog of the ASP.NET dispatch step in WSRF.NET's wrapper
-// service (paper Fig. 1): one dispatcher per hosted service.
+// service (paper Fig. 1): one dispatcher per hosted service. Per-service
+// cross-cutting layers (security verification, logging) are Interceptors
+// installed with Use — the same pipeline type transport clients and
+// servers compose.
 type Dispatcher struct {
-	mu         sync.RWMutex
-	handlers   map[string]HandlerFunc
-	middleware []Middleware
+	mu       sync.RWMutex
+	handlers map[string]HandlerFunc
+	chain    Chain
 }
 
 // NewDispatcher creates an empty dispatcher.
@@ -32,12 +31,10 @@ func NewDispatcher() *Dispatcher {
 	return &Dispatcher{handlers: make(map[string]HandlerFunc)}
 }
 
-// Use appends middleware. Middleware registered earlier runs outermost.
-// Must be called before Dispatch traffic begins.
-func (d *Dispatcher) Use(mw Middleware) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.middleware = append(d.middleware, mw)
+// Use appends interceptors to the dispatcher's pipeline. Interceptors
+// registered earlier run outermost.
+func (d *Dispatcher) Use(ics ...Interceptor) {
+	d.chain.Use(ics...)
 }
 
 // Register binds an action URI to a handler. Registering a duplicate
@@ -79,23 +76,25 @@ func (d *Dispatcher) Handles(action string) bool {
 }
 
 // Dispatch routes a request to the handler for action, running the
-// middleware chain around it. Unknown actions yield a Sender fault.
+// interceptor chain around it. Unknown actions yield a Sender fault.
 func (d *Dispatcher) Dispatch(ctx context.Context, action string, req *Envelope) (*Envelope, error) {
+	return d.DispatchCall(ctx, &CallInfo{Side: ServerSide, Action: action, Request: req})
+}
+
+// DispatchCall is Dispatch for an already-described call: the transport
+// server builds the CallInfo (with path and one-way flag) so the
+// dispatcher's interceptors see the same call description the server's
+// own pipeline does.
+func (d *Dispatcher) DispatchCall(ctx context.Context, call *CallInfo) (*Envelope, error) {
 	d.mu.RLock()
-	h, ok := d.handlers[action]
-	mws := d.middleware
+	h, ok := d.handlers[call.Action]
 	d.mu.RUnlock()
 	if !ok {
-		return nil, SenderFault("no handler for action %q", action)
+		return nil, SenderFault("no handler for action %q", call.Action)
 	}
-	for i := len(mws) - 1; i >= 0; i-- {
-		h = mws[i](h)
-	}
-	resp, err := h(ctx, req)
-	if err != nil {
-		return nil, err
-	}
-	return resp, nil
+	return d.chain.Bind(func(ctx context.Context, call *CallInfo) (*Envelope, error) {
+		return h(ctx, call.Request)
+	})(ctx, call)
 }
 
 // DispatchToEnvelope is Dispatch with errors converted to SOAP fault

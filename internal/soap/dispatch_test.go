@@ -61,17 +61,15 @@ func TestDispatchToEnvelopeFault(t *testing.T) {
 	}
 }
 
-func TestDispatcherMiddlewareOrder(t *testing.T) {
+func TestDispatcherInterceptorOrder(t *testing.T) {
 	d := NewDispatcher()
 	var order []string
-	mk := func(name string) Middleware {
-		return func(next HandlerFunc) HandlerFunc {
-			return func(ctx context.Context, req *Envelope) (*Envelope, error) {
-				order = append(order, name+"-in")
-				resp, err := next(ctx, req)
-				order = append(order, name+"-out")
-				return resp, err
-			}
+	mk := func(name string) Interceptor {
+		return func(ctx context.Context, call *CallInfo, next Handler) (*Envelope, error) {
+			order = append(order, name+"-in")
+			resp, err := next(ctx, call)
+			order = append(order, name+"-out")
+			return resp, err
 		}
 	}
 	d.Use(mk("outer"))
@@ -82,7 +80,48 @@ func TestDispatcherMiddlewareOrder(t *testing.T) {
 	}
 	want := []string{"outer-in", "inner-in", "inner-out", "outer-out"}
 	if !reflect.DeepEqual(order, want) {
-		t.Fatalf("middleware order = %v", order)
+		t.Fatalf("interceptor order = %v", order)
+	}
+}
+
+func TestDispatcherInterceptorSeesCallInfo(t *testing.T) {
+	d := NewDispatcher()
+	var seen CallInfo
+	d.Use(func(ctx context.Context, call *CallInfo, next Handler) (*Envelope, error) {
+		seen = *call
+		return next(ctx, call)
+	})
+	d.Register("urn:Echo", echoHandler)
+	call := &CallInfo{
+		Side:    ServerSide,
+		Path:    "/Svc",
+		Action:  "urn:Echo",
+		Request: New(xmlutil.NewElement(xmlutil.Q(nsT, "p"), "x")),
+	}
+	if _, err := d.DispatchCall(context.Background(), call); err != nil {
+		t.Fatal(err)
+	}
+	if seen.Path != "/Svc" || seen.Action != "urn:Echo" || seen.Side != ServerSide {
+		t.Fatalf("interceptor saw %+v", seen)
+	}
+}
+
+func TestChainShortCircuit(t *testing.T) {
+	d := NewDispatcher()
+	d.Use(func(ctx context.Context, call *CallInfo, next Handler) (*Envelope, error) {
+		return nil, SenderFault("blocked")
+	})
+	reached := false
+	d.Register("urn:Echo", func(ctx context.Context, req *Envelope) (*Envelope, error) {
+		reached = true
+		return nil, nil
+	})
+	_, err := d.Dispatch(context.Background(), "urn:Echo", &Envelope{})
+	if f, ok := AsFault(err); !ok || f.Code != CodeSender {
+		t.Fatalf("want sender fault, got %v", err)
+	}
+	if reached {
+		t.Fatal("short-circuited interceptor must not reach the handler")
 	}
 }
 

@@ -109,16 +109,15 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // ListenHTTP starts an HTTP listener for srv on addr (host:port, empty
 // port picks a free one) and returns the base URL and a shutdown func.
-func ListenHTTP(srv *Server, addr string) (baseURL string, shutdown func() error, err error) {
+// Shutdown drains in-flight requests until the caller's context expires
+// — the caller decides how long a graceful stop may take, rather than
+// this package imposing a timeout.
+func ListenHTTP(srv *Server, addr string) (baseURL string, shutdown func(context.Context) error, err error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	hs := &http.Server{Handler: NewHTTPHandler(srv)}
 	go hs.Serve(l)
-	return "http://" + l.Addr().String(), func() error {
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		return hs.Shutdown(ctx)
-	}, nil
+	return "http://" + l.Addr().String(), hs.Shutdown, nil
 }

@@ -16,6 +16,10 @@ import (
 // outer loop (paper Fig. 1).
 type Server struct {
 	mux *soap.Mux
+	// chain runs around every dispatched message, for all hosted
+	// services — the server half of the invocation pipeline (deadline
+	// re-establishment, request correlation, metrics).
+	chain soap.Chain
 	// ErrorLog, when set, receives one-way dispatch failures, which have
 	// no connection left to report on.
 	ErrorLog *log.Logger
@@ -27,10 +31,16 @@ func NewServer(mux *soap.Mux) *Server { return &Server{mux: mux} }
 // Mux exposes the underlying service mux for registration.
 func (s *Server) Mux() *soap.Mux { return s.mux }
 
+// Use appends interceptors to the server's receive pipeline; they run
+// for every hosted service, outside any per-dispatcher interceptors.
+func (s *Server) Use(ics ...soap.Interceptor) {
+	s.chain.Use(ics...)
+}
+
 // HandleRequest processes one request-response exchange for the service
 // at path, returning the serialized reply (possibly a fault envelope).
 func (s *Server) HandleRequest(ctx context.Context, path string, request []byte) []byte {
-	resp := s.process(ctx, path, request)
+	resp := s.process(ctx, path, request, false)
 	data, err := resp.Marshal()
 	if err != nil {
 		// A reply we constructed failed to serialize: fall back to a
@@ -53,7 +63,7 @@ func (s *Server) HandleOneWay(ctx context.Context, path string, request []byte) 
 				s.logf("one-way handler panic on %s: %v", path, r)
 			}
 		}()
-		resp := s.process(bg, path, request)
+		resp := s.process(bg, path, request, true)
 		if soap.IsFault(resp.Body) {
 			if f, err := soap.ParseFault(resp.Body); err == nil {
 				s.logf("one-way %s faulted: %v", path, f)
@@ -64,7 +74,7 @@ func (s *Server) HandleOneWay(ctx context.Context, path string, request []byte) 
 
 // process runs the full receive pipeline and always produces a reply
 // envelope (faults included).
-func (s *Server) process(ctx context.Context, path string, request []byte) *soap.Envelope {
+func (s *Server) process(ctx context.Context, path string, request []byte, oneWay bool) *soap.Envelope {
 	env, err := soap.Unmarshal(request)
 	if err != nil {
 		return soap.SenderFault("malformed envelope: %v", err).Envelope()
@@ -78,7 +88,25 @@ func (s *Server) process(ctx context.Context, path string, request []byte) *soap
 		return soap.SenderFault("no service at %q", path).Envelope()
 	}
 	ctx = wsa.NewContext(ctx, info)
-	resp, _ := dispatcher.DispatchToEnvelope(ctx, info.Action, env)
+	call := &soap.CallInfo{
+		Side:    soap.ServerSide,
+		Path:    path,
+		Action:  info.Action,
+		OneWay:  oneWay,
+		Request: env,
+	}
+	out, err := s.chain.Bind(func(ctx context.Context, call *soap.CallInfo) (*soap.Envelope, error) {
+		return dispatcher.DispatchCall(ctx, call)
+	})(ctx, call)
+	var resp *soap.Envelope
+	switch {
+	case err != nil:
+		resp = soap.FaultFromError(err).Envelope()
+	case out == nil:
+		resp = &soap.Envelope{} // empty-body void response
+	default:
+		resp = out
+	}
 	wsa.ApplyReply(resp, info, info.Action+"Response")
 	return resp
 }

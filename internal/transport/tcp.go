@@ -110,6 +110,43 @@ func splitTCPAddr(addr string) (hostport, path string, err error) {
 	return u.Host, path, nil
 }
 
+// watchCancel interrupts blocking I/O on conn when ctx is cancelled,
+// covering cancellation without a deadline (SetDeadline alone only
+// handles the deadline case). The returned stop func must be called
+// once the I/O is over; it reports whether cancellation fired.
+func watchCancel(ctx context.Context, conn net.Conn) (stop func() bool) {
+	if ctx.Done() == nil {
+		return func() bool { return false }
+	}
+	done := make(chan struct{})
+	fired := make(chan bool, 1)
+	go func() {
+		select {
+		case <-ctx.Done():
+			// A deadline in the past unblocks any in-flight Read/Write
+			// immediately with a timeout error.
+			conn.SetDeadline(time.Now())
+			fired <- true
+		case <-done:
+			fired <- false
+		}
+	}()
+	return func() bool {
+		close(done)
+		return <-fired
+	}
+}
+
+// ctxIOErr prefers the context's error over the I/O error it provoked,
+// so a cancelled call surfaces context.Canceled rather than an opaque
+// "i/o timeout" from the poisoned deadline.
+func ctxIOErr(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
 // RoundTrip implements RoundTripper.
 func (t *TCPTransport) RoundTrip(ctx context.Context, addr string, request []byte) ([]byte, error) {
 	hostport, path, err := splitTCPAddr(addr)
@@ -124,15 +161,20 @@ func (t *TCPTransport) RoundTrip(ctx context.Context, addr string, request []byt
 	if dl, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(dl)
 	}
+	stop := watchCancel(ctx, conn)
+	defer stop()
 	bw := bufio.NewWriter(conn)
 	if err := writeFrame(bw, frameRequest, path, request); err != nil {
-		return nil, err
+		return nil, ctxIOErr(ctx, err)
 	}
 	if err := bw.Flush(); err != nil {
-		return nil, err
+		return nil, ctxIOErr(ctx, err)
 	}
 	kind, _, body, err := readFrame(bufio.NewReader(conn))
 	if err != nil {
+		if ce := ctxIOErr(ctx, err); ce != err {
+			return nil, ce
+		}
 		return nil, fmt.Errorf("reading reply frame: %w", err)
 	}
 	if kind != frameReply {
@@ -156,11 +198,13 @@ func (t *TCPTransport) Send(ctx context.Context, addr string, request []byte) er
 	if dl, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(dl)
 	}
+	stop := watchCancel(ctx, conn)
+	defer stop()
 	bw := bufio.NewWriter(conn)
 	if err := writeFrame(bw, frameOneWay, path, request); err != nil {
-		return err
+		return ctxIOErr(ctx, err)
 	}
-	return bw.Flush()
+	return ctxIOErr(ctx, bw.Flush())
 }
 
 // TCPListener hosts a Server behind the soap.tcp binding.

@@ -35,8 +35,13 @@ type RoundTripper interface {
 
 // Client invokes SOAP operations on WS-Resources. The zero value is not
 // usable; construct with NewClient.
+//
+// Cross-cutting layers — retry, deadline propagation, metrics, request
+// correlation — are soap.Interceptors installed with Use; every Invoke
+// and SendOneWay traverses the chain before the wire.
 type Client struct {
 	schemes map[string]RoundTripper
+	chain   soap.Chain
 }
 
 // NewClient builds a client with the http and soap.tcp bindings
@@ -64,6 +69,13 @@ func (c *Client) RegisterScheme(scheme string, rt RoundTripper) {
 	c.schemes[scheme] = rt
 }
 
+// Use appends interceptors to the client's invocation pipeline.
+// Interceptors installed earlier run outermost; the terminal handler
+// stamps WS-Addressing headers, serializes and performs the exchange.
+func (c *Client) Use(ics ...soap.Interceptor) {
+	c.chain.Use(ics...)
+}
+
 func (c *Client) transportFor(addr string) (RoundTripper, error) {
 	u, err := url.Parse(addr)
 	if err != nil {
@@ -76,23 +88,56 @@ func (c *Client) transportFor(addr string) (RoundTripper, error) {
 	return rt, nil
 }
 
+// pathOf extracts the service path from a target address for CallInfo.
+func pathOf(addr string) string {
+	if u, err := url.Parse(addr); err == nil && u.Path != "" {
+		return u.Path
+	}
+	return "/"
+}
+
+// newCall describes an outbound invocation for the interceptor chain.
+func newCall(to wsa.EndpointReference, action string, env *soap.Envelope, oneWay bool) *soap.CallInfo {
+	return &soap.CallInfo{
+		Side:    soap.ClientSide,
+		Addr:    to.Address,
+		Path:    pathOf(to.Address),
+		Action:  action,
+		OneWay:  oneWay,
+		Request: env,
+	}
+}
+
 // Invoke performs a request-response exchange of a fully prepared
-// envelope (custom headers intact). WS-Addressing headers for the target
-// and action are stamped here. A SOAP fault reply is returned as a
+// envelope (custom headers intact), through the interceptor chain.
+// WS-Addressing headers for the target and action are stamped in the
+// terminal handler (re-stamped per retry attempt, so every attempt
+// carries a fresh MessageID). A SOAP fault reply is returned as a
 // *soap.Fault error.
 func (c *Client) Invoke(ctx context.Context, to wsa.EndpointReference, action string, env *soap.Envelope) (*soap.Envelope, error) {
+	terminal := func(ctx context.Context, call *soap.CallInfo) (*soap.Envelope, error) {
+		return c.roundTrip(ctx, to, call)
+	}
+	return c.chain.Bind(terminal)(ctx, newCall(to, action, env, false))
+}
+
+// roundTrip is the terminal request-response handler under the chain.
+func (c *Client) roundTrip(ctx context.Context, to wsa.EndpointReference, call *soap.CallInfo) (*soap.Envelope, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("transport: %s %s: %w", call.Action, to.Address, err)
+	}
 	rt, err := c.transportFor(to.Address)
 	if err != nil {
 		return nil, err
 	}
-	wsa.Apply(env, to, action)
-	data, err := env.Marshal()
+	wsa.Apply(call.Request, to, call.Action)
+	data, err := call.Request.Marshal()
 	if err != nil {
 		return nil, err
 	}
 	respData, err := rt.RoundTrip(ctx, to.Address, data)
 	if err != nil {
-		return nil, fmt.Errorf("transport: %s %s: %w", action, to.Address, err)
+		return nil, fmt.Errorf("transport: %s %s: %w", call.Action, to.Address, err)
 	}
 	resp, err := soap.Unmarshal(respData)
 	if err != nil {
@@ -119,20 +164,33 @@ func (c *Client) Call(ctx context.Context, to wsa.EndpointReference, action stri
 	return resp.Body, nil
 }
 
-// SendOneWay delivers env as a one-way message: the connection is
-// released as soon as the message is handed over and no reply is read.
+// SendOneWay delivers env as a one-way message through the interceptor
+// chain: the connection is released as soon as the message is handed
+// over and no reply is read.
 func (c *Client) SendOneWay(ctx context.Context, to wsa.EndpointReference, action string, env *soap.Envelope) error {
+	terminal := func(ctx context.Context, call *soap.CallInfo) (*soap.Envelope, error) {
+		return nil, c.send(ctx, to, call)
+	}
+	_, err := c.chain.Bind(terminal)(ctx, newCall(to, action, env, true))
+	return err
+}
+
+// send is the terminal one-way handler under the chain.
+func (c *Client) send(ctx context.Context, to wsa.EndpointReference, call *soap.CallInfo) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("transport: one-way %s %s: %w", call.Action, to.Address, err)
+	}
 	rt, err := c.transportFor(to.Address)
 	if err != nil {
 		return err
 	}
-	wsa.Apply(env, to, action)
-	data, err := env.Marshal()
+	wsa.Apply(call.Request, to, call.Action)
+	data, err := call.Request.Marshal()
 	if err != nil {
 		return err
 	}
 	if err := rt.Send(ctx, to.Address, data); err != nil {
-		return fmt.Errorf("transport: one-way %s %s: %w", action, to.Address, err)
+		return fmt.Errorf("transport: one-way %s %s: %w", call.Action, to.Address, err)
 	}
 	return nil
 }

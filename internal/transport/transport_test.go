@@ -170,7 +170,7 @@ func TestListenHTTPHelper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer shutdown()
+	defer shutdown(context.Background())
 	body, err := NewClient().Call(context.Background(), wsa.NewEPR(base+"/Test"), "urn:Echo", xmlutil.NewElement(qPing, "up"))
 	if err != nil {
 		t.Fatal(err)

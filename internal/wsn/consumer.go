@@ -23,7 +23,7 @@ type Consumer struct {
 
 type consumerHandler struct {
 	te *TopicExpression
-	fn func(Notification)
+	fn func(context.Context, Notification)
 }
 
 // NewConsumer builds a consumer endpoint.
@@ -40,8 +40,10 @@ func (c *Consumer) Dispatcher() *soap.Dispatcher { return c.dispatcher }
 func (c *Consumer) Mount(mux *soap.Mux, path string) { mux.Handle(path, c.dispatcher) }
 
 // Handle registers fn for notifications matching te. Registration order
-// is preserved; every matching handler fires.
-func (c *Consumer) Handle(te *TopicExpression, fn func(Notification)) {
+// is preserved; every matching handler fires. The context is the
+// delivery's request context, values included (so a propagated request
+// ID survives into whatever work the handler kicks off).
+func (c *Consumer) Handle(te *TopicExpression, fn func(context.Context, Notification)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.handlers = append(c.handlers, consumerHandler{te: te, fn: fn})
@@ -52,7 +54,7 @@ func (c *Consumer) Handle(te *TopicExpression, fn func(Notification)) {
 // than blocking delivery (the consumer is on the one-way path).
 func (c *Consumer) Channel(te *TopicExpression, buffer int) <-chan Notification {
 	ch := make(chan Notification, buffer)
-	c.Handle(te, func(n Notification) {
+	c.Handle(te, func(_ context.Context, n Notification) {
 		select {
 		case ch <- n:
 		default:
@@ -73,7 +75,7 @@ func (c *Consumer) handleNotify(ctx context.Context, req *soap.Envelope) (*soap.
 	for _, n := range notifications {
 		for _, h := range handlers {
 			if h.te.Matches(n.Topic) {
-				h.fn(n)
+				h.fn(ctx, n)
 			}
 		}
 	}
@@ -89,7 +91,7 @@ func (c *Consumer) Deliver(n Notification) {
 	c.mu.RUnlock()
 	for _, h := range handlers {
 		if h.te.Matches(n.Topic) {
-			h.fn(n)
+			h.fn(context.Background(), n)
 		}
 	}
 }

@@ -245,9 +245,9 @@ func TestDeadConsumerIsEventuallyUnsubscribed(t *testing.T) {
 func TestConsumerMultipleHandlersAndDeliver(t *testing.T) {
 	c := NewConsumer()
 	var got []string
-	c.Handle(Simple("a"), func(n Notification) { got = append(got, "h1:"+n.Topic) })
-	c.Handle(MustTopicExpression(DialectFull, "a/*"), func(n Notification) { got = append(got, "h2:"+n.Topic) })
-	c.Handle(Simple("b"), func(n Notification) { got = append(got, "h3:"+n.Topic) })
+	c.Handle(Simple("a"), func(_ context.Context, n Notification) { got = append(got, "h1:"+n.Topic) })
+	c.Handle(MustTopicExpression(DialectFull, "a/*"), func(_ context.Context, n Notification) { got = append(got, "h2:"+n.Topic) })
+	c.Handle(Simple("b"), func(_ context.Context, n Notification) { got = append(got, "h3:"+n.Topic) })
 	c.Deliver(Notification{Topic: "a/x"})
 	if len(got) != 2 || got[0] != "h1:a/x" || got[1] != "h2:a/x" {
 		t.Fatalf("handlers fired: %v", got)

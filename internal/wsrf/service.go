@@ -99,9 +99,9 @@ func (s *Service) Home() ResourceHome { return s.home }
 // Dispatcher exposes the action dispatcher for transport registration.
 func (s *Service) Dispatcher() *soap.Dispatcher { return s.dispatcher }
 
-// Use installs middleware (e.g. wssec verification) on the dispatcher,
-// outside the wrapper pipeline.
-func (s *Service) Use(mw soap.Middleware) { s.dispatcher.Use(mw) }
+// Use installs interceptors (e.g. wssec verification) on the
+// dispatcher, outside the wrapper pipeline.
+func (s *Service) Use(ics ...soap.Interceptor) { s.dispatcher.Use(ics...) }
 
 // EPR returns the service's resource-less EPR.
 func (s *Service) EPR() wsa.EndpointReference {

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"uvacg/internal/soap"
-	"uvacg/internal/wsa"
 )
 
 // CredentialStore resolves a username to its expected password. The
@@ -99,74 +98,70 @@ type VerifierConfig struct {
 	Now func() time.Time
 }
 
-// MiddlewareFor scopes Middleware(cfg) to specific WS-Addressing
+// InterceptorFor scopes Interceptor(cfg) to specific WS-Addressing
 // actions: listed actions get the full verification pipeline, all
 // others pass through untouched. The testbed secures exactly the
 // operations that carry account credentials (the ES Run and the SS
 // Submit, paper §4.2) while service-to-service callbacks and standard
 // WSRF property reads stay open.
-func MiddlewareFor(cfg VerifierConfig, actions ...string) soap.Middleware {
+func InterceptorFor(cfg VerifierConfig, actions ...string) soap.Interceptor {
 	guarded := make(map[string]bool, len(actions))
 	for _, a := range actions {
 		guarded[a] = true
 	}
-	full := Middleware(cfg)
-	return func(next soap.HandlerFunc) soap.HandlerFunc {
-		secured := full(next)
-		return func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
-			if info, ok := wsa.FromContext(ctx); ok && guarded[info.Action] {
-				return secured(ctx, req)
-			}
-			return next(ctx, req)
+	full := Interceptor(cfg)
+	return func(ctx context.Context, call *soap.CallInfo, next soap.Handler) (*soap.Envelope, error) {
+		if guarded[call.Action] {
+			return full(ctx, call, next)
 		}
+		return next(ctx, call)
 	}
 }
 
-// Middleware builds a soap.Middleware enforcing cfg: it decrypts the
-// security header if needed, validates the UsernameToken against the
-// account store, checks replay, and attaches the Principal to the
-// request context for the handler (the ES reads it to pick the spawn
-// account).
-func Middleware(cfg VerifierConfig) soap.Middleware {
+// Interceptor builds a server-side soap.Interceptor enforcing cfg: it
+// decrypts the security header if needed, validates the UsernameToken
+// against the account store, checks replay, and attaches the Principal
+// to the request context for the handler (the ES reads it to pick the
+// spawn account).
+func Interceptor(cfg VerifierConfig) soap.Interceptor {
 	now := cfg.Now
 	if now == nil {
 		now = time.Now
 	}
-	return func(next soap.HandlerFunc) soap.HandlerFunc {
-		return func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
-			if HasEncryptedHeader(req) {
-				if cfg.Identity == nil {
-					return nil, soap.SenderFault("wssec: service cannot decrypt security headers")
-				}
-				if err := DecryptSecurityHeader(req, cfg.Identity); err != nil {
-					return nil, soap.SenderFault("wssec: %v", err)
-				}
+	return func(ctx context.Context, call *soap.CallInfo, next soap.Handler) (*soap.Envelope, error) {
+		req := call.Request
+		if HasEncryptedHeader(req) {
+			if cfg.Identity == nil {
+				return nil, soap.SenderFault("wssec: service cannot decrypt security headers")
 			}
-			tok, err := ExtractToken(req)
-			if err != nil {
-				if cfg.Required {
-					return nil, soap.SenderFault("wssec: authentication required: %v", err)
-				}
-				return next(ctx, req)
-			}
-			if cfg.Accounts == nil {
-				return nil, soap.ReceiverFault("wssec: no account store configured")
-			}
-			expected, ok := cfg.Accounts.LookupPassword(tok.Username)
-			if !ok {
-				return nil, soap.SenderFault("wssec: unknown account %q", tok.Username)
-			}
-			if err := tok.Verify(expected); err != nil {
+			if err := DecryptSecurityHeader(req, cfg.Identity); err != nil {
 				return nil, soap.SenderFault("wssec: %v", err)
 			}
-			if cfg.Replay != nil {
-				if err := cfg.Replay.Check(tok.Nonce, tok.Created, now()); err != nil {
-					return nil, err
-				}
-			}
-			// The verified plaintext password is what ProcSpawn needs.
-			ctx = context.WithValue(ctx, principalKey{}, Principal{Username: tok.Username, Password: expected})
-			return next(ctx, req)
 		}
+		tok, err := ExtractToken(req)
+		if err != nil {
+			if cfg.Required {
+				return nil, soap.SenderFault("wssec: authentication required: %v", err)
+			}
+			return next(ctx, call)
+		}
+		if cfg.Accounts == nil {
+			return nil, soap.ReceiverFault("wssec: no account store configured")
+		}
+		expected, ok := cfg.Accounts.LookupPassword(tok.Username)
+		if !ok {
+			return nil, soap.SenderFault("wssec: unknown account %q", tok.Username)
+		}
+		if err := tok.Verify(expected); err != nil {
+			return nil, soap.SenderFault("wssec: %v", err)
+		}
+		if cfg.Replay != nil {
+			if err := cfg.Replay.Check(tok.Nonce, tok.Created, now()); err != nil {
+				return nil, err
+			}
+		}
+		// The verified plaintext password is what ProcSpawn needs.
+		ctx = context.WithValue(ctx, principalKey{}, Principal{Username: tok.Username, Password: expected})
+		return next(ctx, call)
 	}
 }

@@ -225,16 +225,27 @@ func okHandler(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) 
 	return soap.New(xmlutil.NewElement(qBody, p.Username)), nil
 }
 
+// bind adapts an interceptor plus leaf handler into the plain
+// envelope-handler shape the tests drive directly.
+func bind(ic soap.Interceptor, h soap.HandlerFunc) soap.HandlerFunc {
+	return func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+		call := &soap.CallInfo{Side: soap.ServerSide, Request: req}
+		return ic(ctx, call, func(ctx context.Context, call *soap.CallInfo) (*soap.Envelope, error) {
+			return h(ctx, call.Request)
+		})
+	}
+}
+
 func TestMiddlewareAuthenticates(t *testing.T) {
 	service, _ := NewIdentity("CN=ES")
 	accounts := StaticAccounts{"labuser": "pw"}
-	mw := Middleware(VerifierConfig{
+	ic := Interceptor(VerifierConfig{
 		Identity: service,
 		Accounts: accounts,
 		Replay:   NewReplayCache(time.Minute),
 		Required: true,
 	})
-	h := mw(okHandler)
+	h := bind(ic, okHandler)
 
 	env := newEnv()
 	if err := AttachUsernameToken(env, Credentials{Username: "labuser", Password: "pw"}, false, time.Now()); err != nil {
@@ -255,8 +266,7 @@ func TestMiddlewareAuthenticates(t *testing.T) {
 func TestMiddlewareRejections(t *testing.T) {
 	service, _ := NewIdentity("CN=ES")
 	accounts := StaticAccounts{"u": "pw"}
-	mw := Middleware(VerifierConfig{Identity: service, Accounts: accounts, Required: true})
-	h := mw(okHandler)
+	h := bind(Interceptor(VerifierConfig{Identity: service, Accounts: accounts, Required: true}), okHandler)
 	ctx := context.Background()
 
 	t.Run("missing header", func(t *testing.T) {
@@ -283,8 +293,7 @@ func TestMiddlewareRejections(t *testing.T) {
 		}
 	})
 	t.Run("replay", func(t *testing.T) {
-		mwR := Middleware(VerifierConfig{Accounts: accounts, Replay: NewReplayCache(time.Minute), Required: true})
-		hR := mwR(okHandler)
+		hR := bind(Interceptor(VerifierConfig{Accounts: accounts, Replay: NewReplayCache(time.Minute), Required: true}), okHandler)
 		env := newEnv()
 		if err := AttachUsernameToken(env, Credentials{Username: "u", Password: "pw"}, true, time.Now()); err != nil {
 			t.Fatal(err)
@@ -299,8 +308,7 @@ func TestMiddlewareRejections(t *testing.T) {
 }
 
 func TestMiddlewareOptionalPassthrough(t *testing.T) {
-	mw := Middleware(VerifierConfig{Accounts: StaticAccounts{}, Required: false})
-	h := mw(func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+	h := bind(Interceptor(VerifierConfig{Accounts: StaticAccounts{}, Required: false}), func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
 		if _, ok := PrincipalFrom(ctx); ok {
 			t.Error("unexpected principal")
 		}
