@@ -40,11 +40,20 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "dump per-action call metrics on shutdown")
 	retries := flag.Int("retries", 1, "max attempts for idempotent outbound calls (1 disables retry)")
 	trace := flag.Bool("trace", false, "log one line per call with its request ID")
+	noAttach := flag.Bool("noattach", false, "inline binary content as base64 instead of soap.tcp attachments")
+	tcpPool := flag.Int("tcp-pool", 8, "max idle pooled soap.tcp connections per host (0 dials per message)")
 	flag.Parse()
 
 	port := portOf(*addr)
 	address := fmt.Sprintf("http://%s:%s", *host, port)
 	client := transport.NewClient()
+	tcpTransport := transport.NewTCPTransport()
+	tcpTransport.MaxIdlePerHost = *tcpPool
+	tcpTransport.DisableAttachments = *noAttach
+	client.RegisterScheme(transport.SchemeTCP, tcpTransport)
+	if *noAttach {
+		client.DisableAttachments()
+	}
 	client.Use(pipeline.ClientRequestID(), pipeline.ClientDeadline())
 	if *trace {
 		client.Use(pipeline.Trace(log.Default()))

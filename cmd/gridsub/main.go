@@ -42,6 +42,8 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "dump per-action call metrics after the run")
 	retries := flag.Int("retries", 1, "max attempts for idempotent calls (1 disables retry)")
 	trace := flag.Bool("trace", false, "log one line per call with its request ID")
+	noAttach := flag.Bool("noattach", false, "inline binary content as base64 instead of soap.tcp attachments")
+	tcpPool := flag.Int("tcp-pool", 8, "max idle pooled soap.tcp connections per host (0 dials per message)")
 	flag.Parse()
 	if *jobsetPath == "" {
 		log.Fatal("gridsub: -jobset is required")
@@ -58,6 +60,13 @@ func main() {
 	}
 
 	client := transport.NewClient()
+	tcpTransport := transport.NewTCPTransport()
+	tcpTransport.MaxIdlePerHost = *tcpPool
+	tcpTransport.DisableAttachments = *noAttach
+	client.RegisterScheme(transport.SchemeTCP, tcpTransport)
+	if *noAttach {
+		client.DisableAttachments()
+	}
 	client.Use(pipeline.ClientRequestID(), pipeline.ClientDeadline())
 	if *trace {
 		client.Use(pipeline.Trace(log.Default()))

@@ -268,23 +268,35 @@ func expE6() error {
 		if size >= 4<<20 {
 			n = iters(20, 3)
 		}
-		for _, scheme := range []string{"http", "soap.tcp", "inproc"} {
+		// Each binding with the current wire behaviour, plus the soap.tcp
+		// baseline (inline base64, dial per message) the attachment fast
+		// path and connection pool replaced.
+		fetches := []struct {
+			label, scheme string
+			fetch         func(context.Context, string) (int, error)
+		}{
+			{"http", "http", h.Fetch},
+			{"soap.tcp", "soap.tcp", h.Fetch},
+			{"soap.tcp-v1", "soap.tcp", h.FetchLegacy},
+			{"inproc", "inproc", h.Fetch},
+		}
+		for _, f := range fetches {
 			d, err := timeOp(n, func() error {
-				_, err := h.Fetch(ctx, scheme)
+				_, err := f.fetch(ctx, f.scheme)
 				return err
 			})
 			if err != nil {
 				return err
 			}
 			mbps := float64(size) / d.Seconds() / (1 << 20)
-			fmt.Printf("  %-9s size %8d  %12v  %8.1f MiB/s\n", scheme, size, d.Round(time.Microsecond), mbps)
+			fmt.Printf("  %-11s size %8d  %12v  %8.1f MiB/s\n", f.label, size, d.Round(time.Microsecond), mbps)
 		}
 		d, err := timeOp(n, func() error { return h.LocalStage(ctx) })
 		if err != nil {
 			return err
 		}
 		mbps := float64(size) / d.Seconds() / (1 << 20)
-		fmt.Printf("  %-9s size %8d  %12v  %8.1f MiB/s\n", "local", size, d.Round(time.Microsecond), mbps)
+		fmt.Printf("  %-11s size %8d  %12v  %8.1f MiB/s\n", "local", size, d.Round(time.Microsecond), mbps)
 		h.Close()
 	}
 	return nil

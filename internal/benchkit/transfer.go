@@ -20,6 +20,10 @@ import (
 // files of configurable size.
 type TransferHarness struct {
 	Client *transport.Client
+	// Legacy fetches with the pre-attachment wire behaviour — inline
+	// base64 and a fresh dial per message — so E6 can report the fast
+	// path and its baseline side by side on identical payloads.
+	Legacy *transport.Client
 
 	fssA *filesystem.Service // source machine
 	fssB *filesystem.Service // destination machine
@@ -43,7 +47,12 @@ type TransferHarness struct {
 func NewTransferHarness(payloadSize int) (*TransferHarness, error) {
 	network := transport.NewNetwork()
 	client := transport.NewClient().WithNetwork(network)
-	h := &TransferHarness{Client: client, uploadDone: make(chan struct{}, 64)}
+	legacy := transport.NewClient().WithNetwork(network).DisableAttachments()
+	legacyTCP := transport.NewTCPTransport()
+	legacyTCP.MaxIdlePerHost = 0 // dial per message, as before pooling
+	legacyTCP.DisableAttachments = true
+	legacy.RegisterScheme(transport.SchemeTCP, legacyTCP)
+	h := &TransferHarness{Client: client, Legacy: legacy, uploadDone: make(chan struct{}, 64)}
 
 	mkFSS := func(host string) (*filesystem.Service, *soap.Mux, error) {
 		fs := vfs.New()
@@ -153,6 +162,17 @@ func (h *TransferHarness) Fetch(ctx context.Context, scheme string) (int, error)
 		return 0, err
 	}
 	data, err := filesystem.FetchFile(ctx, h.Client, src, "payload.bin")
+	return len(data), err
+}
+
+// FetchLegacy is Fetch with the pre-attachment wire behaviour (inline
+// base64, dial per message) — the E6 baseline rows.
+func (h *TransferHarness) FetchLegacy(ctx context.Context, scheme string) (int, error) {
+	src, err := h.Source(scheme)
+	if err != nil {
+		return 0, err
+	}
+	data, err := filesystem.FetchFile(ctx, h.Legacy, src, "payload.bin")
 	return len(data), err
 }
 

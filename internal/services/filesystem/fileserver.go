@@ -2,7 +2,6 @@ package filesystem
 
 import (
 	"context"
-	"encoding/base64"
 	"strconv"
 	"sync"
 
@@ -99,10 +98,14 @@ func (fs *FileServer) handleRead(ctx context.Context, req *soap.Envelope) (*soap
 	if !ok {
 		return nil, soap.SenderFault("fileserver: no such file %q", name)
 	}
-	return soap.New(xmlutil.NewContainer(qReadResponse,
+	// Serve the bytes as an attachment; bindings without attachment
+	// support get them inlined as base64 by the transport layer.
+	resp := &soap.Envelope{}
+	resp.Body = xmlutil.NewContainer(qReadResponse,
 		xmlutil.NewElement(qFilename, name),
-		xmlutil.NewElement(qContent, base64.StdEncoding.EncodeToString(data)),
-	)), nil
+		xmlutil.NewContainer(qContent, resp.Attach(data)),
+	)
+	return resp, nil
 }
 
 func (fs *FileServer) handleList(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {

@@ -12,7 +12,6 @@ package filesystem
 
 import (
 	"context"
-	"encoding/base64"
 	"fmt"
 	"strconv"
 	"sync"
@@ -236,9 +235,11 @@ func (s *Service) handleRead(ctx context.Context, inv *wsrf.Invocation, body *xm
 	if err != nil {
 		return nil, wsrf.NewBaseFault("NoSuchFileFault", "%v", err).SOAPFault(soap.CodeSender)
 	}
+	// File bytes leave as a binary attachment; the transport inlines
+	// them as base64 when the requesting binding can't carry parts.
 	return xmlutil.NewContainer(qReadResponse,
 		xmlutil.NewElement(qFilename, name),
-		xmlutil.NewElement(qContent, base64.StdEncoding.EncodeToString(data)),
+		xmlutil.NewContainer(qContent, inv.Attach(data)),
 	), nil
 }
 
@@ -254,9 +255,9 @@ func (s *Service) handleWrite(ctx context.Context, inv *wsrf.Invocation, body *x
 	if name == "" {
 		return nil, soap.SenderFault("fss: Write requires a filename")
 	}
-	data, err := base64.StdEncoding.DecodeString(body.ChildText(qContent))
+	data, err := inv.Req.ContentBytes(body.Child(qContent))
 	if err != nil {
-		return nil, soap.SenderFault("fss: Write content is not base64: %v", err)
+		return nil, soap.SenderFault("fss: Write content: %v", err)
 	}
 	if err := s.fs.Write(path, name, data); err != nil {
 		return nil, soap.ReceiverFault("fss: %v", err)

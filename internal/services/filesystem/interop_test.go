@@ -1,0 +1,95 @@
+package filesystem
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/vfs"
+	"uvacg/internal/wsrf"
+)
+
+// TestFSSOverTCPMixedVersions runs a real soap.tcp FSS and crosses file
+// content between an attachment-capable client and one pinned to inline
+// base64 (the old wire form): each must read what the other wrote,
+// byte-for-byte, proving the attachment fast path changed no observable
+// FSS semantics.
+func TestFSSOverTCPMixedVersions(t *testing.T) {
+	mux := soap.NewMux()
+	tl, err := transport.ListenTCP(transport.NewServer(mux), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+
+	newClient := transport.NewClient()
+	store := resourcedb.NewStore()
+	svc, err := New(Config{
+		Address: tl.BaseURL(),
+		FS:      vfs.New(),
+		Client:  newClient,
+		Home:    wsrf.NewStateHome(store.MustTable("dirs", resourcedb.StructuredCodec{})),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux.Handle(svc.WSRF().Path(), svc.WSRF().Dispatcher())
+
+	oldClient := transport.NewClient().DisableAttachments()
+	ctx := context.Background()
+	dir, err := CreateDirectoryVia(ctx, newClient, svc.EPR(), "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary, XML-hostile content: nulls, markup characters, high bytes.
+	content := bytes.Repeat([]byte{0x00, '<', '&', 0xFE, '\n'}, 2000)
+
+	// New writer, old reader.
+	if err := WriteFile(ctx, newClient, dir, "a.bin", content); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FetchFile(ctx, oldClient, dir, "a.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("inline reader corrupted attached write (%d bytes back)", len(got))
+	}
+
+	// Old writer, new reader.
+	if err := WriteFile(ctx, oldClient, dir, "b.bin", content); err != nil {
+		t.Fatal(err)
+	}
+	got, err = FetchFile(ctx, newClient, dir, "b.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("attachment reader corrupted inline write (%d bytes back)", len(got))
+	}
+}
+
+// TestFileServerInlineFallback fetches from the client's TCP file server
+// with a client pinned to the inline wire form — the path an unupgraded
+// FSS takes against a new client machine.
+func TestFileServerInlineFallback(t *testing.T) {
+	fsrv := NewFileServer("")
+	epr, err := fsrv.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsrv.Close()
+	content := bytes.Repeat([]byte{0x7F, 0x00, '>'}, 1000)
+	fsrv.Publish("data.bin", content)
+
+	got, err := FetchFile(context.Background(), transport.NewClient().DisableAttachments(), epr, "data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("inline fetch corrupted data")
+	}
+}

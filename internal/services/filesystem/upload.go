@@ -2,7 +2,6 @@ package filesystem
 
 import (
 	"context"
-	"encoding/base64"
 	"fmt"
 
 	"uvacg/internal/soap"
@@ -12,9 +11,12 @@ import (
 )
 
 // Caller is the request-response slice of transport.Client these wire
-// helpers need; *transport.Client satisfies it.
+// helpers need; *transport.Client satisfies it. Invoke gives the file
+// helpers the full reply envelope, whose binary attachments carry file
+// bytes on attachment-capable bindings.
 type Caller interface {
 	Call(ctx context.Context, to wsa.EndpointReference, action string, body *xmlutil.Element) (*xmlutil.Element, error)
+	Invoke(ctx context.Context, to wsa.EndpointReference, action string, env *soap.Envelope) (*soap.Envelope, error)
 }
 
 // UploadRequest builds the body of an Upload (or UploadSync) message:
@@ -190,24 +192,31 @@ func (s *Service) stageOne(ctx context.Context, destPath string, f FileRef) erro
 }
 
 // FetchFile reads one file from any endpoint implementing the FSS Read
-// action (a directory resource or a client file server).
+// action (a directory resource or a client file server). The content
+// arrives as a binary attachment on attachment-capable bindings and as
+// inline base64 otherwise; ContentBytes decodes either form.
 func FetchFile(ctx context.Context, c Caller, source wsa.EndpointReference, name string) ([]byte, error) {
-	body, err := c.Call(ctx, source, ActionRead, xmlutil.NewContainer(qRead, xmlutil.NewElement(qFilename, name)))
+	req := soap.New(xmlutil.NewContainer(qRead, xmlutil.NewElement(qFilename, name)))
+	resp, err := c.Invoke(ctx, source, ActionRead, req)
 	if err != nil {
 		return nil, err
 	}
-	if body == nil {
+	if resp == nil || resp.Body == nil {
 		return nil, fmt.Errorf("fss: empty Read response")
 	}
-	return base64.StdEncoding.DecodeString(body.ChildText(qContent))
+	return resp.ContentBytes(resp.Body.Child(qContent))
 }
 
-// WriteFile writes one file into a directory resource over the wire.
+// WriteFile writes one file into a directory resource over the wire,
+// attaching the bytes rather than inlining them (the transport falls
+// back to base64 when the binding or peer requires it).
 func WriteFile(ctx context.Context, c Caller, dir wsa.EndpointReference, name string, data []byte) error {
-	_, err := c.Call(ctx, dir, ActionWrite, xmlutil.NewContainer(qWrite,
+	req := &soap.Envelope{}
+	req.Body = xmlutil.NewContainer(qWrite,
 		xmlutil.NewElement(qFilename, name),
-		xmlutil.NewElement(qContent, base64.StdEncoding.EncodeToString(data)),
-	))
+		xmlutil.NewContainer(qContent, req.Attach(data)),
+	)
+	_, err := c.Invoke(ctx, dir, ActionWrite, req)
 	return err
 }
 

@@ -1,0 +1,57 @@
+package soap
+
+import (
+	"testing"
+
+	"uvacg/internal/xmlutil"
+)
+
+// benchEnvelope is a realistic testbed message: WS-Addressing-shaped
+// headers plus a body the size of a typical FSS/ES request.
+func benchEnvelope() *Envelope {
+	nsA := "http://schemas.xmlsoap.org/ws/2004/03/addressing"
+	nsF := "urn:uvacg:fss"
+	env := New(xmlutil.NewContainer(xmlutil.Q(nsF, "Upload"),
+		xmlutil.NewContainer(xmlutil.Q(nsF, "File"),
+			xmlutil.NewElement(xmlutil.Q(nsF, "SourceEPR"), "soap.tcp://client:9999/files"),
+			xmlutil.NewElement(xmlutil.Q(nsF, "RemoteName"), "input.dat"),
+			xmlutil.NewElement(xmlutil.Q(nsF, "LocalName"), "input.dat"),
+		),
+		xmlutil.NewElement(xmlutil.Q(nsF, "Token"), "bench-token-0001"),
+	))
+	env.AddHeader(xmlutil.NewElement(xmlutil.Q(nsA, "To"), "http://node-a:8080/FileSystemService"))
+	env.AddHeader(xmlutil.NewElement(xmlutil.Q(nsA, "Action"), nsF+"/Upload"))
+	env.AddHeader(xmlutil.NewElement(xmlutil.Q(nsA, "MessageID"), "urn:uuid:00000000-0000-0000-0000-000000000000"))
+	return env
+}
+
+func BenchmarkEnvelopeMarshal(b *testing.B) {
+	env := benchEnvelope()
+	data, err := env.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnvelopeUnmarshal(b *testing.B) {
+	data, err := benchEnvelope().Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

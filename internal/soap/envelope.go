@@ -11,6 +11,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"sync"
 
 	"uvacg/internal/xmlutil"
 )
@@ -31,6 +32,11 @@ var (
 type Envelope struct {
 	Headers []*xmlutil.Element
 	Body    *xmlutil.Element
+	// Attachments are binary parts riding outside the XML, referenced
+	// from the body by <xop:Include> elements (see attach.go). They are
+	// carried natively by bindings that support them and inlined as
+	// base64 otherwise; Marshal serializes only the XML.
+	Attachments []Attachment
 }
 
 // New builds an envelope around a body element.
@@ -78,21 +84,34 @@ func (e *Envelope) RemoveHeader(name xmlutil.QName) int {
 	return removed
 }
 
-// Clone deep-copies the envelope.
+// Clone deep-copies the envelope. Attachment data is shared (the parts
+// are treated as immutable once attached), but the list itself is
+// copied so Attach on the clone cannot disturb the original.
 func (e *Envelope) Clone() *Envelope {
 	out := &Envelope{}
 	for _, h := range e.Headers {
 		out.Headers = append(out.Headers, h.Clone())
 	}
 	out.Body = e.Body.Clone()
+	if len(e.Attachments) > 0 {
+		out.Attachments = append([]Attachment(nil), e.Attachments...)
+	}
 	return out
 }
 
-// Marshal serializes the envelope to wire form.
+// marshalBufPool recycles the scratch buffers envelopes are encoded
+// into: marshalling happens on every hop of every exchange, and the
+// buffer's growth is the only allocation the encoder cannot avoid.
+var marshalBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Marshal serializes the envelope (XML only; attachments travel in the
+// binding's framing or are inlined beforehand) to wire form.
 func (e *Envelope) Marshal() ([]byte, error) {
-	var buf bytes.Buffer
+	buf := marshalBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer marshalBufPool.Put(buf)
 	buf.WriteString(xml.Header)
-	enc := xml.NewEncoder(&buf)
+	enc := xml.NewEncoder(buf)
 	root := &xmlutil.Element{Name: qEnvelope}
 	if len(e.Headers) > 0 {
 		hdr := &xmlutil.Element{Name: qHeader}
@@ -110,7 +129,9 @@ func (e *Envelope) Marshal() ([]byte, error) {
 	if err := enc.Flush(); err != nil {
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }
 
 // Unmarshal parses wire bytes into an Envelope, validating the SOAP

@@ -248,7 +248,7 @@ func TestTCPServerRepliesAfterClientGone(t *testing.T) {
 		t.Fatal(err)
 	}
 	bw := bufio.NewWriter(conn)
-	if err := writeFrame(bw, frameRequest, "/Test", data); err != nil {
+	if err := writeFrame(bw, &frame{kind: frameRequest, path: "/Test", body: data}); err != nil {
 		t.Fatal(err)
 	}
 	if err := bw.Flush(); err != nil {

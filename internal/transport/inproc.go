@@ -90,6 +90,19 @@ func (t *inprocTransport) RoundTrip(ctx context.Context, addr string, request []
 	return srv.HandleRequest(ctx, path, request), nil
 }
 
+// RoundTripMsg implements MessageRoundTripper: the envelope still
+// round-trips its wire encoding, but attachment bytes pass by reference
+// — the in-process analog of the binary fast path. Handlers treat
+// attachment data as immutable, so sharing is safe (vfs copies on both
+// Read and Write).
+func (t *inprocTransport) RoundTripMsg(ctx context.Context, addr string, req *Message) (*Message, error) {
+	srv, path, err := t.resolve(addr)
+	if err != nil {
+		return nil, err
+	}
+	return srv.HandleRequestMsg(ctx, path, req), nil
+}
+
 // Send implements RoundTripper.
 func (t *inprocTransport) Send(ctx context.Context, addr string, request []byte) error {
 	srv, path, err := t.resolve(addr)

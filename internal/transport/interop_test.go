@@ -1,0 +1,404 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/wsa"
+	"uvacg/internal/xmlutil"
+)
+
+var (
+	qBlob         = xmlutil.Q("urn:interop", "Blob")
+	qBlobResponse = xmlutil.Q("urn:interop", "BlobResponse")
+	qData         = xmlutil.Q("urn:interop", "Data")
+)
+
+// blobService echoes binary content: the request's Data bytes come back
+// as the response's Data, attached when the binding allows.
+func blobService() *soap.Mux {
+	d := soap.NewDispatcher()
+	d.Register("urn:Blob", func(ctx context.Context, req *soap.Envelope) (*soap.Envelope, error) {
+		if req.Body == nil {
+			return nil, soap.SenderFault("no body")
+		}
+		data, err := req.ContentBytes(req.Body.Child(qData))
+		if err != nil {
+			return nil, soap.SenderFault("%v", err)
+		}
+		resp := &soap.Envelope{}
+		resp.Body = xmlutil.NewContainer(qBlobResponse,
+			xmlutil.NewContainer(qData, resp.Attach(data)),
+		)
+		return resp, nil
+	})
+	mux := soap.NewMux()
+	mux.Handle("/Blob", d)
+	return mux
+}
+
+func blobRequest(data []byte) *soap.Envelope {
+	req := &soap.Envelope{}
+	req.Body = xmlutil.NewContainer(qBlob, xmlutil.NewContainer(qData, req.Attach(data)))
+	return req
+}
+
+func blobResponseData(t *testing.T, resp *soap.Envelope) []byte {
+	t.Helper()
+	if resp == nil || resp.Body == nil {
+		t.Fatal("empty blob response")
+	}
+	data, err := resp.ContentBytes(resp.Body.Child(qData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// legacyTCPServer replicates the pre-attachment soap.tcp listener on the
+// wire: one v1 frame per connection, reply, close — and an unknown frame
+// kind drops the connection without a reply. It is the stand-in "old
+// server" for mixed-version interop tests.
+type legacyTCPServer struct {
+	l   net.Listener
+	srv *Server
+
+	mu    sync.Mutex
+	conns int
+}
+
+func startLegacyTCPServer(t *testing.T, srv *Server) *legacyTCPServer {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := &legacyTCPServer{l: l, srv: srv}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			ls.mu.Lock()
+			ls.conns++
+			ls.mu.Unlock()
+			go ls.serve(conn)
+		}
+	}()
+	t.Cleanup(func() { l.Close() })
+	return ls
+}
+
+func (ls *legacyTCPServer) connCount() int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.conns
+}
+
+func (ls *legacyTCPServer) serve(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	// The v1 header: kind, pathLen, path, bodyLen, body. An old server
+	// knows nothing of the attachment section that v2 kinds append.
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		return
+	}
+	kind := hdr[0]
+	if _, err := io.ReadFull(br, hdr[:2]); err != nil {
+		return
+	}
+	path := make([]byte, binary.BigEndian.Uint16(hdr[:2]))
+	if _, err := io.ReadFull(br, path); err != nil {
+		return
+	}
+	if _, err := io.ReadFull(br, hdr[:4]); err != nil {
+		return
+	}
+	body := make([]byte, binary.BigEndian.Uint32(hdr[:4]))
+	if _, err := io.ReadFull(br, body); err != nil {
+		return
+	}
+	switch kind {
+	case frameOneWay:
+		ls.srv.HandleOneWay(context.Background(), string(path), body)
+	case frameRequest:
+		resp := ls.srv.HandleRequest(context.Background(), string(path), body)
+		bw := bufio.NewWriter(conn)
+		if writeFrame(bw, &frame{kind: frameReply, body: resp}) == nil {
+			bw.Flush()
+		}
+	default:
+		// Unknown kind (a v2 frame from a new client): close without
+		// replying, exactly what the old listener did.
+	}
+}
+
+// TestNewClientAgainstLegacyServer: a current client carrying a request
+// attachment discovers the old peer (connection closed on the v2 frame),
+// marks it legacy, inlines as base64, and the exchange still completes.
+// Subsequent calls skip the probe and go straight to v1 framing.
+func TestNewClientAgainstLegacyServer(t *testing.T) {
+	ls := startLegacyTCPServer(t, NewServer(blobService()))
+	client := NewClient()
+	to := wsa.NewEPR(SchemeTCP + "://" + ls.l.Addr().String() + "/Blob")
+	data := bytes.Repeat([]byte{0x00, 0xFF, '<', '&'}, 4096) // binary + XML-hostile bytes
+
+	resp, err := client.Invoke(context.Background(), to, "urn:Blob", blobRequest(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := blobResponseData(t, resp); !bytes.Equal(got, data) {
+		t.Fatalf("round trip corrupted data (%d vs %d bytes)", len(got), len(data))
+	}
+	if resp.HasAttachments() {
+		t.Fatal("legacy server cannot have produced real attachments")
+	}
+	if n := ls.connCount(); n != 2 {
+		t.Fatalf("first call should probe v2 then retry v1 (2 connections), saw %d", n)
+	}
+
+	// Second call: the peer is marked legacy, no v2 probe.
+	resp, err = client.Invoke(context.Background(), to, "urn:Blob", blobRequest(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := blobResponseData(t, resp); !bytes.Equal(got, data) {
+		t.Fatal("second round trip corrupted data")
+	}
+	if n := ls.connCount(); n != 3 {
+		t.Fatalf("marked-legacy call should use one v1 connection, total %d", n)
+	}
+}
+
+// TestLegacyClientWireAgainstNewServer hand-rolls the old client's exact
+// bytes — a v1 frameRequest with inline base64 content — against a new
+// listener, and requires a v1 frameReply with the content inlined: the
+// upgraded server stays wire-compatible with unupgraded peers.
+func TestLegacyClientWireAgainstNewServer(t *testing.T) {
+	tl, err := ListenTCP(NewServer(blobService()), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+
+	data := bytes.Repeat([]byte{0xAB, 0x00, '>'}, 1024)
+	env := soap.New(xmlutil.NewContainer(qBlob,
+		xmlutil.NewElement(qData, base64.StdEncoding.EncodeToString(data)),
+	))
+	wsa.Apply(env, wsa.NewEPR(tl.BaseURL()+"/Blob"), "urn:Blob")
+	reqBytes, err := env.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", tl.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, &frame{kind: frameRequest, path: "/Blob", body: reqBytes}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.kind != frameReply {
+		t.Fatalf("old client must receive a v1 reply frame, got kind %d", reply.kind)
+	}
+	if len(reply.atts) != 0 {
+		t.Fatalf("v1 reply carried %d attachments", len(reply.atts))
+	}
+	resp, err := soap.Unmarshal(reply.body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := base64.StdEncoding.DecodeString(resp.Body.Child(qData).Text)
+	if err != nil {
+		t.Fatalf("reply content is not inline base64: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("inline reply corrupted data")
+	}
+}
+
+// TestPoolReuseAndPeerTracking drives two calls through one transport and
+// proves they share a single TCP connection (the server tracked exactly
+// one), that the peer was promoted to v2, and that CloseIdleConnections
+// empties the pool.
+func TestPoolReuseAndPeerTracking(t *testing.T) {
+	tl, err := ListenTCP(NewServer(blobService()), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	tr := NewTCPTransport()
+	client := NewClient()
+	client.RegisterScheme(SchemeTCP, tr)
+	to := wsa.NewEPR(tl.BaseURL() + "/Blob")
+	data := bytes.Repeat([]byte{1, 2, 3}, 2048)
+
+	for i := 0; i < 2; i++ {
+		resp, err := client.Invoke(context.Background(), to, "urn:Blob", blobRequest(data))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !resp.HasAttachments() {
+			t.Fatalf("call %d: reply content was not attached", i)
+		}
+		if got := blobResponseData(t, resp); !bytes.Equal(got, data) {
+			t.Fatalf("call %d corrupted data", i)
+		}
+	}
+
+	if st := tr.peerState(tl.Addr()); st != peerV2 {
+		t.Fatalf("peer state = %d, want peerV2", st)
+	}
+	tl.mu.Lock()
+	live := len(tl.conns)
+	tl.mu.Unlock()
+	if live != 1 {
+		t.Fatalf("server tracked %d connections, want 1 (pooled reuse)", live)
+	}
+	tr.pool.mu.Lock()
+	idle := len(tr.pool.idle[tl.Addr()])
+	tr.pool.mu.Unlock()
+	if idle != 1 {
+		t.Fatalf("pool holds %d idle connections, want 1", idle)
+	}
+	tr.CloseIdleConnections()
+	tr.pool.mu.Lock()
+	idle = len(tr.pool.idle)
+	tr.pool.mu.Unlock()
+	if idle != 0 {
+		t.Fatalf("pool not empty after CloseIdleConnections: %d hosts", idle)
+	}
+}
+
+// TestStalePooledConnectionRetry poisons the pooled connection out from
+// under the transport; the next call must detect the stale checkout and
+// complete on a fresh dial instead of failing.
+func TestStalePooledConnectionRetry(t *testing.T) {
+	tl, err := ListenTCP(NewServer(blobService()), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	tr := NewTCPTransport()
+	client := NewClient()
+	client.RegisterScheme(SchemeTCP, tr)
+	to := wsa.NewEPR(tl.BaseURL() + "/Blob")
+	data := []byte("survives staleness")
+
+	if _, err := client.Invoke(context.Background(), to, "urn:Blob", blobRequest(data)); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the pooled connection as an idle-timeout-closing peer would.
+	tr.pool.mu.Lock()
+	for _, pc := range tr.pool.idle[tl.Addr()] {
+		pc.conn.Close()
+	}
+	tr.pool.mu.Unlock()
+
+	resp, err := client.Invoke(context.Background(), to, "urn:Blob", blobRequest(data))
+	if err != nil {
+		t.Fatalf("stale pooled connection was not retried: %v", err)
+	}
+	if got := blobResponseData(t, resp); !bytes.Equal(got, data) {
+		t.Fatal("retry corrupted data")
+	}
+}
+
+// TestConcurrentPooledClients hammers one shared transport from many
+// goroutines — the race detector's view of the pool, peer map and
+// buffer pools under contention.
+func TestConcurrentPooledClients(t *testing.T) {
+	tl, err := ListenTCP(NewServer(blobService()), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	client := NewClient()
+	to := wsa.NewEPR(tl.BaseURL() + "/Blob")
+
+	const workers, calls = 8, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*calls)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(w)}, 1024+w)
+			for i := 0; i < calls; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				resp, err := client.Invoke(ctx, to, "urn:Blob", blobRequest(payload))
+				cancel()
+				if err != nil {
+					errs <- fmt.Errorf("worker %d call %d: %w", w, i, err)
+					return
+				}
+				got, err := resp.ContentBytes(resp.Body.Child(qData))
+				if err != nil || !bytes.Equal(got, payload) {
+					errs <- fmt.Errorf("worker %d call %d: bad echo (%v)", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDisableAttachmentsStaysInline pins the -noattach behaviour: with
+// attachments disabled the same exchange completes purely inline, and
+// with them enabled the reply content arrives as a real attachment.
+func TestDisableAttachmentsStaysInline(t *testing.T) {
+	tl, err := ListenTCP(NewServer(blobService()), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	to := wsa.NewEPR(tl.BaseURL() + "/Blob")
+	data := bytes.Repeat([]byte{0xC0, 0x01}, 512)
+
+	for _, tc := range []struct {
+		name       string
+		client     *Client
+		wantAttach bool
+	}{
+		{"attachments", NewClient(), true},
+		{"noattach", NewClient().DisableAttachments(), false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := tc.client.Invoke(context.Background(), to, "urn:Blob", blobRequest(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.HasAttachments() != tc.wantAttach {
+				t.Fatalf("HasAttachments = %v, want %v", resp.HasAttachments(), tc.wantAttach)
+			}
+			if got := blobResponseData(t, resp); !bytes.Equal(got, data) {
+				t.Fatal("corrupted data")
+			}
+		})
+	}
+}

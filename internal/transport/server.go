@@ -39,8 +39,11 @@ func (s *Server) Use(ics ...soap.Interceptor) {
 
 // HandleRequest processes one request-response exchange for the service
 // at path, returning the serialized reply (possibly a fault envelope).
+// The reply channel is byte-only, so reply attachments are inlined as
+// base64 — the path HTTP and old-framing TCP peers take.
 func (s *Server) HandleRequest(ctx context.Context, path string, request []byte) []byte {
-	resp := s.process(ctx, path, request, false)
+	resp := s.process(ctx, path, &Message{Envelope: request}, false)
+	resp.InlineAttachments()
 	data, err := resp.Marshal()
 	if err != nil {
 		// A reply we constructed failed to serialize: fall back to a
@@ -50,10 +53,28 @@ func (s *Server) HandleRequest(ctx context.Context, path string, request []byte)
 	return data
 }
 
+// HandleRequestMsg is HandleRequest for attachment-capable bindings:
+// request attachments reach the handlers, and reply attachments travel
+// back raw instead of being inlined.
+func (s *Server) HandleRequestMsg(ctx context.Context, path string, request *Message) *Message {
+	resp := s.process(ctx, path, request, false)
+	data, err := resp.Marshal()
+	if err != nil {
+		data, _ = soap.ReceiverFault("response serialization failed: %v", err).Envelope().Marshal()
+		return &Message{Envelope: data}
+	}
+	return &Message{Envelope: data, Attachments: resp.Attachments}
+}
+
 // HandleOneWay accepts a one-way message for the service at path. The
 // caller's connection obligation ends as soon as this returns; dispatch
 // proceeds asynchronously, and failures go to ErrorLog.
 func (s *Server) HandleOneWay(ctx context.Context, path string, request []byte) {
+	s.HandleOneWayMsg(ctx, path, &Message{Envelope: request})
+}
+
+// HandleOneWayMsg is HandleOneWay with attachments.
+func (s *Server) HandleOneWayMsg(ctx context.Context, path string, request *Message) {
 	// Detach from the transport's per-connection context: the sender has
 	// already gone away by design.
 	bg := context.WithoutCancel(ctx)
@@ -73,12 +94,14 @@ func (s *Server) HandleOneWay(ctx context.Context, path string, request []byte) 
 }
 
 // process runs the full receive pipeline and always produces a reply
-// envelope (faults included).
-func (s *Server) process(ctx context.Context, path string, request []byte, oneWay bool) *soap.Envelope {
-	env, err := soap.Unmarshal(request)
+// envelope (faults included). Reply attachments, if any, are left on
+// the envelope for the caller to carry or inline per the binding.
+func (s *Server) process(ctx context.Context, path string, request *Message, oneWay bool) *soap.Envelope {
+	env, err := soap.Unmarshal(request.Envelope)
 	if err != nil {
 		return soap.SenderFault("malformed envelope: %v", err).Envelope()
 	}
+	env.Attachments = request.Attachments
 	info, err := wsa.Extract(env)
 	if err != nil {
 		return soap.SenderFault("%v", err).Envelope()

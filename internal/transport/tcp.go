@@ -4,12 +4,16 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/url"
+	"strings"
 	"sync"
 	"time"
+
+	"uvacg/internal/soap"
 )
 
 // SchemeTCP is the URI scheme of the framed-TCP binding, the analog of
@@ -17,17 +21,32 @@ import (
 // moving large files (paper §4.1).
 const SchemeTCP = "soap.tcp"
 
-// Frame kinds on the wire.
+// Frame kinds on the wire. The low kinds are the original (v1) framing:
+// envelope bytes only. The v2 kinds append an attachment section after
+// the body — the MTOM/XOP-style binary fast path — and double as the
+// protocol version byte: an old peer reading an unknown kind closes the
+// connection, which a new client detects and downgrades on.
 const (
-	frameRequest byte = 0 // request-response request; a response frame follows
-	frameOneWay  byte = 1 // one-way message; the connection closes after receipt
-	frameReply   byte = 2 // response to a request frame
+	frameRequest  byte = 0 // v1 request-response request; a response frame follows
+	frameOneWay   byte = 1 // v1 one-way message
+	frameReply    byte = 2 // v1 response to a request frame
+	frameRequest2 byte = 3 // v2 request: body followed by attachment section
+	frameOneWay2  byte = 4 // v2 one-way with attachment section
+	frameReply2   byte = 5 // v2 response with attachment section
 )
 
-// maxFrameSize bounds a single message (64 MiB): large enough for the
-// testbed's file chunks, small enough to stop a corrupt length prefix
-// from allocating unbounded memory.
+// kindHasAttachments reports whether the frame kind carries the v2
+// attachment section after the body.
+func kindHasAttachments(kind byte) bool { return kind >= frameRequest2 && kind <= frameReply2 }
+
+// maxFrameSize bounds a single message section (64 MiB): large enough
+// for the testbed's file chunks, small enough to stop a corrupt length
+// prefix from allocating unbounded memory. The body and the attachment
+// section are bounded independently, each by this limit.
 const maxFrameSize = 64 << 20
+
+// maxAttachments bounds the parts of one frame.
+const maxAttachments = 256
 
 // Wire layout of a frame:
 //
@@ -36,64 +55,213 @@ const maxFrameSize = 64 << 20
 //	path    [pathLen]byte
 //	bodyLen uint32 (big endian)
 //	body    [bodyLen]byte         serialized SOAP envelope
+//
+// v2 kinds append the attachment section:
+//
+//	attCount uint16 (big endian)
+//	per attachment:
+//	  idLen   uint16
+//	  id      [idLen]byte         the cid the body's xop:Include references
+//	  dataLen uint32
+//	  data    [dataLen]byte       raw bytes, no base64, no XML escaping
+type frame struct {
+	kind byte
+	path string
+	body []byte
+	atts []soap.Attachment
+}
 
-func writeFrame(w io.Writer, kind byte, path string, body []byte) error {
-	if len(path) > 0xFFFF {
-		return fmt.Errorf("transport: service path too long (%d bytes)", len(path))
+func writeFrame(w io.Writer, fr *frame) error {
+	if len(fr.path) > 0xFFFF {
+		return fmt.Errorf("transport: service path too long (%d bytes)", len(fr.path))
 	}
-	if len(body) > maxFrameSize {
-		return fmt.Errorf("transport: frame body %d exceeds limit %d", len(body), maxFrameSize)
+	if len(fr.body) > maxFrameSize {
+		return fmt.Errorf("transport: frame body %d exceeds limit %d", len(fr.body), maxFrameSize)
 	}
-	header := make([]byte, 0, 7+len(path))
-	header = append(header, kind)
-	header = binary.BigEndian.AppendUint16(header, uint16(len(path)))
-	header = append(header, path...)
-	header = binary.BigEndian.AppendUint32(header, uint32(len(body)))
+	header := make([]byte, 0, 7+len(fr.path))
+	header = append(header, fr.kind)
+	header = binary.BigEndian.AppendUint16(header, uint16(len(fr.path)))
+	header = append(header, fr.path...)
+	header = binary.BigEndian.AppendUint32(header, uint32(len(fr.body)))
 	if _, err := w.Write(header); err != nil {
 		return err
 	}
-	_, err := w.Write(body)
-	return err
+	if _, err := w.Write(fr.body); err != nil {
+		return err
+	}
+	if !kindHasAttachments(fr.kind) {
+		if len(fr.atts) > 0 {
+			return fmt.Errorf("transport: frame kind %d cannot carry %d attachments", fr.kind, len(fr.atts))
+		}
+		return nil
+	}
+	if len(fr.atts) > maxAttachments {
+		return fmt.Errorf("transport: %d attachments exceed limit %d", len(fr.atts), maxAttachments)
+	}
+	var hdr [6]byte
+	binary.BigEndian.PutUint16(hdr[:2], uint16(len(fr.atts)))
+	if _, err := w.Write(hdr[:2]); err != nil {
+		return err
+	}
+	total := 0
+	for _, a := range fr.atts {
+		if len(a.ID) > 0xFFFF {
+			return fmt.Errorf("transport: attachment id too long (%d bytes)", len(a.ID))
+		}
+		if total += len(a.Data); total > maxFrameSize {
+			return fmt.Errorf("transport: attachment section exceeds limit %d", maxFrameSize)
+		}
+		binary.BigEndian.PutUint16(hdr[:2], uint16(len(a.ID)))
+		if _, err := w.Write(hdr[:2]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, a.ID); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(a.Data)))
+		if _, err := w.Write(hdr[:4]); err != nil {
+			return err
+		}
+		if _, err := w.Write(a.Data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func readFrame(r io.Reader) (kind byte, path string, body []byte, err error) {
-	var kb [1]byte
-	if _, err = io.ReadFull(r, kb[:]); err != nil {
-		return 0, "", nil, err
+func readFrame(r io.Reader) (*frame, error) {
+	// One fixed scratch buffer for every header field: the hot path
+	// reads with io.ReadFull only, no reflection, no per-field
+	// allocations.
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, err
 	}
-	kind = kb[0]
-	var plen uint16
-	if err = binary.Read(r, binary.BigEndian, &plen); err != nil {
-		return 0, "", nil, err
+	fr := &frame{kind: hdr[0]}
+	if _, err := io.ReadFull(r, hdr[:2]); err != nil {
+		return nil, err
 	}
-	pbuf := make([]byte, plen)
-	if _, err = io.ReadFull(r, pbuf); err != nil {
-		return 0, "", nil, err
+	plen := binary.BigEndian.Uint16(hdr[:2])
+	if plen > 0 {
+		pbuf := make([]byte, plen)
+		if _, err := io.ReadFull(r, pbuf); err != nil {
+			return nil, err
+		}
+		fr.path = string(pbuf)
 	}
-	var blen uint32
-	if err = binary.Read(r, binary.BigEndian, &blen); err != nil {
-		return 0, "", nil, err
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return nil, err
 	}
+	blen := binary.BigEndian.Uint32(hdr[:4])
 	if blen > maxFrameSize {
-		return 0, "", nil, fmt.Errorf("transport: frame body %d exceeds limit %d", blen, maxFrameSize)
+		return nil, fmt.Errorf("transport: frame body %d exceeds limit %d", blen, maxFrameSize)
 	}
-	body = make([]byte, blen)
-	if _, err = io.ReadFull(r, body); err != nil {
-		return 0, "", nil, err
+	fr.body = make([]byte, blen)
+	if _, err := io.ReadFull(r, fr.body); err != nil {
+		return nil, err
 	}
-	return kind, string(pbuf), body, nil
+	if !kindHasAttachments(fr.kind) {
+		return fr, nil
+	}
+	if _, err := io.ReadFull(r, hdr[:2]); err != nil {
+		return nil, err
+	}
+	count := binary.BigEndian.Uint16(hdr[:2])
+	if count > maxAttachments {
+		return nil, fmt.Errorf("transport: %d attachments exceed limit %d", count, maxAttachments)
+	}
+	total := 0
+	for i := 0; i < int(count); i++ {
+		if _, err := io.ReadFull(r, hdr[:2]); err != nil {
+			return nil, err
+		}
+		idbuf := make([]byte, binary.BigEndian.Uint16(hdr[:2]))
+		if _, err := io.ReadFull(r, idbuf); err != nil {
+			return nil, err
+		}
+		if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+			return nil, err
+		}
+		dlen := binary.BigEndian.Uint32(hdr[:4])
+		if total += int(dlen); total > maxFrameSize {
+			return nil, fmt.Errorf("transport: attachment section exceeds limit %d", maxFrameSize)
+		}
+		data := make([]byte, dlen)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, err
+		}
+		fr.atts = append(fr.atts, soap.Attachment{ID: string(idbuf), Data: data})
+	}
+	return fr, nil
 }
 
-// TCPTransport is the soap.tcp:// client binding. Connections are dialed
-// per message; the framing keeps each exchange self-delimiting.
+// TCPTransport is the soap.tcp:// client binding. Connections to peers
+// that speak the v2 framing persist in a bounded per-host pool and are
+// reused across messages; old-framing peers keep the original
+// dial-per-message discipline (they close after each exchange anyway).
 type TCPTransport struct {
 	dialer net.Dialer
+
+	// MaxIdlePerHost bounds the pooled idle connections per host:port;
+	// 0 disables pooling entirely. Set before first use.
+	MaxIdlePerHost int
+	// IdleTimeout discards pooled connections idle longer than this.
+	IdleTimeout time.Duration
+	// DisableAttachments forces the v1 framing (inline base64 only),
+	// for wire compatibility drills and the cmds' -noattach flag.
+	DisableAttachments bool
+
+	pool   connPool
+	peerMu sync.Mutex
+	peers  map[string]byte // hostport -> peerV2 / peerLegacy
 }
 
-// NewTCPTransport builds the binding.
+const (
+	peerV2     byte = 1 // replied to a v2 frame: persistent + attachments
+	peerLegacy byte = 2 // closed on a v2 frame: v1 framing only
+)
+
+// legacyTTL bounds how long a peer stays marked legacy, so a server
+// upgrade (or a misdiagnosed network failure) heals without a client
+// restart.
+const legacyTTL = 5 * time.Minute
+
+// NewTCPTransport builds the binding with pooling enabled.
 func NewTCPTransport() *TCPTransport {
-	return &TCPTransport{dialer: net.Dialer{Timeout: 10 * time.Second}}
+	return &TCPTransport{
+		dialer:         net.Dialer{Timeout: 10 * time.Second},
+		MaxIdlePerHost: 8,
+		IdleTimeout:    60 * time.Second,
+	}
 }
+
+func (t *TCPTransport) peerState(hostport string) byte {
+	t.peerMu.Lock()
+	defer t.peerMu.Unlock()
+	return t.peers[hostport]
+}
+
+func (t *TCPTransport) setPeerState(hostport string, state byte) {
+	t.peerMu.Lock()
+	defer t.peerMu.Unlock()
+	if t.peers == nil {
+		t.peers = make(map[string]byte)
+	}
+	t.peers[hostport] = state
+	if state == peerLegacy {
+		// Forget the marking eventually so an upgraded server is retried.
+		time.AfterFunc(legacyTTL, func() {
+			t.peerMu.Lock()
+			defer t.peerMu.Unlock()
+			if t.peers[hostport] == peerLegacy {
+				delete(t.peers, hostport)
+			}
+		})
+	}
+}
+
+// CloseIdleConnections drops every pooled connection.
+func (t *TCPTransport) CloseIdleConnections() { t.pool.closeIdle() }
 
 func splitTCPAddr(addr string) (hostport, path string, err error) {
 	u, err := url.Parse(addr)
@@ -147,65 +315,158 @@ func ctxIOErr(ctx context.Context, err error) error {
 	return err
 }
 
-// RoundTrip implements RoundTripper.
-func (t *TCPTransport) RoundTrip(ctx context.Context, addr string, request []byte) ([]byte, error) {
-	hostport, path, err := splitTCPAddr(addr)
-	if err != nil {
-		return nil, err
+// exchange performs one framed exchange (write fr, read one reply when
+// wantReply) on a pooled or fresh connection. A failure on a reused
+// pooled connection — the peer may have dropped it while idle — is
+// retried once on a fresh dial. Healthy connections return to the pool
+// only once the peer is known to speak v2 (old servers close after
+// every exchange, so pooling to them would silently lose one-way sends
+// and waste a round trip on every request).
+func (t *TCPTransport) exchange(ctx context.Context, hostport string, fr *frame, wantReply bool) (*frame, error) {
+	for attempt := 0; ; attempt++ {
+		var pc *pooledConn
+		if attempt == 0 && t.MaxIdlePerHost > 0 {
+			pc = t.pool.get(hostport, t.IdleTimeout)
+		}
+		if pc == nil {
+			conn, err := t.dialer.DialContext(ctx, "tcp", hostport)
+			if err != nil {
+				return nil, err
+			}
+			pc = newPooledConn(conn)
+		}
+		reply, err := t.exchangeOn(ctx, pc, fr, wantReply)
+		if err != nil {
+			pc.Close()
+			if pc.reused && ctx.Err() == nil {
+				continue // stale pooled connection: one retry on a fresh dial
+			}
+			return nil, err
+		}
+		if reply != nil && kindHasAttachments(reply.kind) {
+			t.setPeerState(hostport, peerV2)
+		}
+		if t.MaxIdlePerHost > 0 && t.peerState(hostport) == peerV2 {
+			t.pool.put(hostport, pc, t.MaxIdlePerHost, t.IdleTimeout)
+		} else {
+			pc.Close()
+		}
+		return reply, nil
 	}
-	conn, err := t.dialer.DialContext(ctx, "tcp", hostport)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
+}
+
+func (t *TCPTransport) exchangeOn(ctx context.Context, pc *pooledConn, fr *frame, wantReply bool) (*frame, error) {
 	if dl, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(dl)
+		pc.conn.SetDeadline(dl)
 	}
-	stop := watchCancel(ctx, conn)
+	stop := watchCancel(ctx, pc.conn)
 	defer stop()
-	bw := bufio.NewWriter(conn)
-	if err := writeFrame(bw, frameRequest, path, request); err != nil {
+	if err := writeFrame(pc.bw, fr); err != nil {
 		return nil, ctxIOErr(ctx, err)
 	}
-	if err := bw.Flush(); err != nil {
+	if err := pc.bw.Flush(); err != nil {
 		return nil, ctxIOErr(ctx, err)
 	}
-	kind, _, body, err := readFrame(bufio.NewReader(conn))
+	if !wantReply {
+		return nil, nil
+	}
+	reply, err := readFrame(pc.br)
 	if err != nil {
 		if ce := ctxIOErr(ctx, err); ce != err {
 			return nil, ce
 		}
 		return nil, fmt.Errorf("reading reply frame: %w", err)
 	}
-	if kind != frameReply {
-		return nil, fmt.Errorf("unexpected frame kind %d in reply", kind)
-	}
-	return body, nil
+	return reply, nil
 }
 
-// Send implements RoundTripper's one-way hand-off: write the frame and
-// close, exactly the connection discipline the paper describes.
+// peerClosed reports an error shape consistent with "the peer closed
+// the connection without replying" — what an old-framing server does on
+// seeing a v2 frame kind.
+func peerClosed(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	return strings.Contains(err.Error(), "connection reset")
+}
+
+// RoundTrip implements RoundTripper with the original v1 framing.
+func (t *TCPTransport) RoundTrip(ctx context.Context, addr string, request []byte) ([]byte, error) {
+	hostport, path, err := splitTCPAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := t.exchange(ctx, hostport, &frame{kind: frameRequest, path: path, body: request}, true)
+	if err != nil {
+		return nil, err
+	}
+	if reply.kind != frameReply {
+		return nil, fmt.Errorf("unexpected frame kind %d in reply", reply.kind)
+	}
+	return reply.body, nil
+}
+
+// RoundTripMsg implements MessageRoundTripper: the v2 framing with the
+// attachment section. Against a peer that closes on the v2 frame kind,
+// the transport marks it legacy and downgrades — transparently when the
+// request has no attachments, with ErrAttachmentsUnsupported otherwise
+// so the caller re-marshals with attachments inlined.
+func (t *TCPTransport) RoundTripMsg(ctx context.Context, addr string, req *Message) (*Message, error) {
+	hostport, path, err := splitTCPAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	if t.DisableAttachments || t.peerState(hostport) == peerLegacy {
+		return t.roundTripV1(ctx, addr, req)
+	}
+	reply, err := t.exchange(ctx, hostport, &frame{kind: frameRequest2, path: path, body: req.Envelope, atts: req.Attachments}, true)
+	if err != nil {
+		if peerClosed(err) && ctx.Err() == nil {
+			t.setPeerState(hostport, peerLegacy)
+			return t.roundTripV1(ctx, addr, req)
+		}
+		return nil, err
+	}
+	switch reply.kind {
+	case frameReply2, frameReply:
+		return &Message{Envelope: reply.body, Attachments: reply.atts}, nil
+	}
+	return nil, fmt.Errorf("unexpected frame kind %d in reply", reply.kind)
+}
+
+// roundTripV1 is the downgrade path: v1 framing carries no attachments,
+// so requests that need them must be re-marshalled inline by the caller.
+func (t *TCPTransport) roundTripV1(ctx context.Context, addr string, req *Message) (*Message, error) {
+	if len(req.Attachments) > 0 {
+		return nil, ErrAttachmentsUnsupported
+	}
+	body, err := t.RoundTrip(ctx, addr, req.Envelope)
+	if err != nil {
+		return nil, err
+	}
+	return &Message{Envelope: body}, nil
+}
+
+// Send implements RoundTripper's one-way hand-off. One-way messages
+// always use the v1 frame kind: there is no reply on which to detect an
+// old peer, and v1 one-way frames are understood by every server
+// generation (attachments on one-way sends are inlined by the client
+// layer for the same reason).
 func (t *TCPTransport) Send(ctx context.Context, addr string, request []byte) error {
 	hostport, path, err := splitTCPAddr(addr)
 	if err != nil {
 		return err
 	}
-	conn, err := t.dialer.DialContext(ctx, "tcp", hostport)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	if dl, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(dl)
-	}
-	stop := watchCancel(ctx, conn)
-	defer stop()
-	bw := bufio.NewWriter(conn)
-	if err := writeFrame(bw, frameOneWay, path, request); err != nil {
-		return ctxIOErr(ctx, err)
-	}
-	return ctxIOErr(ctx, bw.Flush())
+	_, err = t.exchange(ctx, hostport, &frame{kind: frameOneWay, path: path, body: request}, false)
+	return err
 }
+
+// Buffered reader/writer pools for server-side connections: one pair per
+// live connection, recycled across connections rather than reallocated.
+var (
+	serveReaderPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 32<<10) }}
+	serveWriterPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, 32<<10) }}
+)
 
 // TCPListener hosts a Server behind the soap.tcp binding.
 type TCPListener struct {
@@ -213,6 +474,9 @@ type TCPListener struct {
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   chan struct{}
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
 }
 
 // ListenTCP starts serving srv on addr (host:port; empty port picks a
@@ -223,7 +487,7 @@ func ListenTCP(srv *Server, addr string) (*TCPListener, error) {
 	if err != nil {
 		return nil, err
 	}
-	tl := &TCPListener{srv: srv, listener: l, closed: make(chan struct{})}
+	tl := &TCPListener{srv: srv, listener: l, closed: make(chan struct{}), conns: make(map[net.Conn]struct{})}
 	tl.wg.Add(1)
 	go tl.acceptLoop()
 	return tl, nil
@@ -235,16 +499,45 @@ func (tl *TCPListener) Addr() string { return tl.listener.Addr().String() }
 // BaseURL returns the soap.tcp:// URL prefix for this listener.
 func (tl *TCPListener) BaseURL() string { return SchemeTCP + "://" + tl.Addr() }
 
-// Close stops accepting and waits for in-flight connections.
+// Close stops accepting, force-closes live connections (persistent
+// clients may otherwise hold them open indefinitely) and waits for the
+// per-connection goroutines.
 func (tl *TCPListener) Close() error {
 	close(tl.closed)
 	err := tl.listener.Close()
+	tl.mu.Lock()
+	for c := range tl.conns {
+		c.Close()
+	}
+	tl.mu.Unlock()
 	tl.wg.Wait()
 	return err
 }
 
+// track registers a live connection for Close; it refuses (and closes)
+// connections accepted after shutdown began.
+func (tl *TCPListener) track(conn net.Conn) bool {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	select {
+	case <-tl.closed:
+		conn.Close()
+		return false
+	default:
+	}
+	tl.conns[conn] = struct{}{}
+	return true
+}
+
+func (tl *TCPListener) untrack(conn net.Conn) {
+	tl.mu.Lock()
+	delete(tl.conns, conn)
+	tl.mu.Unlock()
+}
+
 func (tl *TCPListener) acceptLoop() {
 	defer tl.wg.Done()
+	backoff := 5 * time.Millisecond
 	for {
 		conn, err := tl.listener.Accept()
 		if err != nil {
@@ -252,8 +545,22 @@ func (tl *TCPListener) acceptLoop() {
 			case <-tl.closed:
 				return
 			default:
-				continue
 			}
+			// Transient accept failure (fd exhaustion, aborted
+			// handshake): back off instead of busy-spinning.
+			select {
+			case <-tl.closed:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
+		}
+		backoff = 5 * time.Millisecond
+		if !tl.track(conn) {
+			return
 		}
 		tl.wg.Add(1)
 		go func() {
@@ -263,22 +570,52 @@ func (tl *TCPListener) acceptLoop() {
 	}
 }
 
+// serveConn serves frames until the peer goes away: persistent clients
+// multiplex many sequential exchanges over one connection; old clients
+// close after their single exchange and the loop simply ends on EOF.
 func (tl *TCPListener) serveConn(conn net.Conn) {
+	defer tl.untrack(conn)
 	defer conn.Close()
-	kind, path, body, err := readFrame(bufio.NewReader(conn))
-	if err != nil {
-		return
-	}
+	br := serveReaderPool.Get().(*bufio.Reader)
+	bw := serveWriterPool.Get().(*bufio.Writer)
+	br.Reset(conn)
+	bw.Reset(conn)
+	defer func() {
+		br.Reset(nil)
+		bw.Reset(nil)
+		serveReaderPool.Put(br)
+		serveWriterPool.Put(bw)
+	}()
 	ctx := context.Background()
-	switch kind {
-	case frameOneWay:
-		tl.srv.HandleOneWay(ctx, path, body)
-	case frameRequest:
-		resp := tl.srv.HandleRequest(ctx, path, body)
-		bw := bufio.NewWriter(conn)
-		if err := writeFrame(bw, frameReply, "", resp); err != nil {
+	for {
+		fr, err := readFrame(br)
+		if err != nil {
 			return
 		}
-		bw.Flush()
+		switch fr.kind {
+		case frameOneWay, frameOneWay2:
+			tl.srv.HandleOneWayMsg(ctx, fr.path, &Message{Envelope: fr.body, Attachments: fr.atts})
+		case frameRequest:
+			// v1 peer: the reply must inline any attachments.
+			resp := tl.srv.HandleRequest(ctx, fr.path, fr.body)
+			if err := writeFrame(bw, &frame{kind: frameReply, body: resp}); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case frameRequest2:
+			resp := tl.srv.HandleRequestMsg(ctx, fr.path, &Message{Envelope: fr.body, Attachments: fr.atts})
+			if err := writeFrame(bw, &frame{kind: frameReply2, body: resp.Envelope, atts: resp.Attachments}); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		default:
+			// Unknown frame kind: future protocol or corruption — drop
+			// the connection, mirroring what old servers do with v2.
+			return
+		}
 	}
 }

@@ -5,28 +5,49 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"uvacg/internal/soap"
 )
 
 func TestFrameRoundTripProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		kind := byte(r.Intn(3))
+		kind := byte(r.Intn(6)) // v1 and v2 kinds
 		path := "/Svc"
 		if r.Intn(2) == 0 {
 			path = ""
 		}
 		body := make([]byte, r.Intn(4096))
 		r.Read(body)
+		fr := &frame{kind: kind, path: path, body: body}
+		if kindHasAttachments(kind) {
+			for i := 0; i < r.Intn(4); i++ {
+				data := make([]byte, r.Intn(2048))
+				r.Read(data)
+				fr.atts = append(fr.atts, soap.Attachment{ID: soap.NextAttachmentID(fr.atts), Data: data})
+			}
+		}
 
 		var buf bytes.Buffer
-		if err := writeFrame(&buf, kind, path, body); err != nil {
+		if err := writeFrame(&buf, fr); err != nil {
 			return false
 		}
-		gk, gp, gb, err := readFrame(&buf)
+		got, err := readFrame(&buf)
 		if err != nil {
 			return false
 		}
-		return gk == kind && gp == path && bytes.Equal(gb, body)
+		if got.kind != fr.kind || got.path != fr.path || !bytes.Equal(got.body, fr.body) {
+			return false
+		}
+		if len(got.atts) != len(fr.atts) {
+			return false
+		}
+		for i := range fr.atts {
+			if got.atts[i].ID != fr.atts[i].ID || !bytes.Equal(got.atts[i].Data, fr.atts[i].Data) {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
@@ -38,31 +59,67 @@ func TestFrameRejectsOversize(t *testing.T) {
 	// Forge a frame header that claims a body beyond the limit.
 	buf.Write([]byte{frameRequest, 0, 0})     // kind + empty path
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB body length
-	if _, _, _, err := readFrame(&buf); err == nil {
+	if _, err := readFrame(&buf); err == nil {
 		t.Fatal("oversize frame accepted")
 	}
 }
 
+func TestFrameRejectsOversizeAttachmentSection(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{frameRequest2, 0, 0}) // kind + empty path
+	buf.Write([]byte{0, 0, 0, 0})          // empty body
+	buf.Write([]byte{0, 1})                // one attachment
+	buf.Write([]byte{0, 1, 'a'})           // id "a"
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversize attachment accepted")
+	}
+}
+
+func TestFrameRejectsTooManyAttachments(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{frameReply2, 0, 0})
+	buf.Write([]byte{0, 0, 0, 0})
+	buf.Write([]byte{0xFF, 0xFF}) // 65535 attachments
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("attachment count beyond limit accepted")
+	}
+	fr := &frame{kind: frameReply2, atts: make([]soap.Attachment, maxAttachments+1)}
+	if err := writeFrame(&bytes.Buffer{}, fr); err == nil {
+		t.Fatal("writeFrame accepted attachment count beyond limit")
+	}
+}
+
 func TestWriteFrameRejectsOversizeBody(t *testing.T) {
-	// Can't allocate 64 MiB+1 cheaply in every CI run; use a fake slice
-	// header via limited test: writeFrame checks len(body) only.
 	body := make([]byte, maxFrameSize+1)
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, frameRequest, "/S", body); err == nil {
+	if err := writeFrame(&buf, &frame{kind: frameRequest, path: "/S", body: body}); err == nil {
 		t.Fatal("oversize body accepted")
 	}
 }
 
-func TestFrameTruncatedRead(t *testing.T) {
-	var buf bytes.Buffer
-	if err := writeFrame(&buf, frameRequest, "/Svc", []byte("hello world")); err != nil {
-		t.Fatal(err)
+func TestWriteFrameRejectsAttachmentsOnV1(t *testing.T) {
+	fr := &frame{kind: frameRequest, path: "/S", atts: []soap.Attachment{{ID: "a", Data: []byte("x")}}}
+	if err := writeFrame(&bytes.Buffer{}, fr); err == nil {
+		t.Fatal("v1 frame with attachments accepted")
 	}
-	full := buf.Bytes()
-	for cut := 1; cut < len(full); cut += 3 {
-		trunc := bytes.NewReader(full[:cut])
-		if _, _, _, err := readFrame(trunc); err == nil {
-			t.Fatalf("truncation at %d bytes accepted", cut)
+}
+
+func TestFrameTruncatedRead(t *testing.T) {
+	for _, fr := range []*frame{
+		{kind: frameRequest, path: "/Svc", body: []byte("hello world")},
+		{kind: frameRequest2, path: "/Svc", body: []byte("hello"), atts: []soap.Attachment{{ID: "att-1", Data: []byte("binary bytes")}}},
+	} {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, fr); err != nil {
+			t.Fatal(err)
+		}
+		full := buf.Bytes()
+		for cut := 1; cut < len(full); cut += 3 {
+			trunc := bytes.NewReader(full[:cut])
+			if _, err := readFrame(trunc); err == nil {
+				t.Fatalf("kind %d: truncation at %d bytes accepted", fr.kind, cut)
+			}
 		}
 	}
 }

@@ -17,6 +17,7 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/url"
 
@@ -33,6 +34,31 @@ type RoundTripper interface {
 	Send(ctx context.Context, addr string, request []byte) error
 }
 
+// Message is a serialized envelope plus its binary attachments — the
+// unit bindings with attachment support move, keeping file bytes out of
+// the XML (no base64 inflation, no escaping scan).
+type Message struct {
+	Envelope    []byte
+	Attachments []soap.Attachment
+}
+
+// MessageRoundTripper is the optional attachment-capable interface of a
+// binding. Transports that implement it (soap.tcp v2 framing, inproc)
+// receive requests as Messages and may return reply attachments; others
+// get envelopes with attachments inlined as base64.
+type MessageRoundTripper interface {
+	RoundTripMsg(ctx context.Context, addr string, req *Message) (*Message, error)
+}
+
+// ErrAttachmentsUnsupported is returned by a MessageRoundTripper that
+// discovered (or knows) its peer cannot accept attachments; the caller
+// inlines them and retries over the plain byte path.
+var ErrAttachmentsUnsupported = errors.New("transport: peer does not support attachments")
+
+// idleCloser is the optional interface of transports that pool
+// connections.
+type idleCloser interface{ CloseIdleConnections() }
+
 // Client invokes SOAP operations on WS-Resources. The zero value is not
 // usable; construct with NewClient.
 //
@@ -42,6 +68,9 @@ type RoundTripper interface {
 type Client struct {
 	schemes map[string]RoundTripper
 	chain   soap.Chain
+	// noAttach forces attachment inlining on every binding (the cmds'
+	// -noattach flag and the baseline rows of E6).
+	noAttach bool
 }
 
 // NewClient builds a client with the http and soap.tcp bindings
@@ -67,6 +96,23 @@ func (c *Client) RegisterScheme(scheme string, rt RoundTripper) {
 		panic("transport: RegisterScheme with empty scheme or nil transport")
 	}
 	c.schemes[scheme] = rt
+}
+
+// DisableAttachments forces inline base64 for binary content on every
+// binding and returns the client for chaining.
+func (c *Client) DisableAttachments() *Client {
+	c.noAttach = true
+	return c
+}
+
+// CloseIdleConnections drops pooled connections on every binding that
+// keeps them (soap.tcp, http).
+func (c *Client) CloseIdleConnections() {
+	for _, rt := range c.schemes {
+		if ic, ok := rt.(idleCloser); ok {
+			ic.CloseIdleConnections()
+		}
+	}
 }
 
 // Use appends interceptors to the client's invocation pipeline.
@@ -122,6 +168,10 @@ func (c *Client) Invoke(ctx context.Context, to wsa.EndpointReference, action st
 }
 
 // roundTrip is the terminal request-response handler under the chain.
+// Bindings implementing MessageRoundTripper carry request and reply
+// attachments natively; on any other binding — or when the peer turns
+// out not to speak the attachment framing — attachments are inlined as
+// base64 and the plain byte path is used.
 func (c *Client) roundTrip(ctx context.Context, to wsa.EndpointReference, call *soap.CallInfo) (*soap.Envelope, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("transport: %s %s: %w", call.Action, to.Address, err)
@@ -131,17 +181,40 @@ func (c *Client) roundTrip(ctx context.Context, to wsa.EndpointReference, call *
 		return nil, err
 	}
 	wsa.Apply(call.Request, to, call.Action)
-	data, err := call.Request.Marshal()
-	if err != nil {
-		return nil, err
+	var resp *soap.Envelope
+	if mrt, ok := rt.(MessageRoundTripper); ok && !c.noAttach {
+		data, err := call.Request.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		reply, err := mrt.RoundTripMsg(ctx, to.Address, &Message{Envelope: data, Attachments: call.Request.Attachments})
+		switch {
+		case errors.Is(err, ErrAttachmentsUnsupported):
+			// Old peer: fall through to the inline path below.
+		case err != nil:
+			return nil, fmt.Errorf("transport: %s %s: %w", call.Action, to.Address, err)
+		default:
+			resp, err = soap.Unmarshal(reply.Envelope)
+			if err != nil {
+				return nil, fmt.Errorf("transport: bad response from %s: %w", to.Address, err)
+			}
+			resp.Attachments = reply.Attachments
+		}
 	}
-	respData, err := rt.RoundTrip(ctx, to.Address, data)
-	if err != nil {
-		return nil, fmt.Errorf("transport: %s %s: %w", call.Action, to.Address, err)
-	}
-	resp, err := soap.Unmarshal(respData)
-	if err != nil {
-		return nil, fmt.Errorf("transport: bad response from %s: %w", to.Address, err)
+	if resp == nil {
+		call.Request.InlineAttachments()
+		data, err := call.Request.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		respData, err := rt.RoundTrip(ctx, to.Address, data)
+		if err != nil {
+			return nil, fmt.Errorf("transport: %s %s: %w", call.Action, to.Address, err)
+		}
+		resp, err = soap.Unmarshal(respData)
+		if err != nil {
+			return nil, fmt.Errorf("transport: bad response from %s: %w", to.Address, err)
+		}
 	}
 	if soap.IsFault(resp.Body) {
 		f, perr := soap.ParseFault(resp.Body)
@@ -175,7 +248,10 @@ func (c *Client) SendOneWay(ctx context.Context, to wsa.EndpointReference, actio
 	return err
 }
 
-// send is the terminal one-way handler under the chain.
+// send is the terminal one-way handler under the chain. One-way
+// messages always inline attachments: there is no reply on which to
+// discover an old peer, so the legacy-safe wire form is used
+// unconditionally.
 func (c *Client) send(ctx context.Context, to wsa.EndpointReference, call *soap.CallInfo) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("transport: one-way %s %s: %w", call.Action, to.Address, err)
@@ -185,6 +261,7 @@ func (c *Client) send(ctx context.Context, to wsa.EndpointReference, call *soap.
 		return err
 	}
 	wsa.Apply(call.Request, to, call.Action)
+	call.Request.InlineAttachments()
 	data, err := call.Request.Marshal()
 	if err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"uvacg/internal/soap"
 	"uvacg/internal/wsa"
 	"uvacg/internal/xmlutil"
 )
@@ -26,9 +27,24 @@ type Invocation struct {
 	Doc *xmlutil.Element
 	// Info carries the request's WS-Addressing headers.
 	Info wsa.MessageInfo
+	// Req is the full request envelope, giving methods access to binary
+	// attachments referenced from the body (Envelope.ContentBytes).
+	Req *soap.Envelope
 
-	pristine  *xmlutil.Element // snapshot for change detection
-	destroyed bool             // set by Destroy to suppress the save-back
+	pristine  *xmlutil.Element  // snapshot for change detection
+	destroyed bool              // set by Destroy to suppress the save-back
+	replyAtts []soap.Attachment // reply attachments collected via Attach
+}
+
+// Attach externalizes data as a binary attachment of the eventual reply
+// envelope and returns the include element to embed in the response
+// body — the server-side half of the MTOM-style fast path. On bindings
+// without attachment support the transport inlines the bytes as base64,
+// so methods attach unconditionally.
+func (inv *Invocation) Attach(data []byte) *xmlutil.Element {
+	id := soap.NextAttachmentID(inv.replyAtts)
+	inv.replyAtts = append(inv.replyAtts, soap.Attachment{ID: id, Data: data})
+	return soap.IncludeElement(id)
 }
 
 // Property returns the text of a top-level state property, or "".

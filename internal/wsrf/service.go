@@ -165,7 +165,7 @@ func (s *Service) RegisterServiceMethod(action string, fn MethodFunc) {
 // EPR, lock + load, dispatch, save-if-changed.
 func (s *Service) invokeWithResource(ctx context.Context, req *soap.Envelope, fn MethodFunc, needResource bool) (*soap.Envelope, error) {
 	info, _ := wsa.FromContext(ctx)
-	inv := &Invocation{Service: s, Info: info}
+	inv := &Invocation{Service: s, Info: info, Req: req}
 	inv.ResourceID = info.To.Property(QResourceID)
 
 	if needResource {
@@ -196,10 +196,12 @@ func (s *Service) invokeWithResource(ctx context.Context, req *soap.Envelope, fn
 			return nil, soap.ReceiverFault("wsrf: save resource state: %v", err)
 		}
 	}
-	if respBody == nil {
+	if respBody == nil && len(inv.replyAtts) == 0 {
 		return nil, nil
 	}
-	return soap.New(respBody), nil
+	resp := soap.New(respBody)
+	resp.Attachments = inv.replyAtts
+	return resp, nil
 }
 
 // CreateResource provisions a new resource in the home and returns its
