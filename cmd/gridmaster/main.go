@@ -36,6 +36,9 @@ func main() {
 	policyName := flag.String("policy", "greedy", "scheduling policy: greedy, round-robin or random")
 	accountsFlag := flag.String("accounts", "", "comma-separated user:password accounts; empty disables WS-Security")
 	snapshot := flag.String("snapshot", "", "path for resource database snapshots: loaded at startup if present, written on shutdown")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshot): every state change is journaled and survives a crash; overrides -snapshot")
+	fsync := flag.Bool("fsync", true, "fsync each WAL group commit (with -data-dir); off trades machine-crash safety for throughput")
+	compactBytes := flag.Int64("compact-bytes", 8<<20, "WAL bytes that trigger background snapshot compaction (with -data-dir); negative disables")
 	jobTimeout := flag.Duration("job-timeout", 0, "fail dispatched jobs with no completion inside this window (0 disables)")
 	metricsFlag := flag.Bool("metrics", false, "dump per-action call metrics on shutdown")
 	retries := flag.Int("retries", 1, "max attempts for idempotent outbound calls (1 disables retry)")
@@ -69,10 +72,31 @@ func main() {
 		metrics = pipeline.NewMetrics()
 		client.Use(metrics.Interceptor())
 	}
-	store := resourcedb.NewStore()
-	if *snapshot != "" {
-		if err := store.LoadFile(*snapshot); err == nil {
-			log.Printf("resource database restored from %s", *snapshot)
+	var store *resourcedb.Store
+	var durable *resourcedb.DurableStore
+	if *dataDir != "" {
+		var err error
+		durable, err = resourcedb.OpenDurable(*dataDir, resourcedb.DurableOptions{
+			Sync:         *fsync,
+			CompactBytes: *compactBytes,
+			Metrics:      metrics,
+		})
+		if err != nil {
+			log.Fatalf("open data dir %s: %v", *dataDir, err)
+		}
+		st := durable.Stats()
+		torn := ""
+		if st.TornTail {
+			torn = " (torn tail truncated)"
+		}
+		log.Printf("durable store %s: replayed %d WAL record(s)%s", *dataDir, st.ReplayedRecords, torn)
+		store = durable.Store
+	} else {
+		store = resourcedb.NewStore()
+		if *snapshot != "" {
+			if err := store.LoadFile(*snapshot); err == nil {
+				log.Printf("resource database restored from %s", *snapshot)
+			}
 		}
 	}
 
@@ -146,7 +170,16 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	if *snapshot != "" {
+	if durable != nil {
+		// Fold the log into a snapshot so the next start replays little,
+		// then stop journaling cleanly.
+		if err := durable.Compact(); err != nil {
+			log.Printf("compact: %v", err)
+		}
+		if err := durable.Close(); err != nil {
+			log.Printf("close durable store: %v", err)
+		}
+	} else if *snapshot != "" {
 		if err := store.SaveFile(*snapshot); err != nil {
 			log.Printf("snapshot: %v", err)
 		} else {

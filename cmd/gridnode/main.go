@@ -43,6 +43,9 @@ func main() {
 	ram := flag.Int("ram", 1024, "RAM (MB)")
 	accountsFlag := flag.String("accounts", "", "comma-separated user:password local accounts")
 	threshold := flag.Float64("threshold", 0.1, "utilization report threshold")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshot): job and directory resources survive a crash")
+	fsync := flag.Bool("fsync", true, "fsync each WAL group commit (with -data-dir)")
+	compactBytes := flag.Int64("compact-bytes", 8<<20, "WAL bytes that trigger background snapshot compaction (with -data-dir); negative disables")
 	metricsFlag := flag.Bool("metrics", false, "dump per-action call metrics on shutdown")
 	retries := flag.Int("retries", 1, "max attempts for idempotent outbound calls (1 disables retry)")
 	trace := flag.Bool("trace", false, "log one line per call with its request ID")
@@ -79,7 +82,24 @@ func main() {
 		client.Use(metrics.Interceptor())
 	}
 	fs := vfs.New()
-	store := resourcedb.NewStore()
+	var store *resourcedb.Store
+	var durable *resourcedb.DurableStore
+	if *dataDir != "" {
+		var err error
+		durable, err = resourcedb.OpenDurable(*dataDir, resourcedb.DurableOptions{
+			Sync:         *fsync,
+			CompactBytes: *compactBytes,
+			Metrics:      metrics,
+		})
+		if err != nil {
+			log.Fatalf("open data dir %s: %v", *dataDir, err)
+		}
+		st := durable.Stats()
+		log.Printf("durable store %s: replayed %d WAL record(s)", *dataDir, st.ReplayedRecords)
+		store = durable.Store
+	} else {
+		store = resourcedb.NewStore()
+	}
 	brokerEPR := wsa.NewEPR(*master + "/NotificationBroker")
 	nisEPR := wsa.NewEPR(*master + "/NodeInfoService")
 
@@ -172,6 +192,14 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	monitor.Stop()
+	if durable != nil {
+		if err := durable.Compact(); err != nil {
+			log.Printf("compact: %v", err)
+		}
+		if err := durable.Close(); err != nil {
+			log.Printf("close durable store: %v", err)
+		}
+	}
 	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shCancel()
 	if err := shutdown(shCtx); err != nil {

@@ -16,11 +16,13 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"uvacg/internal/core"
 	"uvacg/internal/pipeline"
+	"uvacg/internal/resourcedb"
 	"uvacg/internal/services/execution"
 	"uvacg/internal/services/filesystem"
 	"uvacg/internal/services/scheduler"
@@ -28,7 +30,9 @@ import (
 	"uvacg/internal/transport"
 	"uvacg/internal/wsa"
 	"uvacg/internal/wsn"
+	"uvacg/internal/wsrf"
 	"uvacg/internal/wssec"
+	"uvacg/internal/xmlutil"
 )
 
 func main() {
@@ -44,6 +48,9 @@ func main() {
 	trace := flag.Bool("trace", false, "log one line per call with its request ID")
 	noAttach := flag.Bool("noattach", false, "inline binary content as base64 instead of soap.tcp attachments")
 	tcpPool := flag.Int("tcp-pool", 8, "max idle pooled soap.tcp connections per host (0 dials per message)")
+	dataDir := flag.String("data-dir", "", "durable data directory: journals the submission so a restarted gridsub resumes following the job set instead of resubmitting")
+	fsync := flag.Bool("fsync", true, "fsync each WAL group commit (with -data-dir)")
+	compactBytes := flag.Int64("compact-bytes", 8<<20, "WAL bytes that trigger background snapshot compaction (with -data-dir); negative disables")
 	flag.Parse()
 	if *jobsetPath == "" {
 		log.Fatal("gridsub: -jobset is required")
@@ -86,6 +93,23 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	// The durable submission journal: with -data-dir, the set EPR, topic
+	// and per-job output directories survive a gridsub crash, so a rerun
+	// re-attaches to the in-flight job set instead of resubmitting it.
+	var subs *resourcedb.Table
+	if *dataDir != "" {
+		durable, err := resourcedb.OpenDurable(*dataDir, resourcedb.DurableOptions{
+			Sync:         *fsync,
+			CompactBytes: *compactBytes,
+			Metrics:      metrics,
+		})
+		if err != nil {
+			log.Fatalf("open data dir %s: %v", *dataDir, err)
+		}
+		defer durable.Close()
+		subs = durable.MustTable("submissions", resourcedb.StructuredCodec{})
+	}
+
 	// The client's TCP file server (step 5 of Fig. 3).
 	files := filesystem.NewFileServer("/files")
 	baseDir := filepath.Dir(*jobsetPath)
@@ -127,28 +151,62 @@ func main() {
 	}()
 	listenerEPR := wsa.NewEPR(listenerBase + "/listener")
 
-	// Submit (step 1).
+	// Submit (step 1) — unless the journal holds an in-flight submission
+	// for this job set, in which case re-attach to it.
 	ssEPR := wsa.NewEPR(*master + "/SchedulerService")
-	env := soap.New(scheduler.SubmitRequest(desc.Spec, filesEPR, listenerEPR))
-	if *user != "" {
-		creds := wssec.Credentials{Username: *user, Password: *pass}
-		if err := wssec.AttachUsernameToken(env, creds, true, time.Now()); err != nil {
-			log.Fatal(err)
-		}
-	}
-	resp, err := client.Invoke(ctx, ssEPR, scheduler.ActionSubmit, env)
-	if err != nil {
-		log.Fatalf("submit: %v", err)
-	}
-	setEPR, topic, err := scheduler.ParseSubmitResponse(resp.Body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("submitted %q as %s (topic %s)", desc.Spec.Name, setEPR, topic)
-
-	// Follow events to a terminal job-set state.
+	brokerEPR := wsa.NewEPR(*master + "/NotificationBroker")
 	dirs := make(map[string]wsa.EndpointReference)
 	status := ""
+	var setEPR wsa.EndpointReference
+	var topic string
+	if rec, ok := loadSubmission(subs, desc.Spec.Name); ok && !terminal(rec.status) {
+		setEPR, topic = rec.set, rec.topic
+		for name, dir := range rec.dirs {
+			dirs[name] = dir
+		}
+		log.Printf("resuming job set %q from %s (topic %s)", desc.Spec.Name, setEPR, topic)
+		// The old listener address died with the old process: subscribe
+		// the fresh one, then catch up on progress missed while down.
+		if _, err := wsn.SubscribeVia(ctx, client, brokerEPR, listenerEPR, wsn.Simple(topic)); err != nil {
+			log.Fatalf("resubscribe: %v", err)
+		}
+		if doc, err := wsrf.NewResourceClient(client, setEPR).GetDocument(ctx); err == nil {
+			view := scheduler.ParseJobSetDocument(doc)
+			for _, j := range view.Jobs {
+				if !j.Dir.IsZero() {
+					dirs[j.Name] = j.Dir
+				}
+			}
+			switch view.Status {
+			case scheduler.SetCompleted:
+				status = "completed"
+			case scheduler.SetFailed:
+				status = "failed"
+			case scheduler.SetCancelled:
+				status = "cancelled"
+			}
+		}
+	} else {
+		env := soap.New(scheduler.SubmitRequest(desc.Spec, filesEPR, listenerEPR))
+		if *user != "" {
+			creds := wssec.Credentials{Username: *user, Password: *pass}
+			if err := wssec.AttachUsernameToken(env, creds, true, time.Now()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		resp, err := client.Invoke(ctx, ssEPR, scheduler.ActionSubmit, env)
+		if err != nil {
+			log.Fatalf("submit: %v", err)
+		}
+		setEPR, topic, err = scheduler.ParseSubmitResponse(resp.Body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("submitted %q as %s (topic %s)", desc.Spec.Name, setEPR, topic)
+		saveSubmission(subs, desc.Spec.Name, setEPR, topic, "", dirs)
+	}
+
+	// Follow events to a terminal job-set state.
 	for status == "" {
 		select {
 		case n := <-events:
@@ -163,11 +221,13 @@ func main() {
 			}
 			if ev, err := execution.ParseJobEvent(n.Message); err == nil && !ev.Directory.IsZero() {
 				dirs[ev.JobName] = ev.Directory
+				saveSubmission(subs, desc.Spec.Name, setEPR, topic, "", dirs)
 			}
 		case <-ctx.Done():
 			log.Fatal("timed out waiting for job set events")
 		}
 	}
+	saveSubmission(subs, desc.Spec.Name, setEPR, topic, status, dirs)
 	if status != "completed" {
 		log.Fatalf("job set ended %s", status)
 	}
@@ -188,5 +248,89 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("fetched %s/%s -> %s (%d bytes)", fetch.Job, fetch.File, dest, len(data))
+	}
+}
+
+// Submission journal: one structured row per job set name, holding the
+// set EPR, topic, last observed status and the per-job output
+// directories collected so far.
+
+const nsSub = "urn:uvacg:gridsub"
+
+var (
+	qSubmission = xmlutil.Q(nsSub, "Submission")
+	qSubSet     = xmlutil.Q(nsSub, "SetEPR")
+	qSubTopic   = xmlutil.Q(nsSub, "Topic")
+	qSubStatus  = xmlutil.Q(nsSub, "Status")
+	qSubJob     = xmlutil.Q(nsSub, "Job")
+	qSubName    = xmlutil.Q("", "name")
+	qSubDir     = xmlutil.Q("", "dir")
+)
+
+type submission struct {
+	set    wsa.EndpointReference
+	topic  string
+	status string
+	dirs   map[string]wsa.EndpointReference
+}
+
+// terminal reports whether a recorded status ends the submission; only
+// a non-terminal record is worth resuming.
+func terminal(status string) bool {
+	return status != ""
+}
+
+func loadSubmission(subs *resourcedb.Table, name string) (submission, bool) {
+	var rec submission
+	if subs == nil {
+		return rec, false
+	}
+	doc, ok, err := subs.Get(name)
+	if err != nil || !ok {
+		return rec, false
+	}
+	set, err := wsa.ParseEPRString(doc.ChildText(qSubSet))
+	if err != nil {
+		return rec, false
+	}
+	rec.set = set
+	rec.topic = doc.ChildText(qSubTopic)
+	rec.status = doc.ChildText(qSubStatus)
+	rec.dirs = make(map[string]wsa.EndpointReference)
+	for _, j := range doc.ChildrenNamed(qSubJob) {
+		if raw := j.Attr(qSubDir); raw != "" {
+			if epr, err := wsa.ParseEPRString(raw); err == nil {
+				rec.dirs[j.Attr(qSubName)] = epr
+			}
+		}
+	}
+	if rec.topic == "" {
+		return rec, false
+	}
+	return rec, true
+}
+
+func saveSubmission(subs *resourcedb.Table, name string, set wsa.EndpointReference, topic, status string, dirs map[string]wsa.EndpointReference) {
+	if subs == nil {
+		return
+	}
+	doc := xmlutil.NewContainer(qSubmission,
+		xmlutil.NewElement(qSubSet, set.String()),
+		xmlutil.NewElement(qSubTopic, topic),
+		xmlutil.NewElement(qSubStatus, status),
+	)
+	jobs := make([]string, 0, len(dirs))
+	for j := range dirs {
+		jobs = append(jobs, j)
+	}
+	sort.Strings(jobs)
+	for _, j := range jobs {
+		el := xmlutil.NewElement(qSubJob, "")
+		el.SetAttr(qSubName, j)
+		el.SetAttr(qSubDir, dirs[j].String())
+		doc.Children = append(doc.Children, el)
+	}
+	if err := subs.Put(name, doc); err != nil {
+		log.Printf("journal submission %q: %v", name, err)
 	}
 }

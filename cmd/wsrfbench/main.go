@@ -52,6 +52,7 @@ func main() {
 		{"E8", "utilization threshold vs staleness (§4.4)", expE8},
 		{"E9", "termination-time reaper sweep", expE9},
 		{"E10", "WS-Security request cost (§4.2)", expE10},
+		{"E11", "WAL durability: commit modes and recovery", expE11},
 		{"F3", "end-to-end job set execution (Fig. 3)", expF3},
 	}
 	for _, e := range experiments {
@@ -391,6 +392,47 @@ func expE10() error {
 			return err
 		}
 		row(c.name, d, "")
+	}
+	return nil
+}
+
+func expE11() error {
+	// Commit cost per durable Put, 4 concurrent committers. The
+	// snapshot-only baseline buys the same guarantee the old way: a
+	// whole-store snapshot after every Put.
+	for _, c := range []struct {
+		mode string
+		ops  int
+	}{
+		{benchkit.ModeFsync, iters(2000, 200)},
+		{benchkit.ModeNosync, iters(2000, 200)},
+		{benchkit.ModeSnapshotOnly, iters(500, 50)},
+	} {
+		res, err := benchkit.RunCommits(c.mode, c.ops, 256, 4)
+		if err != nil {
+			return err
+		}
+		extra := ""
+		if res.Batches > 0 {
+			extra = fmt.Sprintf("%d commits / %d batches / %d fsyncs", res.Ops, res.Batches, res.Syncs)
+		}
+		row("commit "+c.mode+" (4 writers)", res.PerOp(), extra)
+	}
+	// Recovery time vs log length: the replay debt a crash leaves.
+	for _, n := range []int{1000, 10000, 50000} {
+		records := n
+		if *quick {
+			records = n / 10
+		}
+		d, err := benchkit.RunRecovery(records, 256)
+		if err != nil {
+			return err
+		}
+		perRec := time.Duration(0)
+		if records > 0 {
+			perRec = d / time.Duration(records)
+		}
+		row(fmt.Sprintf("recovery, %d-record log", records), d, fmt.Sprintf("%v/record", perRec.Round(10*time.Nanosecond)))
 	}
 	return nil
 }

@@ -1,0 +1,166 @@
+package benchkit
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/xmlutil"
+)
+
+// qRow is the payload element durability runs write.
+var qRow = xmlutil.Q(NSBench, "Row")
+
+// Durability commit modes: how each acknowledged Put is made to survive
+// a crash. "fsync" and "nosync" journal through the WAL (with and
+// without the per-group-commit fsync); "snapshot-only" is the legacy
+// story taken to the same guarantee — a whole-store snapshot after
+// every Put, since anything less leaves acknowledged commits volatile.
+const (
+	ModeFsync        = "fsync"
+	ModeNosync       = "nosync"
+	ModeSnapshotOnly = "snapshot-only"
+)
+
+// DurabilityResult is one measured commit run.
+type DurabilityResult struct {
+	Mode    string
+	Ops     int
+	Workers int
+	Elapsed time.Duration
+	// Syncs and Batches expose the group-commit amortization for the WAL
+	// modes (zero for snapshot-only).
+	Syncs   uint64
+	Batches uint64
+}
+
+// PerOp is the mean latency of one durable commit.
+func (r DurabilityResult) PerOp() time.Duration {
+	if r.Ops == 0 {
+		return 0
+	}
+	return r.Elapsed / time.Duration(r.Ops)
+}
+
+// RunCommits performs ops durable Puts of rowBytes-sized rows from
+// `workers` concurrent committers under the given mode and reports the
+// wall time. The data directory is temporary and removed afterwards.
+func RunCommits(mode string, ops, rowBytes, workers int) (DurabilityResult, error) {
+	dir, err := os.MkdirTemp("", "uvacg-durability-*")
+	if err != nil {
+		return DurabilityResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	res := DurabilityResult{Mode: mode, Ops: ops, Workers: workers}
+	doc := xmlutil.NewElement(qRow, strings.Repeat("x", rowBytes))
+
+	var table *resourcedb.Table
+	var after func(id string) error
+	var ds *resourcedb.DurableStore
+	switch mode {
+	case ModeFsync, ModeNosync:
+		ds, err = resourcedb.OpenDurable(dir, resourcedb.DurableOptions{
+			Sync:         mode == ModeFsync,
+			CompactBytes: -1,
+		})
+		if err != nil {
+			return res, err
+		}
+		table = ds.MustTable("bench", resourcedb.BlobCodec{})
+		after = func(string) error { return nil }
+	case ModeSnapshotOnly:
+		store := resourcedb.NewStore()
+		table = store.MustTable("bench", resourcedb.BlobCodec{})
+		snap := dir + "/snapshot.db"
+		// Whole-store snapshots are inherently serial (one writer owns
+		// the snapshot file), unlike WAL group commit.
+		var snapMu sync.Mutex
+		after = func(string) error {
+			snapMu.Lock()
+			defer snapMu.Unlock()
+			return store.SaveFile(snap)
+		}
+	default:
+		return res, fmt.Errorf("benchkit: unknown durability mode %q", mode)
+	}
+
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*ops/workers, (w+1)*ops/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				id := fmt.Sprintf("row-%d", i)
+				if err := table.Put(id, doc); err != nil {
+					errs <- err
+					return
+				}
+				if err := after(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+	if ds != nil {
+		st := ds.Stats()
+		res.Syncs, res.Batches = st.WAL.Syncs, st.WAL.Batches
+		if err := ds.Close(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// RunRecovery journals `records` rows of rowBytes and measures a cold
+// OpenDurable over the resulting log — the restart debt at that log
+// length. Returns the replay wall time.
+func RunRecovery(records, rowBytes int) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "uvacg-recovery-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	ds, err := resourcedb.OpenDurable(dir, resourcedb.DurableOptions{CompactBytes: -1})
+	if err != nil {
+		return 0, err
+	}
+	doc := xmlutil.NewElement(qRow, strings.Repeat("x", rowBytes))
+	table := ds.MustTable("bench", resourcedb.BlobCodec{})
+	for i := 0; i < records; i++ {
+		if err := table.Put(fmt.Sprintf("row-%d", i), doc); err != nil {
+			return 0, err
+		}
+	}
+	if err := ds.Close(); err != nil {
+		return 0, err
+	}
+
+	start := time.Now()
+	ds2, err := resourcedb.OpenDurable(dir, resourcedb.DurableOptions{CompactBytes: -1})
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if got := ds2.Stats().ReplayedRecords; got != uint64(records) {
+		ds2.Close()
+		return 0, fmt.Errorf("benchkit: recovery replayed %d of %d records", got, records)
+	}
+	return elapsed, ds2.Close()
+}

@@ -14,6 +14,10 @@ import (
 // Store is a named collection of tables — the "database" a WSRF.NET
 // deployment points its services at. One store per simulated machine.
 type Store struct {
+	// journal, when set, is installed on every table the store creates
+	// or loads, so all mutations are write-ahead logged (DurableStore).
+	journal tableJournal
+
 	mu     sync.RWMutex
 	tables map[string]*Table
 }
@@ -33,6 +37,7 @@ func (s *Store) CreateTable(name string, codec Codec) (*Table, error) {
 		return nil, fmt.Errorf("resourcedb: table %q already exists", name)
 	}
 	t := NewTable(name, codec)
+	t.journal = s.journal
 	s.tables[name] = t
 	return t, nil
 }
@@ -54,6 +59,7 @@ func (s *Store) MustTable(name string, codec Codec) *Table {
 		return t
 	}
 	t := NewTable(name, codec)
+	t.journal = s.journal
 	s.tables[name] = t
 	return t
 }
@@ -118,7 +124,17 @@ func (s *Store) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load replaces the store's contents from a snapshot.
+// maxSnapshotBytes bounds any single length field read from a snapshot
+// (strings and rows). A corrupt or hostile snapshot can claim lengths
+// up to 2^64; without the cap, make() on such a claim aborts the
+// process instead of returning a clean error.
+const maxSnapshotBytes = 64 << 20
+
+// Load replaces the store's contents from a snapshot. The replacement
+// is all-or-nothing: the snapshot is decoded into a staging table set
+// first, and the store's live tables are swapped only after the whole
+// stream parsed cleanly — a corrupt or truncated snapshot returns an
+// error and leaves the existing tables untouched.
 func (s *Store) Load(r io.Reader) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
@@ -132,7 +148,9 @@ func (s *Store) Load(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	loaded := make(map[string]*Table, ntables)
+	// Cap the allocation hint only: a lying count still fails cleanly
+	// when the stream runs out.
+	loaded := make(map[string]*Table, min(ntables, 1024))
 	for i := uint64(0); i < ntables; i++ {
 		name, err := readSnapStr(br)
 		if err != nil {
@@ -147,6 +165,7 @@ func (s *Store) Load(r io.Reader) error {
 			return err
 		}
 		t := NewTable(name, codec)
+		t.journal = s.journal
 		nrows, err := binary.ReadUvarint(br)
 		if err != nil {
 			return err
@@ -159,6 +178,9 @@ func (s *Store) Load(r io.Reader) error {
 			rowLen, err := binary.ReadUvarint(br)
 			if err != nil {
 				return err
+			}
+			if rowLen > maxSnapshotBytes {
+				return fmt.Errorf("resourcedb: snapshot row %s/%s claims %d bytes", name, id, rowLen)
 			}
 			row := make([]byte, rowLen)
 			if _, err := io.ReadFull(br, row); err != nil {
@@ -235,6 +257,9 @@ func readSnapStr(r *bufio.Reader) (string, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return "", err
+	}
+	if n > maxSnapshotBytes {
+		return "", fmt.Errorf("resourcedb: snapshot string claims %d bytes", n)
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(r, b); err != nil {

@@ -16,11 +16,25 @@ type Table struct {
 	name  string
 	codec Codec
 
+	// journal, when set, records every mutation in a write-ahead log
+	// before Put/Delete acknowledge it (see DurableStore). The enqueue
+	// happens under mu so log order matches in-memory apply order; the
+	// durability wait happens after mu is released so concurrent
+	// committers share one group commit.
+	journal tableJournal
+
 	mu   sync.RWMutex
 	rows map[string][]byte
 	// index[localName][text] = set of ids; maintained only for
 	// indexable codecs.
 	index map[string]map[string]map[string]struct{}
+}
+
+// tableJournal is the write-ahead hook DurableStore installs on tables.
+type tableJournal interface {
+	enqueuePut(table, codec, id string, row []byte) (seq uint64, err error)
+	enqueueDelete(table, id string) (seq uint64, err error)
+	waitDurable(seq uint64) error
 }
 
 // NewTable builds a table with the given codec.
@@ -59,6 +73,43 @@ func (t *Table) Put(id string, doc *xmlutil.Element) error {
 		props = topLevelProperties(doc)
 	}
 	t.mu.Lock()
+	var seq uint64
+	if t.journal != nil {
+		seq, err = t.journal.enqueuePut(t.name, t.codec.Name(), id, data)
+		if err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("resourcedb: journal %s/%s: %w", t.name, id, err)
+		}
+	}
+	if t.index != nil {
+		t.unindexLocked(id)
+	}
+	t.rows[id] = data
+	if t.index != nil {
+		t.indexLocked(id, props)
+	}
+	t.mu.Unlock()
+	if t.journal != nil {
+		if err := t.journal.waitDurable(seq); err != nil {
+			return fmt.Errorf("resourcedb: commit %s/%s: %w", t.name, id, err)
+		}
+	}
+	return nil
+}
+
+// putRaw installs already-encoded row bytes, bypassing the journal —
+// the replay path. Rows arrive in log order, so index maintenance
+// mirrors Put's.
+func (t *Table) putRaw(id string, data []byte) error {
+	var props map[string][]string
+	if t.index != nil {
+		doc, err := t.codec.Decode(data)
+		if err != nil {
+			return fmt.Errorf("resourcedb: replay row %s/%s: %w", t.name, id, err)
+		}
+		props = topLevelProperties(doc)
+	}
+	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.index != nil {
 		t.unindexLocked(id)
@@ -93,18 +144,47 @@ func (t *Table) Exists(id string) bool {
 	return ok
 }
 
-// Delete removes a resource's row, reporting whether it existed.
+// Delete removes a resource's row, reporting whether it existed. On a
+// journaled table the removal is acknowledged only once the delete
+// record is durable; a journal that refuses the record (sticky log
+// failure) leaves the row in place.
 func (t *Table) Delete(id string) bool {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if _, ok := t.rows[id]; !ok {
+		t.mu.Unlock()
 		return false
+	}
+	var seq uint64
+	if t.journal != nil {
+		var err error
+		seq, err = t.journal.enqueueDelete(t.name, id)
+		if err != nil {
+			t.mu.Unlock()
+			return false
+		}
 	}
 	if t.index != nil {
 		t.unindexLocked(id)
 	}
 	delete(t.rows, id)
+	t.mu.Unlock()
+	if t.journal != nil {
+		_ = t.journal.waitDurable(seq)
+	}
 	return true
+}
+
+// deleteRaw removes a row without journaling — the replay path.
+func (t *Table) deleteRaw(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.rows[id]; !ok {
+		return
+	}
+	if t.index != nil {
+		t.unindexLocked(id)
+	}
+	delete(t.rows, id)
 }
 
 // IDs returns all resource ids, sorted.

@@ -1,0 +1,61 @@
+package scheduler
+
+import (
+	"uvacg/internal/wsa"
+	"uvacg/internal/xmlutil"
+)
+
+// JobSetView is the read-side projection of a job-set resource
+// document: what a client (or a restarted scheduler) can learn about a
+// run from the persisted WS-Resource alone. It deliberately exposes
+// only the queryable surface — the spec snapshot stays internal.
+type JobSetView struct {
+	Name   string
+	Status string // SetRunning, SetCompleted, SetFailed, SetCancelled
+	Topic  string
+	Jobs   []JobView
+}
+
+// JobView is one job's progress inside a JobSetView.
+type JobView struct {
+	Name   string
+	Status string
+	Node   string
+	Dir    wsa.EndpointReference // job output directory, when recorded
+}
+
+// Job returns the view of the named job, or nil.
+func (v *JobSetView) Job(name string) *JobView {
+	for i := range v.Jobs {
+		if v.Jobs[i].Name == name {
+			return &v.Jobs[i]
+		}
+	}
+	return nil
+}
+
+// ParseJobSetDocument projects a job-set resource document (as returned
+// by wsrf.ResourceClient.GetDocument) into a JobSetView. Unparseable
+// fragments are dropped rather than failing the whole view: a resumed
+// client needs whatever progress survives.
+func ParseJobSetDocument(doc *xmlutil.Element) JobSetView {
+	v := JobSetView{
+		Name:   doc.ChildText(QName),
+		Status: doc.ChildText(QStatus),
+		Topic:  doc.ChildText(QTopic),
+	}
+	for _, st := range doc.ChildrenNamed(QJobState) {
+		jv := JobView{
+			Name:   st.Attr(qNameAttr),
+			Status: st.Attr(qStatusAttr),
+			Node:   st.Attr(qNodeAttr),
+		}
+		if raw := st.Attr(qDirAttr); raw != "" {
+			if epr, err := wsa.ParseEPRString(raw); err == nil {
+				jv.Dir = epr
+			}
+		}
+		v.Jobs = append(v.Jobs, jv)
+	}
+	return v
+}

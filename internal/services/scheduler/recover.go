@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"uvacg/internal/wsa"
@@ -18,10 +19,14 @@ import (
 // they are failed explicitly rather than left hanging. Call Recover
 // once, after the scheduler's services and consumer are mounted.
 //
-// It returns how many runs were resumed.
+// It returns how many runs were resumed. A job set that cannot be
+// resumed (unparseable spec snapshot, broker subscription failure) is
+// skipped, not fatal: the remaining sets still recover, and the
+// per-set failures come back joined in the error.
 func (s *Service) Recover(ctx context.Context) (int, error) {
 	home := s.svc.Home()
 	resumed := 0
+	var errs []error
 	for _, id := range home.IDs() {
 		doc, err := home.Load(id)
 		if err != nil {
@@ -40,7 +45,8 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 		}
 		spec, err := parseSpec(snap)
 		if err != nil || len(spec.Jobs) == 0 {
-			return resumed, fmt.Errorf("scheduler: job set %q has no recoverable spec", id)
+			errs = append(errs, fmt.Errorf("scheduler: job set %q has no recoverable spec", id))
+			continue
 		}
 
 		r := &run{
@@ -61,24 +67,14 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 				clientListener = epr
 			}
 		}
-		states := make(map[string]string, len(spec.Jobs))
-		dirs := make(map[string]wsa.EndpointReference, len(spec.Jobs))
-		for _, st := range doc.ChildrenNamed(QJobState) {
-			name := st.Attr(qNameAttr)
-			states[name] = st.Attr(qStatusAttr)
-			if raw := st.Attr(qDirAttr); raw != "" {
-				if epr, err := wsa.ParseEPRString(raw); err == nil {
-					dirs[name] = epr
-				}
-			}
-		}
+		view := ParseJobSetDocument(doc)
 		incomplete := false
 		for i := range spec.Jobs {
 			j := &spec.Jobs[i]
 			jr := &jobRun{spec: j, state: JobPending}
-			if states[j.Name] == JobCompleted {
+			if jv := view.Job(j.Name); jv != nil && jv.Status == JobCompleted {
 				jr.state = JobCompleted
-				jr.dirEPR = dirs[j.Name]
+				jr.dirEPR = jv.Dir
 			} else {
 				incomplete = true
 			}
@@ -86,9 +82,7 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 		}
 
 		s.mu.Lock()
-		if len(s.runs) == 0 {
-			s.consumer.Handle(wsn.MustTopicExpression(wsn.DialectFull, "*//"), s.onNotification)
-		}
+		s.wireConsumerLocked()
 		s.runs[topic] = r
 		s.mu.Unlock()
 
@@ -102,7 +96,13 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 		// consumer EPR died with it; the address is the same, but a
 		// fresh subscription is cheap and idempotent in effect).
 		if _, err := wsn.SubscribeVia(ctx, s.client, s.broker, s.ConsumerEPR(), wsn.Simple(topic)); err != nil {
-			return resumed, fmt.Errorf("scheduler: recover %q: broker subscription: %w", id, err)
+			// Unregister the half-recovered run so a later Recover retry
+			// starts clean, and move on to the next set.
+			s.mu.Lock()
+			delete(s.runs, topic)
+			s.mu.Unlock()
+			errs = append(errs, fmt.Errorf("scheduler: recover %q: broker subscription: %w", id, err))
+			continue
 		}
 		if !clientListener.IsZero() {
 			_, _ = wsn.SubscribeVia(ctx, s.client, s.broker, clientListener, wsn.Simple(topic))
@@ -113,7 +113,7 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 			s.maybeComplete(context.WithoutCancel(ctx), r)
 		}(r)
 	}
-	return resumed, nil
+	return resumed, errors.Join(errs...)
 }
 
 func firstIncomplete(r *run) string {

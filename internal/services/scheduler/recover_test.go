@@ -2,9 +2,11 @@ package scheduler
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"uvacg/internal/procspawn"
+	"uvacg/internal/wsa"
 	"uvacg/internal/wsrf"
 	"uvacg/internal/wssec"
 	"uvacg/internal/xmlutil"
@@ -91,6 +93,78 @@ func TestRecoverFailsSecuredRun(t *testing.T) {
 	}
 	if got := h.waitTerminal(t, topic); got != "failed" {
 		t.Fatalf("secured recovery: %q", got)
+	}
+}
+
+// TestRecoverSkipsUnrecoverableSet: one job set with a gutted spec
+// snapshot must not abort the whole recovery pass — the healthy set
+// still resumes and completes, and the broken one is reported in the
+// joined error.
+func TestRecoverSkipsUnrecoverableSet(t *testing.T) {
+	h := newSSHarness(t, Greedy{}, nil, "node-a")
+	h.files.Publish("good.app", procspawn.BuildScript("exit 0"))
+	h.files.Publish("bad.app", procspawn.BuildScript("exit 0"))
+
+	goodSpec := &JobSetSpec{Name: "good", Jobs: []JobSpec{{Name: "g", Executable: "local://good.app"}}}
+	badSpec := &JobSetSpec{Name: "bad", Jobs: []JobSpec{{Name: "b", Executable: "local://bad.app"}}}
+	// Submit and finish one at a time: waitTerminal discards events for
+	// other topics, so concurrent sets would race the drain.
+	goodEPR, goodTopic, err := h.submit(t, goodSpec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.waitTerminal(t, goodTopic); got != "completed" {
+		t.Fatalf("initial good run: %q", got)
+	}
+	badEPR, badTopic, err := h.submit(t, badSpec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.waitTerminal(t, badTopic); got != "completed" {
+		t.Fatalf("initial bad run: %q", got)
+	}
+
+	// Crash both mid-run; gut the bad set's spec snapshot so it cannot
+	// be rebuilt.
+	for _, c := range []struct {
+		epr wsa.EndpointReference
+		gut bool
+	}{{goodEPR, false}, {badEPR, true}} {
+		id := c.epr.Property(wsrf.QResourceID)
+		err := h.ss.WSRF().UpdateResource(id, func(doc *xmlutil.Element) error {
+			if el := doc.Child(QStatus); el != nil {
+				el.Text = SetRunning
+			}
+			for _, st := range doc.ChildrenNamed(QJobState) {
+				st.SetAttr(qStatusAttr, JobPending)
+			}
+			if c.gut {
+				if sp := doc.Child(qSpecSnapshot); sp != nil {
+					sp.Children = nil
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.ss.mu.Lock()
+	h.ss.runs = make(map[string]*run)
+	h.ss.mu.Unlock()
+
+	resumed, err := h.ss.Recover(context.Background())
+	if err == nil {
+		t.Fatal("Recover swallowed the unrecoverable set")
+	}
+	if !strings.Contains(err.Error(), "no recoverable spec") {
+		t.Fatalf("recover error = %v", err)
+	}
+	if resumed != 1 {
+		t.Fatalf("resumed %d runs, want 1 (the healthy set)", resumed)
+	}
+	if got := h.waitTerminal(t, goodTopic); got != "completed" {
+		t.Fatalf("healthy set after partial recovery: %q", got)
 	}
 }
 

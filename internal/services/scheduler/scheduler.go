@@ -107,8 +107,20 @@ type Service struct {
 	esCerts      func(wsa.EndpointReference) (wssec.Certificate, bool)
 	jobTimeout   time.Duration
 
-	mu   sync.Mutex
-	runs map[string]*run // topic → run
+	mu    sync.Mutex
+	runs  map[string]*run // topic → run
+	wired bool            // consumer handler installed (at most once)
+}
+
+// wireConsumerLocked installs the notification handler exactly once.
+// "*//" is the Full-dialect catch-all; onNotification routes by topic
+// root. Callers hold s.mu.
+func (s *Service) wireConsumerLocked() {
+	if s.wired {
+		return
+	}
+	s.wired = true
+	s.consumer.Handle(wsn.MustTopicExpression(wsn.DialectFull, "*//"), s.onNotification)
 }
 
 type run struct {
@@ -310,11 +322,7 @@ func (s *Service) handleSubmit(ctx context.Context, inv *wsrf.Invocation, body *
 		r.jobs[j.Name] = &jobRun{spec: j, state: JobPending}
 	}
 	s.mu.Lock()
-	if len(s.runs) == 0 {
-		// First job set: wire the consumer's handler once. "*//" is the
-		// Full-dialect catch-all; onNotification routes by topic root.
-		s.consumer.Handle(wsn.MustTopicExpression(wsn.DialectFull, "*//"), s.onNotification)
-	}
+	s.wireConsumerLocked()
 	s.runs[topic] = r
 	s.mu.Unlock()
 
