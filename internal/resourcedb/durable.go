@@ -98,6 +98,13 @@ func OpenDurable(dir string, opts DurableOptions) (*DurableStore, error) {
 		return nil, err
 	}
 	ds.log = log
+	// The growth trigger in maybeCompact counts only bytes written by
+	// this process; segments inherited from the last run would otherwise
+	// be invisible to it, leaving restart-heavy workloads paying full
+	// replay cost forever. Pay the replay debt down now.
+	if opts.CompactBytes >= 0 && log.SizeBytes() >= opts.CompactBytes {
+		ds.kickCompaction()
+	}
 	return ds, nil
 }
 
@@ -157,6 +164,12 @@ func (ds *DurableStore) maybeCompact() {
 	if int64(grown) < ds.opts.CompactBytes {
 		return
 	}
+	ds.kickCompaction()
+}
+
+// kickCompaction starts one background compaction unless one is already
+// running.
+func (ds *DurableStore) kickCompaction() {
 	if !ds.compacting.CompareAndSwap(false, true) {
 		return
 	}

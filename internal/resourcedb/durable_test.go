@@ -35,8 +35,8 @@ func TestDurableRoundTripRestart(t *testing.T) {
 	if err := dirs.Put("d1", jobDoc("Staged", 0)); err != nil {
 		t.Fatal(err)
 	}
-	if !jobs.Delete("j3") {
-		t.Fatal("delete j3")
+	if ok, err := jobs.Delete("j3"); err != nil || !ok {
+		t.Fatalf("delete j3: %v %v", ok, err)
 	}
 	if err := jobs.Put("j4", jobDoc("Completed", 4)); err != nil {
 		t.Fatal(err)
@@ -104,7 +104,9 @@ func TestDurableCrashAtEveryWritePoint(t *testing.T) {
 	var frameEnds []int
 	for _, op := range ops {
 		if op.del {
-			jobs.Delete(op.id)
+			if _, err := jobs.Delete(op.id); err != nil {
+				t.Fatal(err)
+			}
 		} else if err := jobs.Put(op.id, jobDoc("Running", op.cpu)); err != nil {
 			t.Fatal(err)
 		}
@@ -210,8 +212,8 @@ func TestDurableCompaction(t *testing.T) {
 	if err := jobs.Put("post", jobDoc("Queued", 99)); err != nil {
 		t.Fatal(err)
 	}
-	if !jobs.Delete("j0") {
-		t.Fatal("delete j0")
+	if ok, err := jobs.Delete("j0"); err != nil || !ok {
+		t.Fatalf("delete j0: %v %v", ok, err)
 	}
 	late := ds.MustTable("late", BlobCodec{})
 	if err := late.Put("l1", jobDoc("New", 1)); err != nil {

@@ -144,11 +144,11 @@ func TestTablePutGetDelete(t *testing.T) {
 			if got := doc.ChildText(xmlutil.Q(nsT, "Status")); got != "Exited" {
 				t.Errorf("after overwrite, status = %q", got)
 			}
-			if !tbl.Delete("j1") {
-				t.Error("delete reported missing row")
+			if ok, err := tbl.Delete("j1"); err != nil || !ok {
+				t.Errorf("delete: %v %v", ok, err)
 			}
-			if tbl.Delete("j1") {
-				t.Error("double delete reported success")
+			if ok, err := tbl.Delete("j1"); err != nil || ok {
+				t.Errorf("double delete: %v %v", ok, err)
 			}
 			if _, ok, _ := tbl.Get("j1"); ok {
 				t.Error("row survived delete")
@@ -209,7 +209,9 @@ func TestQueryPropertyBothCodecs(t *testing.T) {
 				t.Fatalf("after overwrite, query = %v", got)
 			}
 			// And deletes.
-			tbl.Delete("j3")
+			if _, err := tbl.Delete("j3"); err != nil {
+				t.Fatal(err)
+			}
 			got, err = tbl.QueryProperty("Status", "Running")
 			if err != nil {
 				t.Fatal(err)

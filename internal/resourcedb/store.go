@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 )
@@ -203,7 +204,11 @@ func (s *Store) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile writes a snapshot atomically (write temp, rename).
+// SaveFile writes a snapshot atomically and durably: write temp, fsync,
+// rename, fsync the directory. The directory fsync makes the rename
+// itself survive a power loss — callers that delete the data the
+// snapshot supersedes (DurableStore.Compact truncating WAL segments)
+// rely on the snapshot being on disk once SaveFile returns.
 func (s *Store) SaveFile(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -215,11 +220,31 @@ func (s *Store) SaveFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so renames and removals within it are
+// durable, not just queued in the OS.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // LoadFile loads a snapshot from disk.

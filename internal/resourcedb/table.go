@@ -146,13 +146,16 @@ func (t *Table) Exists(id string) bool {
 
 // Delete removes a resource's row, reporting whether it existed. On a
 // journaled table the removal is acknowledged only once the delete
-// record is durable; a journal that refuses the record (sticky log
-// failure) leaves the row in place.
-func (t *Table) Delete(id string) bool {
+// record is durable: a journal that refuses the record (sticky log
+// failure) leaves the row in place, and a commit that fails to reach
+// disk is surfaced as an error rather than a clean true — the row may
+// resurrect on restart, and the caller must not treat the delete as
+// done.
+func (t *Table) Delete(id string) (bool, error) {
 	t.mu.Lock()
 	if _, ok := t.rows[id]; !ok {
 		t.mu.Unlock()
-		return false
+		return false, nil
 	}
 	var seq uint64
 	if t.journal != nil {
@@ -160,7 +163,7 @@ func (t *Table) Delete(id string) bool {
 		seq, err = t.journal.enqueueDelete(t.name, id)
 		if err != nil {
 			t.mu.Unlock()
-			return false
+			return false, fmt.Errorf("resourcedb: journal %s/%s: %w", t.name, id, err)
 		}
 	}
 	if t.index != nil {
@@ -169,9 +172,11 @@ func (t *Table) Delete(id string) bool {
 	delete(t.rows, id)
 	t.mu.Unlock()
 	if t.journal != nil {
-		_ = t.journal.waitDurable(seq)
+		if err := t.journal.waitDurable(seq); err != nil {
+			return false, fmt.Errorf("resourcedb: commit %s/%s: %w", t.name, id, err)
+		}
 	}
-	return true
+	return true, nil
 }
 
 // deleteRaw removes a row without journaling — the replay path.

@@ -58,11 +58,15 @@ func validPrefixLen(data []byte) int {
 		if len(data)-off < frameHeaderSize {
 			break
 		}
-		length := int(binary.BigEndian.Uint32(data[off:]))
+		// Bounds-check as uint32/int64: on 32-bit platforms int(uint32)
+		// can go negative, slipping a corrupt length past the guards
+		// into a panicking slice expression.
+		u := binary.BigEndian.Uint32(data[off:])
 		crc := binary.BigEndian.Uint32(data[off+4:])
-		if length == 0 || length > maxRecordBytes || length > len(data)-off-frameHeaderSize {
+		if u == 0 || u > maxRecordBytes || int64(u) > int64(len(data)-off-frameHeaderSize) {
 			break
 		}
+		length := int(u)
 		payload := data[off+frameHeaderSize : off+frameHeaderSize+length]
 		if crc32.Checksum(payload, crcTable) != crc {
 			break
@@ -91,7 +95,18 @@ func repairTailSegment(seg Segment) error {
 	if valid == len(data) {
 		return nil
 	}
-	return os.Truncate(seg.Path, int64(valid))
+	// Fsync the truncation: once a fresh segment opens after this one,
+	// a torn tail resurfacing here would read as interior corruption
+	// rather than a crash mark.
+	f, err := os.OpenFile(seg.Path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(int64(valid)); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 // replaySegment applies one segment. It reports torn=true when the
@@ -116,11 +131,12 @@ func replaySegment(seg Segment, final bool, fn func(Record) error, stats *Replay
 		if len(data)-off < frameHeaderSize {
 			return bad(off, "truncated frame header")
 		}
-		length := int(binary.BigEndian.Uint32(data[off:]))
+		u := binary.BigEndian.Uint32(data[off:])
 		crc := binary.BigEndian.Uint32(data[off+4:])
-		if length == 0 || length > maxRecordBytes || length > len(data)-off-frameHeaderSize {
+		if u == 0 || u > maxRecordBytes || int64(u) > int64(len(data)-off-frameHeaderSize) {
 			return bad(off, "frame length out of bounds")
 		}
+		length := int(u)
 		payload := data[off+frameHeaderSize : off+frameHeaderSize+length]
 		if crc32.Checksum(payload, crcTable) != crc {
 			return bad(off, "frame CRC mismatch")

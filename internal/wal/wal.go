@@ -99,6 +99,11 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	// Persist the data directory's own entry: a segment fsync is useless
+	// if the directory holding it vanishes with a power loss.
+	if err := syncDir(filepath.Dir(filepath.Clean(dir))); err != nil {
+		return nil, err
+	}
 	segs, err := ListSegments(dir)
 	if err != nil {
 		return nil, err
@@ -122,7 +127,9 @@ func Open(dir string, opts Options) (*Log, error) {
 }
 
 // openSegmentLocked starts segment index; callers hold l.mu (or own the
-// log exclusively).
+// log exclusively). The directory fsync makes the new segment's entry
+// durable — without it a power loss can drop a file whose frames were
+// themselves fsynced, losing acknowledged commits.
 func (l *Log) openSegmentLocked(index uint64) error {
 	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(index)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -132,8 +139,23 @@ func (l *Log) openSegmentLocked(index uint64) error {
 		f.Close()
 		return err
 	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
 	l.seg, l.segIndex, l.segSize = f, index, int64(len(segmentMagic))
 	return nil
+}
+
+// syncDir fsyncs a directory so file creations and removals within it
+// survive a power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Enqueue buffers one record and returns its sequence number. No I/O
@@ -288,12 +310,16 @@ func (l *Log) Rotate() (uint64, error) {
 }
 
 // RemoveSegmentsBelow deletes sealed segments with index < bound —
-// compaction's truncation step, safe once a snapshot covers them.
+// compaction's truncation step, safe once a snapshot covers them. The
+// removals are fsynced; if a crash resurrects a removed segment anyway,
+// replay over the covering snapshot converges (puts are whole-row
+// overwrites and every later write replays after it).
 func (l *Log) RemoveSegmentsBelow(bound uint64) error {
 	segs, err := ListSegments(l.dir)
 	if err != nil {
 		return err
 	}
+	removed := false
 	for _, s := range segs {
 		if s.Index >= bound {
 			continue
@@ -307,8 +333,12 @@ func (l *Log) RemoveSegmentsBelow(bound uint64) error {
 		if err := os.Remove(s.Path); err != nil {
 			return err
 		}
+		removed = true
 	}
-	return nil
+	if !removed {
+		return nil
+	}
+	return syncDir(l.dir)
 }
 
 // SizeBytes reports the byte total of all live segments — the replay

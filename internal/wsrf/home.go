@@ -89,7 +89,11 @@ func (h *StateHome) Save(id string, doc *xmlutil.Element) error {
 
 // Destroy implements ResourceHome.
 func (h *StateHome) Destroy(id string) error {
-	if !h.table.Delete(id) {
+	ok, err := h.table.Delete(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchResource, id)
 	}
 	if h.onDestroy != nil {
