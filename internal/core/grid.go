@@ -137,6 +137,16 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 		return nil, err
 	}
 	g.Broker = broker
+	if cfg.Retry != nil {
+		// Notification delivery gets the same bounded backoff: a slow
+		// consumer's transient failure is absorbed instead of counting
+		// toward its subscription's destruction. SetDeliveryRetry gates
+		// on the Notify action itself, so the configured predicate (which
+		// excludes one-way sends) is not carried over.
+		p := *cfg.Retry
+		p.Idempotent = nil
+		broker.Producer().SetDeliveryRetry(p)
+	}
 
 	nis, err := nodeinfo.New(nodeinfo.Config{
 		Address: masterAddr,

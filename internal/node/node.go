@@ -58,6 +58,10 @@ type Config struct {
 	Background func() float64
 	// Codec selects the resource database codec (default structured).
 	Codec resourcedb.Codec
+	// Store, when set, backs the machine's WS-Resources (e.g. a
+	// resourcedb.DurableStore's Store for crash/restart drills); nil
+	// gets a fresh in-memory store.
+	Store *resourcedb.Store
 	// Interceptors form the machine's server-side receive pipeline
 	// (deadline re-establishment, request correlation), shared by the
 	// FSS and ES it hosts.
@@ -104,7 +108,10 @@ func New(cfg Config) (*Node, error) {
 
 	n := &Node{Name: cfg.Name, cfg: cfg, client: cfg.Client}
 	n.FS = vfs.New()
-	n.Store = resourcedb.NewStore()
+	n.Store = cfg.Store
+	if n.Store == nil {
+		n.Store = resourcedb.NewStore()
+	}
 
 	identity, err := wssec.NewIdentity("CN=ExecutionService/" + cfg.Name)
 	if err != nil {

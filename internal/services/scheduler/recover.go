@@ -7,6 +7,7 @@ import (
 
 	"uvacg/internal/wsa"
 	"uvacg/internal/wsn"
+	"uvacg/internal/xmlutil"
 )
 
 // Recover rebuilds in-memory runs for every job set that was still
@@ -32,10 +33,20 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 		if err != nil {
 			continue
 		}
-		if doc.ChildText(QStatus) != SetRunning {
+		topic := doc.ChildText(QTopic)
+		if status := doc.ChildText(QStatus); status != SetRunning {
+			// Terminal set whose completion event may never have left the
+			// building: the status write and the broker publish are not
+			// atomic, so a crash between them silently eats the client's
+			// terminal notification. Republish unless the notified marker
+			// proves delivery was attempted — duplicates are fine, the
+			// contract is at-least-once.
+			if topic != "" && isTerminalSetStatus(status) && doc.Attr(qNotifiedAttr) != "true" {
+				s.publishSetEventRaw(ctx, id, topic, status, "replayed after scheduler restart")
+				s.markNotified(id)
+			}
 			continue
 		}
-		topic := doc.ChildText(QTopic)
 		if topic == "" {
 			continue
 		}
@@ -46,6 +57,15 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 		spec, err := parseSpec(snap)
 		if err != nil || len(spec.Jobs) == 0 {
 			errs = append(errs, fmt.Errorf("scheduler: job set %q has no recoverable spec", id))
+			continue
+		}
+		if err := spec.Validate(); err != nil {
+			// A persisted snapshot that fails validation (cyclic DAG,
+			// missing references — possible via corruption or an old
+			// writer) would deadlock scheduleReady forever: no job ever
+			// becomes ready. Fail the set loudly instead of hanging.
+			s.failUnrecoverable(ctx, id, topic, fmt.Sprintf("recovered spec is invalid: %v", err))
+			errs = append(errs, fmt.Errorf("scheduler: job set %q: invalid recovered spec: %w", id, err))
 			continue
 		}
 
@@ -114,6 +134,33 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 		}(r)
 	}
 	return resumed, errors.Join(errs...)
+}
+
+// isTerminalSetStatus reports whether status is one of the three
+// terminal set states.
+func isTerminalSetStatus(status string) bool {
+	return status == SetCompleted || status == SetFailed || status == SetCancelled
+}
+
+// failUnrecoverable marks a set Failed directly in its document (there
+// is no run to drive the usual path), cancels its non-terminal jobs and
+// publishes the terminal event.
+func (s *Service) failUnrecoverable(ctx context.Context, id, topic, reason string) {
+	_ = s.svc.UpdateResource(id, func(doc *xmlutil.Element) error {
+		if c := doc.Child(QStatus); c != nil {
+			c.Text = SetFailed
+		}
+		for _, st := range doc.ChildrenNamed(QJobState) {
+			switch st.Attr(qStatusAttr) {
+			case JobCompleted, JobFailed, JobCancelled:
+			default:
+				st.SetAttr(qStatusAttr, JobCancelled)
+			}
+		}
+		return nil
+	})
+	s.publishSetEventRaw(ctx, id, topic, SetFailed, reason)
+	s.markNotified(id)
 }
 
 func firstIncomplete(r *run) string {

@@ -168,6 +168,151 @@ func TestRecoverSkipsUnrecoverableSet(t *testing.T) {
 	}
 }
 
+// TestRecoverFailsInvalidSnapshot: a persisted spec snapshot that no
+// longer validates — a cycle or a dangling dependency, possible via
+// corruption or an older writer — must fail the set explicitly. Resuming
+// it would deadlock scheduleReady forever: no job ever becomes ready.
+func TestRecoverFailsInvalidSnapshot(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *JobSetSpec
+	}{
+		{"cyclic DAG", &JobSetSpec{Name: "cyc", Jobs: []JobSpec{
+			{Name: "a", Executable: "local://j.app", Outputs: []string{"o"},
+				Inputs: []FileSpec{{LocalName: "i", Source: "b://o"}}},
+			{Name: "b", Executable: "local://j.app", Outputs: []string{"o"},
+				Inputs: []FileSpec{{LocalName: "i", Source: "a://o"}}},
+		}}},
+		{"missing job reference", &JobSetSpec{Name: "dangling", Jobs: []JobSpec{
+			{Name: "a", Executable: "local://j.app",
+				Inputs: []FileSpec{{LocalName: "i", Source: "ghost://o"}}},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newSSHarness(t, Greedy{}, nil, "node-a")
+			h.files.Publish("j.app", procspawn.BuildScript("exit 0"))
+			good := &JobSetSpec{Name: "good", Jobs: []JobSpec{{Name: "j", Executable: "local://j.app"}}}
+			setEPR, topic, err := h.submit(t, good, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := h.waitTerminal(t, topic); got != "completed" {
+				t.Fatalf("initial run: %q", got)
+			}
+
+			// Crash mid-run, with the snapshot swapped for one that can
+			// no longer pass validation.
+			id := setEPR.Property(wsrf.QResourceID)
+			err = h.ss.WSRF().UpdateResource(id, func(doc *xmlutil.Element) error {
+				if el := doc.Child(QStatus); el != nil {
+					el.Text = SetRunning
+				}
+				for _, st := range doc.ChildrenNamed(QJobState) {
+					st.SetAttr(qStatusAttr, JobPending)
+				}
+				if sp := doc.Child(qSpecSnapshot); sp != nil {
+					sp.Children = specElement(tc.spec)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.ss.mu.Lock()
+			h.ss.runs = make(map[string]*run)
+			h.ss.mu.Unlock()
+
+			resumed, err := h.ss.Recover(context.Background())
+			if err == nil || !strings.Contains(err.Error(), "invalid recovered spec") {
+				t.Fatalf("recover error = %v", err)
+			}
+			if resumed != 0 {
+				t.Fatalf("invalid set resumed (%d)", resumed)
+			}
+			// The set is failed — terminally, with its event published —
+			// not left hanging in Running.
+			if got := h.waitTerminal(t, topic); got != "failed" {
+				t.Fatalf("invalid snapshot left set %q", got)
+			}
+			doc, err := h.ss.WSRF().Home().Load(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := ParseJobSetDocument(doc)
+			if v.Status != SetFailed {
+				t.Fatalf("persisted status %q", v.Status)
+			}
+			for _, jv := range v.Jobs {
+				if jv.Status != JobCancelled {
+					t.Fatalf("job %s left %q, want cancelled", jv.Name, jv.Status)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoverRepublishesUnnotifiedTerminalEvent: the status write and
+// the broker publish are not atomic. If the scheduler crashed in that
+// window the client would wait forever — Recover must republish the
+// terminal event for terminal sets lacking the notified marker, and
+// stamp the marker so the next restart does not publish a third time.
+func TestRecoverRepublishesUnnotifiedTerminalEvent(t *testing.T) {
+	h := newSSHarness(t, Greedy{}, nil, "node-a")
+	h.files.Publish("j.app", procspawn.BuildScript("exit 0"))
+	spec := &JobSetSpec{Name: "done", Jobs: []JobSpec{{Name: "j", Executable: "local://j.app"}}}
+	setEPR, topic, err := h.submit(t, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.waitTerminal(t, topic); got != "completed" {
+		t.Fatalf("run: %q", got)
+	}
+
+	// Crash between the status write and the publish: terminal on disk,
+	// marker missing.
+	id := setEPR.Property(wsrf.QResourceID)
+	if err := h.ss.WSRF().UpdateResource(id, func(doc *xmlutil.Element) error {
+		doc.SetAttr(qNotifiedAttr, "")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.ss.mu.Lock()
+	h.ss.runs = make(map[string]*run)
+	h.ss.mu.Unlock()
+
+	resumed, err := h.ss.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 0 {
+		t.Fatalf("terminal set resumed (%d)", resumed)
+	}
+	if got := h.waitTerminal(t, topic); got != "completed" {
+		t.Fatalf("replayed terminal event %q", got)
+	}
+	doc, err := h.ss.WSRF().Home().Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Attr(qNotifiedAttr) != "true" {
+		t.Fatal("republished set not stamped notified")
+	}
+
+	// With the marker present a second Recover stays quiet.
+	if _, err := h.ss.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-h.events:
+		if strings.Contains(n.Topic, "/jobset/") {
+			t.Fatalf("marked set republished again: %s", n.Topic)
+		}
+	default:
+	}
+}
+
 // TestRecoverIgnoresFinishedSets: completed/failed sets stay untouched.
 func TestRecoverIgnoresFinishedSets(t *testing.T) {
 	h := newSSHarness(t, Greedy{}, nil, "node-a")

@@ -56,8 +56,13 @@ var (
 	qExitAttr   = xmlutil.Q("", "exitCode")
 	qDirAttr    = xmlutil.Q("", "dir")
 	qSecured    = xmlutil.Q("", "secured")
-	qCancel     = xmlutil.Q(NS, "Cancel")
-	qCancelResp = xmlutil.Q(NS, "CancelResponse")
+	// qNotifiedAttr marks that the terminal set event was handed to the
+	// broker. Terminal docs without it are republished by Recover: the
+	// status write and the publish are not atomic, so a crash between
+	// them would otherwise lose the client's completion signal forever.
+	qNotifiedAttr = xmlutil.Q("", "notified")
+	qCancel       = xmlutil.Q(NS, "Cancel")
+	qCancelResp   = xmlutil.Q(NS, "CancelResponse")
 
 	// qSpecSnapshot holds the submitted description inside the job-set
 	// resource so a restarted scheduler can rebuild the DAG.
@@ -620,6 +625,7 @@ func (s *Service) maybeComplete(ctx context.Context, r *run) {
 	r.mu.Unlock()
 	s.setStatus(r, SetCompleted)
 	s.publishSetEvent(ctx, r, SetCompleted, "")
+	s.markNotified(r.id)
 }
 
 // failJob marks a job failed, fails the set, cancels the rest.
@@ -654,6 +660,7 @@ func (s *Service) failJob(ctx context.Context, r *run, jobName, reason string) {
 	s.updateAllJobDocs(r)
 	s.setStatus(r, SetFailed)
 	s.publishSetEvent(ctx, r, SetFailed, fmt.Sprintf("job %q failed: %s", jobName, reason))
+	s.markNotified(r.id)
 }
 
 // handleCancel aborts a job set on client request.
@@ -695,6 +702,9 @@ func (s *Service) handleCancel(ctx context.Context, inv *wsrf.Invocation, body *
 		}
 	}
 	s.publishSetEvent(ctx, r, SetCancelled, "cancelled by client")
+	// The invocation pipeline holds this resource's lock (see above), so
+	// mark the invocation's own document rather than via UpdateResource.
+	inv.Doc.SetAttr(qNotifiedAttr, "true")
 	return &xmlutil.Element{Name: qCancelResp}, nil
 }
 
@@ -751,6 +761,13 @@ func (s *Service) updateAllJobDocs(r *run) {
 
 // publishSetEvent broadcasts a set-level event on "<topic>/jobset/<kind>".
 func (s *Service) publishSetEvent(ctx context.Context, r *run, status, detail string) {
+	s.publishSetEventRaw(ctx, r.id, r.topic, status, detail)
+}
+
+// publishSetEventRaw is publishSetEvent without a live run — Recover
+// republishes terminal events for crashed runs straight from the
+// persisted document.
+func (s *Service) publishSetEventRaw(ctx context.Context, id, topic, status, detail string) {
 	payload := xmlutil.NewContainer(xmlutil.Q(NS, "JobSetEvent"),
 		xmlutil.NewElement(QStatus, status),
 	)
@@ -758,11 +775,19 @@ func (s *Service) publishSetEvent(ctx context.Context, r *run, status, detail st
 		payload.Append(xmlutil.NewElement(xmlutil.Q(NS, "Detail"), detail))
 	}
 	n := wsn.Notification{
-		Topic:    r.topic + "/jobset/" + strings.ToLower(status),
-		Producer: s.svc.EPRFor(r.id),
+		Topic:    topic + "/jobset/" + strings.ToLower(status),
+		Producer: s.svc.EPRFor(id),
 		Message:  payload,
 	}
 	_ = wsn.PublishViaBroker(ctx, s.client, s.broker, n)
+}
+
+// markNotified records that the terminal set event reached the broker.
+func (s *Service) markNotified(id string) {
+	_ = s.svc.UpdateResource(id, func(doc *xmlutil.Element) error {
+		doc.SetAttr(qNotifiedAttr, "true")
+		return nil
+	})
 }
 
 // OutputDirectory reports where a job's outputs live, once known —

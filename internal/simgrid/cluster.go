@@ -1,0 +1,554 @@
+package simgrid
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"uvacg/internal/core"
+	"uvacg/internal/node"
+	"uvacg/internal/pipeline"
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/services/execution"
+	"uvacg/internal/services/filesystem"
+	"uvacg/internal/services/nodeinfo"
+	"uvacg/internal/services/scheduler"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsn"
+	"uvacg/internal/wsrf"
+)
+
+// Cluster hosts: the master machine and the observer/client machine are
+// fixed; execution nodes are "node-1".."node-N".
+const (
+	MasterHost   = "master"
+	ObserverHost = "client"
+)
+
+// ClusterConfig sizes a simulated cluster.
+type ClusterConfig struct {
+	Seed  int64
+	Nodes int
+	// DataDir roots every service's durable store; each host gets a
+	// subdirectory that survives Crash/Restart.
+	DataDir string
+	// JobTimeout is the scheduler watchdog window (default 1.5s) —
+	// without it a dropped exit event would stall a set forever.
+	JobTimeout time.Duration
+}
+
+// Ack records one acknowledged submission: the scheduler accepted the
+// job set and returned its resource EPR and topic. Acked submissions are
+// the anchor of invariants I3 and I4.
+type Ack struct {
+	Name  string
+	Set   wsa.EndpointReference
+	Topic string
+}
+
+// masterServices is one incarnation of the master machine. Crashing the
+// master abandons the incarnation (its goroutines die against a closed
+// store, like a killed process's in-flight writes) and a restart builds
+// a fresh one over the same data directory.
+type masterServices struct {
+	store  *resourcedb.DurableStore
+	client *transport.Client
+	broker *wsn.Broker
+	nis    *nodeinfo.Service
+	ss     *scheduler.Service
+}
+
+// nodeHost is one incarnation of an execution machine.
+type nodeHost struct {
+	store  *resourcedb.DurableStore
+	client *transport.Client
+	node   *node.Node
+}
+
+// Cluster is a whole in-process grid wired over fault-injecting
+// transports: scheduler + broker + NIS on the master, N execution/FSS
+// machines, and an observer host carrying the client-side file server
+// and the invariant checker's notification listener. Every host has its
+// own transport.Client wrapped with the shared Chaos engine, so
+// partitions can be asymmetric and every cross-host message is in play.
+type Cluster struct {
+	Chaos    *Chaos
+	Network  *transport.Network
+	Observer *Observer
+
+	cfg ClusterConfig
+
+	mu     sync.Mutex
+	master *masterServices
+	nodes  map[string]*nodeHost
+	acked  []Ack
+}
+
+// NewCluster builds and starts a cluster with chaos disabled; call
+// c.Chaos.Enable(true) once setup traffic (registration, app publishing)
+// is done.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = 1500 * time.Millisecond
+	}
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("simgrid: ClusterConfig.DataDir is required")
+	}
+	c := &Cluster{
+		Chaos:   NewChaos(cfg.Seed),
+		Network: transport.NewNetwork(),
+		cfg:     cfg,
+		nodes:   make(map[string]*nodeHost),
+	}
+	// The observer's listener is the measuring instrument for I2/I4:
+	// exempt it so a lost notification means the system lost it, not the
+	// probe. The same host's file server stays faultable.
+	c.Chaos.ExemptAddr(ObserverHost, "/listener")
+
+	c.Observer = newObserver(c.hostClient(ObserverHost))
+	c.Network.Register(ObserverHost, c.Observer.server)
+
+	if err := c.startMaster(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 1; i <= cfg.Nodes; i++ {
+		if err := c.startNode(ctx, fmt.Sprintf("node-%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// hostClient builds the outbound pipeline for one host: request
+// correlation, deadline propagation and a small deterministic retry for
+// idempotent actions, over a chaos-wrapped transport. Jitter is
+// disabled so a replayed seed retries on the same schedule.
+func (c *Cluster) hostClient(host string) *transport.Client {
+	client := transport.NewClient().WithNetwork(c.Network)
+	client.Use(
+		pipeline.ClientRequestID(),
+		pipeline.ClientDeadline(),
+		pipeline.Retry(pipeline.RetryPolicy{
+			MaxAttempts: 3,
+			BaseDelay:   2 * time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+			Jitter:      -1,
+			Idempotent:  core.IdempotentActions(),
+		}),
+	)
+	decide := c.Chaos.FaultFunc(host)
+	client.WrapSchemes(func(_ string, rt transport.RoundTripper) transport.RoundTripper {
+		return transport.WrapFaults(rt, decide)
+	})
+	return client
+}
+
+func serverInterceptors() []soap.Interceptor {
+	return []soap.Interceptor{pipeline.ServerRequestID(), pipeline.ServerDeadline()}
+}
+
+// startMaster opens (or reopens) the master's durable store and mounts
+// broker, NIS and scheduler over it; on a reopened store the broker
+// recovers its subscriptions and Recover resumes interrupted runs.
+func (c *Cluster) startMaster() error {
+	store, err := resourcedb.OpenDurable(filepath.Join(c.cfg.DataDir, MasterHost), resourcedb.DurableOptions{})
+	if err != nil {
+		return fmt.Errorf("simgrid: open master store: %w", err)
+	}
+	client := c.hostClient(MasterHost)
+	addr := "inproc://" + MasterHost
+
+	broker, err := wsn.NewBroker("/NotificationBroker", addr,
+		wsrf.NewStateHome(store.MustTable("subscriptions", resourcedb.BlobCodec{})), client)
+	if err != nil {
+		return err
+	}
+	// Notification delivery rides the same retry the product path uses:
+	// transient consumer failures are absorbed; permanent ones are the
+	// producer's failure-count problem.
+	broker.Producer().SetDeliveryRetry(pipeline.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+		Jitter:      -1,
+	})
+	nis, err := nodeinfo.New(nodeinfo.Config{
+		Address: addr,
+		Home:    wsrf.NewStateHome(store.MustTable("nodeinfo", resourcedb.BlobCodec{})),
+	})
+	if err != nil {
+		return err
+	}
+	ss, err := scheduler.New(scheduler.Config{
+		Address:    addr,
+		Home:       wsrf.NewStateHome(store.MustTable("jobsets", resourcedb.BlobCodec{})),
+		Client:     client,
+		NIS:        nis.EPR(),
+		Broker:     broker.EPR(),
+		JobTimeout: c.cfg.JobTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	mux := soap.NewMux()
+	mux.Handle(broker.Service().Path(), broker.Service().Dispatcher())
+	mux.Handle(broker.Producer().SubscriptionService().Path(), broker.Producer().SubscriptionService().Dispatcher())
+	mux.Handle(nis.WSRF().Path(), nis.WSRF().Dispatcher())
+	mux.Handle(ss.WSRF().Path(), ss.WSRF().Dispatcher())
+	ss.Consumer().Mount(mux, ss.ConsumerPath())
+	srv := transport.NewServer(mux)
+	srv.Use(serverInterceptors()...)
+	c.Network.Register(MasterHost, srv)
+
+	c.mu.Lock()
+	c.master = &masterServices{store: store, client: client, broker: broker, nis: nis, ss: ss}
+	c.mu.Unlock()
+	return nil
+}
+
+// startNode opens (or reopens) one machine's durable store and joins it
+// to the network. Registration with the NIS is retried a few times —
+// under chaos the report can be dropped — and a final failure is
+// tolerated when the catalog already lists the machine from a previous
+// incarnation.
+func (c *Cluster) startNode(ctx context.Context, name string) error {
+	store, err := resourcedb.OpenDurable(filepath.Join(c.cfg.DataDir, name), resourcedb.DurableOptions{})
+	if err != nil {
+		return fmt.Errorf("simgrid: open %s store: %w", name, err)
+	}
+	client := c.hostClient(name)
+	m := c.Master()
+	n, err := node.New(node.Config{
+		Interceptors: serverInterceptors(),
+		Name:         name,
+		Network:      c.Network,
+		Client:       client,
+		Cores:        2,
+		SpeedMHz:     2000,
+		UnitTime:     5 * time.Microsecond,
+		Broker:       m.broker.EPR(),
+		NIS:          m.nis.EPR(),
+		Store:        store.Store,
+	})
+	if err != nil {
+		store.Close()
+		return err
+	}
+	var regErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if regErr = n.Register(ctx); regErr == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.mu.Lock()
+	c.nodes[name] = &nodeHost{store: store, client: client, node: n}
+	c.mu.Unlock()
+	if regErr != nil && !c.nisKnows(ctx, name) {
+		return fmt.Errorf("simgrid: register %s: %w", name, regErr)
+	}
+	return nil
+}
+
+// nisKnows reports whether the NIS catalog (read locally on the master)
+// already lists host from an earlier incarnation.
+func (c *Cluster) nisKnows(ctx context.Context, host string) bool {
+	procs, err := c.Master().nis.Processors()
+	if err != nil {
+		return false
+	}
+	for _, p := range procs {
+		if p.Host == host {
+			return true
+		}
+	}
+	return false
+}
+
+// Master returns the current master incarnation.
+func (c *Cluster) Master() *masterServices {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.master
+}
+
+// Scheduler returns the current scheduler instance.
+func (c *Cluster) Scheduler() *scheduler.Service { return c.Master().ss }
+
+// NodeNames lists the execution machines.
+func (c *Cluster) NodeNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	return names
+}
+
+// CrashMaster kills the master machine: it vanishes from the network and
+// its durable store closes, so the incarnation's still-running
+// goroutines fail their writes exactly as a killed process's in-flight
+// I/O would. State on disk is whatever the WAL had committed.
+func (c *Cluster) CrashMaster() {
+	m := c.Master()
+	c.Network.Deregister(MasterHost)
+	_ = m.store.Close()
+}
+
+// RestartMaster reopens the master over its surviving data directory and
+// resumes interrupted job sets. The returned error carries per-set
+// recovery failures; the master is up either way.
+func (c *Cluster) RestartMaster(ctx context.Context) error {
+	if err := c.startMaster(); err != nil {
+		return err
+	}
+	_, err := c.Master().ss.Recover(ctx)
+	return err
+}
+
+// CrashNode kills one machine: network drop plus store close. Jobs it
+// was running never report an exit — the scheduler watchdog's problem.
+func (c *Cluster) CrashNode(name string) error {
+	c.mu.Lock()
+	h, ok := c.nodes[name]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("simgrid: unknown node %q", name)
+	}
+	h.node.Stop()
+	return h.store.Close()
+}
+
+// RestartNode brings a crashed machine back over its data directory.
+func (c *Cluster) RestartNode(ctx context.Context, name string) error {
+	return c.startNode(ctx, name)
+}
+
+// Submit publishes nothing itself — apps must already be on the observer
+// file server — it sends the Submit and retries a few times under
+// chaos. Only a parsed response counts as an ack; a created-but-unacked
+// set is invariant I1's problem, not I3's.
+func (c *Cluster) Submit(ctx context.Context, spec *scheduler.JobSetSpec) (Ack, error) {
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		resp, err := c.Observer.client.Call(ctx, c.Scheduler().EPR(), scheduler.ActionSubmit,
+			scheduler.SubmitRequest(spec, c.Observer.FilesEPR(), c.Observer.ListenerEPR()))
+		if err == nil {
+			set, topic, perr := scheduler.ParseSubmitResponse(resp)
+			if perr != nil {
+				return Ack{}, perr
+			}
+			ack := Ack{Name: spec.Name, Set: set, Topic: topic}
+			c.mu.Lock()
+			c.acked = append(c.acked, ack)
+			c.mu.Unlock()
+			return ack, nil
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return Ack{}, ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	return Ack{}, lastErr
+}
+
+// Acked returns every acknowledged submission so far.
+func (c *Cluster) Acked() []Ack {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Ack(nil), c.acked...)
+}
+
+// JobSetDocs projects every persisted job-set resource on the current
+// master — the ground truth the invariants read.
+func (c *Cluster) JobSetDocs() []scheduler.JobSetView {
+	home := c.Scheduler().WSRF().Home()
+	var views []scheduler.JobSetView
+	for _, id := range home.IDs() {
+		doc, err := home.Load(id)
+		if err != nil {
+			continue
+		}
+		views = append(views, scheduler.ParseJobSetDocument(doc))
+	}
+	return views
+}
+
+// AwaitQuiescence blocks until every topic-bearing job set document is
+// terminal and every acked topic has produced an observed terminal
+// event, or the deadline passes. The error names what is still pending —
+// the raw material of an I1/I4 violation.
+func (c *Cluster) AwaitQuiescence(deadline time.Duration) error {
+	end := time.Now().Add(deadline)
+	for {
+		pending := c.pendingWork()
+		if len(pending) == 0 {
+			return nil
+		}
+		if time.Now().After(end) {
+			return fmt.Errorf("not quiescent after %v: %s", deadline, strings.Join(pending, "; "))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (c *Cluster) pendingWork() []string {
+	var pending []string
+	for _, v := range c.JobSetDocs() {
+		if v.Topic != "" && !isTerminalSet(v.Status) {
+			pending = append(pending, fmt.Sprintf("set %s(%s) status %s", v.Name, v.Topic, v.Status))
+		}
+	}
+	terminal := c.Observer.TerminalSets()
+	for _, ack := range c.Acked() {
+		if !terminal[ack.Topic] {
+			pending = append(pending, fmt.Sprintf("no terminal event for acked %s(%s)", ack.Name, ack.Topic))
+		}
+	}
+	return pending
+}
+
+func isTerminalSet(status string) bool {
+	switch status {
+	case scheduler.SetCompleted, scheduler.SetFailed, scheduler.SetCancelled:
+		return true
+	}
+	return false
+}
+
+// Close tears the cluster down: nodes stop, stores close, the observer's
+// drain loop exits. Crash-closed stores close twice harmlessly.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	nodes := make([]*nodeHost, 0, len(c.nodes))
+	for _, h := range c.nodes {
+		nodes = append(nodes, h)
+	}
+	m := c.master
+	c.mu.Unlock()
+	for _, h := range nodes {
+		h.node.Stop()
+		_ = h.store.Close()
+	}
+	if m != nil {
+		_ = m.store.Close()
+	}
+	c.Observer.stop()
+}
+
+// Observer is the client-side host: the file server that publishes job
+// applications, and the notification listener whose recorded event log
+// the invariant checker reads. The listener route is exempt from chaos;
+// the file server is not.
+type Observer struct {
+	Files  *filesystem.FileServer
+	client *transport.Client
+	server *transport.Server
+	done   chan struct{}
+
+	mu     sync.Mutex
+	events []ObservedEvent
+}
+
+// ObservedEvent is one notification as seen by the client, with its
+// topic split into the scheduler's conventions: set topic, job name and
+// event kind ("jobset:<status>" for set-level events).
+type ObservedEvent struct {
+	Topic    string
+	Set      string
+	Job      string
+	Kind     string
+	ExitCode int
+	HasExit  bool
+}
+
+func newObserver(client *transport.Client) *Observer {
+	o := &Observer{
+		Files:  filesystem.NewFileServer("/files"),
+		client: client,
+		done:   make(chan struct{}),
+	}
+	consumer := wsn.NewConsumer()
+	ch := consumer.Channel(wsn.MustTopicExpression(wsn.DialectFull, "*//"), 1024)
+	mux := soap.NewMux()
+	o.Files.Mount(mux)
+	consumer.Mount(mux, "/listener")
+	o.server = transport.NewServer(mux)
+	go o.drain(ch)
+	return o
+}
+
+func (o *Observer) FilesEPR() wsa.EndpointReference {
+	return wsa.NewEPR("inproc://" + ObserverHost + "/files")
+}
+
+func (o *Observer) ListenerEPR() wsa.EndpointReference {
+	return wsa.NewEPR("inproc://" + ObserverHost + "/listener")
+}
+
+func (o *Observer) drain(ch <-chan wsn.Notification) {
+	for {
+		select {
+		case n := <-ch:
+			o.record(n)
+		case <-o.done:
+			return
+		}
+	}
+}
+
+func (o *Observer) record(n wsn.Notification) {
+	ev := ObservedEvent{Topic: n.Topic}
+	segs := strings.Split(n.Topic, "/")
+	if len(segs) == 3 {
+		ev.Set = segs[0]
+		if segs[1] == "jobset" {
+			ev.Kind = "jobset:" + segs[2]
+		} else {
+			ev.Job = segs[1]
+			ev.Kind = segs[2]
+			if je, err := execution.ParseJobEvent(n.Message); err == nil {
+				ev.ExitCode, ev.HasExit = je.ExitCode, je.HasExit
+			}
+		}
+	}
+	o.mu.Lock()
+	o.events = append(o.events, ev)
+	o.mu.Unlock()
+}
+
+// Events snapshots the recorded notification log.
+func (o *Observer) Events() []ObservedEvent {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]ObservedEvent(nil), o.events...)
+}
+
+// TerminalSets maps set topic → true for every set-level terminal event
+// seen so far.
+func (o *Observer) TerminalSets() map[string]bool {
+	out := make(map[string]bool)
+	for _, ev := range o.Events() {
+		switch ev.Kind {
+		case "jobset:completed", "jobset:failed", "jobset:cancelled":
+			out[ev.Set] = true
+		}
+	}
+	return out
+}
+
+func (o *Observer) stop() { close(o.done) }

@@ -1,0 +1,105 @@
+package simgrid
+
+import (
+	"fmt"
+
+	"uvacg/internal/services/scheduler"
+)
+
+// CheckInvariants audits a quiesced cluster against the four safety and
+// liveness properties every chaos run must uphold, returning one message
+// per violation (empty means the run passed).
+//
+//	I1  Every job set the scheduler created (every persisted document
+//	    that got as far as a topic) is terminal: completed, failed or
+//	    cancelled. Nothing hangs — not across crashes, partitions or
+//	    lost events.
+//	I2  Causal ordering: a job observed to start had every dependency
+//	    observed to exit successfully. The scheduler may never dispatch
+//	    a job before its predecessors' outputs exist.
+//	I3  No acked submission is lost: the topic returned by an
+//	    acknowledged Submit maps to a persisted job-set document, even
+//	    after the master crashed and recovered from its WAL.
+//	I4  At-least-once terminal notification: every acked submission's
+//	    subscribed listener observed a terminal job-set event, across
+//	    broker restarts (subscriptions are durable) and scheduler
+//	    crash/republish.
+func CheckInvariants(c *Cluster, sc *Scenario) []string {
+	var violations []string
+	docs := c.JobSetDocs()
+	events := c.Observer.Events()
+	acked := c.Acked()
+
+	// I1: all topic-bearing documents terminal. Documents without a
+	// topic are half-born submissions the client never got acked (the
+	// crash window between CreateResource and the topic write); they
+	// carry no obligation.
+	for _, v := range docs {
+		if v.Topic != "" && !isTerminalSet(v.Status) {
+			violations = append(violations,
+				fmt.Sprintf("I1: set %s (topic %s) not terminal: %q", v.Name, v.Topic, v.Status))
+		}
+	}
+
+	// I2: for every observed start, each dependency has an observed
+	// successful exit. Checked existence-wise, not order-wise: broker
+	// fan-out does not promise cross-publish ordering at the listener,
+	// but the exempt listener route makes delivery itself reliable, so
+	// a started job whose dependency never reports exit 0 means the
+	// scheduler dispatched early.
+	specByName := make(map[string]*scheduler.JobSetSpec, len(sc.Sets))
+	for _, set := range sc.Sets {
+		specByName[set.Name] = set
+	}
+	topicName := make(map[string]string, len(docs)) // topic → set name
+	for _, v := range docs {
+		if v.Topic != "" {
+			topicName[v.Topic] = v.Name
+		}
+	}
+	type setJob struct{ set, job string }
+	exitOK := make(map[setJob]bool)
+	for _, ev := range events {
+		if ev.Kind == "exited" && ev.HasExit && ev.ExitCode == 0 {
+			exitOK[setJob{ev.Set, ev.Job}] = true
+		}
+	}
+	for _, ev := range events {
+		if ev.Kind != "started" {
+			continue
+		}
+		spec := specByName[topicName[ev.Set]]
+		if spec == nil {
+			continue // a set this scenario did not define (foreign topic)
+		}
+		for i := range spec.Jobs {
+			if spec.Jobs[i].Name != ev.Job {
+				continue
+			}
+			for _, dep := range spec.Jobs[i].Dependencies() {
+				if !exitOK[setJob{ev.Set, dep}] {
+					violations = append(violations,
+						fmt.Sprintf("I2: job %s/%s started but dependency %s has no successful exit", ev.Set, ev.Job, dep))
+				}
+			}
+		}
+	}
+
+	// I3: every acked topic is backed by a persisted document.
+	for _, ack := range acked {
+		if _, ok := topicName[ack.Topic]; !ok {
+			violations = append(violations,
+				fmt.Sprintf("I3: acked submission %s (topic %s) has no persisted job-set document", ack.Name, ack.Topic))
+		}
+	}
+
+	// I4: every acked submission saw a terminal event on its topic.
+	terminal := c.Observer.TerminalSets()
+	for _, ack := range acked {
+		if !terminal[ack.Topic] {
+			violations = append(violations,
+				fmt.Sprintf("I4: acked submission %s (topic %s) never delivered a terminal notification", ack.Name, ack.Topic))
+		}
+	}
+	return violations
+}

@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// FaultOp identifies the kind of exchange a fault decision applies to:
+// a request-response round trip or a one-way hand-off. One-way messages
+// are where drops hurt differently — the sender believes the message was
+// handed over, so a dropped Send vanishes silently, exactly the failure
+// mode the paper's notification path is exposed to.
+type FaultOp int
+
+const (
+	// OpRoundTrip is a request-response exchange.
+	OpRoundTrip FaultOp = iota
+	// OpSend is a one-way hand-off.
+	OpSend
+)
+
+// FaultDecision is the verdict on one outbound message. The zero value
+// delivers the message untouched.
+type FaultDecision struct {
+	// Drop discards the message. A round trip fails with ErrInjectedDrop
+	// (the request never reached the peer); a one-way send returns nil —
+	// the hand-off "succeeded" but the message is gone, which is the
+	// dangerous half of one-way semantics.
+	Drop bool
+	// Delay sleeps (context-aware) before the message moves.
+	Delay time.Duration
+	// Duplicate delivers the message twice. For a round trip both
+	// requests reach the peer and the second reply is returned; services
+	// must tolerate at-least-once delivery.
+	Duplicate bool
+	// Err, when non-nil, fails the exchange with this error without
+	// delivering anything — the error-reply fault (a middlebox or stack
+	// failing the call before it reaches the service).
+	Err error
+}
+
+// FaultFunc decides the fate of one outbound message to addr. It is
+// consulted once per exchange (before any duplicate), so implementations
+// can keep per-route counters for deterministic replay.
+type FaultFunc func(op FaultOp, addr string) FaultDecision
+
+// ErrInjectedDrop is the error a dropped round trip fails with.
+var ErrInjectedDrop = errors.New("transport: injected fault: message dropped")
+
+// FaultingTransport wraps a RoundTripper and subjects every exchange to
+// a FaultFunc verdict: the injectable hook point chaos harnesses build
+// on. Construct with WrapFaults so attachment-capable inner transports
+// keep their fast path.
+type FaultingTransport struct {
+	inner  RoundTripper
+	decide FaultFunc
+}
+
+// WrapFaults wraps inner with fault injection driven by decide. When
+// inner also implements MessageRoundTripper, the returned transport does
+// too, so the attachment fast path stays observable under faults.
+func WrapFaults(inner RoundTripper, decide FaultFunc) RoundTripper {
+	if inner == nil || decide == nil {
+		panic("transport: WrapFaults with nil transport or decider")
+	}
+	ft := &FaultingTransport{inner: inner, decide: decide}
+	if _, ok := inner.(MessageRoundTripper); ok {
+		return &faultingMsgTransport{ft}
+	}
+	return ft
+}
+
+// verdict applies the non-delivery parts of a decision: delay, injected
+// error, drop. It returns the decision for the caller to honour
+// Duplicate, and done=true when the exchange must not proceed.
+func (f *FaultingTransport) verdict(ctx context.Context, op FaultOp, addr string) (d FaultDecision, err error, done bool) {
+	d = f.decide(op, addr)
+	if d.Delay > 0 {
+		t := time.NewTimer(d.Delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return d, ctx.Err(), true
+		case <-t.C:
+		}
+	}
+	if d.Err != nil {
+		return d, d.Err, true
+	}
+	if d.Drop {
+		if op == OpSend {
+			return d, nil, true // silently lost: the one-way hazard
+		}
+		return d, fmt.Errorf("%w (%s)", ErrInjectedDrop, addr), true
+	}
+	return d, nil, false
+}
+
+// RoundTrip implements RoundTripper.
+func (f *FaultingTransport) RoundTrip(ctx context.Context, addr string, request []byte) ([]byte, error) {
+	d, err, done := f.verdict(ctx, OpRoundTrip, addr)
+	if done {
+		return nil, err
+	}
+	if d.Duplicate {
+		if _, err := f.inner.RoundTrip(ctx, addr, request); err != nil {
+			return nil, err
+		}
+	}
+	return f.inner.RoundTrip(ctx, addr, request)
+}
+
+// Send implements RoundTripper.
+func (f *FaultingTransport) Send(ctx context.Context, addr string, request []byte) error {
+	d, err, done := f.verdict(ctx, OpSend, addr)
+	if done {
+		return err
+	}
+	if d.Duplicate {
+		if err := f.inner.Send(ctx, addr, request); err != nil {
+			return err
+		}
+	}
+	return f.inner.Send(ctx, addr, request)
+}
+
+// faultingMsgTransport adds the attachment fast path when the inner
+// transport has one.
+type faultingMsgTransport struct{ *FaultingTransport }
+
+// RoundTripMsg implements MessageRoundTripper.
+func (f *faultingMsgTransport) RoundTripMsg(ctx context.Context, addr string, req *Message) (*Message, error) {
+	mrt := f.inner.(MessageRoundTripper)
+	d, err, done := f.verdict(ctx, OpRoundTrip, addr)
+	if done {
+		return nil, err
+	}
+	if d.Duplicate {
+		if _, err := mrt.RoundTripMsg(ctx, addr, req); err != nil {
+			return nil, err
+		}
+	}
+	return mrt.RoundTripMsg(ctx, addr, req)
+}

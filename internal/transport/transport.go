@@ -98,6 +98,20 @@ func (c *Client) RegisterScheme(scheme string, rt RoundTripper) {
 	c.schemes[scheme] = rt
 }
 
+// WrapSchemes replaces every installed transport with wrap(scheme, rt) —
+// the hook point for cross-cutting wrappers such as fault injection
+// (WrapFaults). A nil return keeps the existing transport. Call during
+// wiring, before the client carries traffic; the schemes map is not
+// synchronized against in-flight calls.
+func (c *Client) WrapSchemes(wrap func(scheme string, rt RoundTripper) RoundTripper) *Client {
+	for scheme, rt := range c.schemes {
+		if w := wrap(scheme, rt); w != nil {
+			c.schemes[scheme] = w
+		}
+	}
+	return c
+}
+
 // DisableAttachments forces inline base64 for binary content on every
 // binding and returns the client for chaining.
 func (c *Client) DisableAttachments() *Client {

@@ -1,0 +1,133 @@
+package wsn
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uvacg/internal/pipeline"
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsrf"
+)
+
+// deliveryHarness is a producer plus two consumer hosts, with the
+// client's transports wrapped in fault injection: deliveries to the
+// "flaky" host fail while failRemaining is positive.
+type deliveryHarness struct {
+	producer      *Producer
+	okEvents      <-chan Notification
+	flakyEvents   <-chan Notification
+	failRemaining atomic.Int64
+}
+
+func newDeliveryHarness(t *testing.T) *deliveryHarness {
+	t.Helper()
+	h := &deliveryHarness{}
+	network := transport.NewNetwork()
+	client := transport.NewClient().WithNetwork(network)
+	client.WrapSchemes(func(_ string, rt transport.RoundTripper) transport.RoundTripper {
+		return transport.WrapFaults(rt, func(op transport.FaultOp, addr string) transport.FaultDecision {
+			if strings.Contains(addr, "flaky") && h.failRemaining.Add(-1) >= 0 {
+				return transport.FaultDecision{Err: errors.New("injected delivery failure")}
+			}
+			return transport.FaultDecision{}
+		})
+	})
+
+	store := resourcedb.NewStore()
+	owner := wsrf.MustService(wsrf.ServiceConfig{Path: "/ES", Address: "inproc://node-a"})
+	h.producer = MustProducer(owner, wsrf.NewStateHome(store.MustTable("subs", resourcedb.BlobCodec{})), client)
+	nodeMux := soap.NewMux()
+	nodeMux.Handle(owner.Path(), owner.Dispatcher())
+	nodeMux.Handle(h.producer.SubscriptionService().Path(), h.producer.SubscriptionService().Dispatcher())
+	network.Register("node-a", transport.NewServer(nodeMux))
+
+	for _, host := range []string{"ok", "flaky"} {
+		consumer := NewConsumer()
+		ch := consumer.Channel(MustTopicExpression(DialectFull, "*//"), 64)
+		mux := soap.NewMux()
+		consumer.Mount(mux, "/listener")
+		network.Register(host, transport.NewServer(mux))
+		if host == "ok" {
+			h.okEvents = ch
+		} else {
+			h.flakyEvents = ch
+		}
+	}
+	return h
+}
+
+func (h *deliveryHarness) subscribe(t *testing.T, host string) {
+	t.Helper()
+	if _, err := h.producer.Subscribe(wsa.NewEPR("inproc://"+host+"/listener"), Simple("jobs")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeliveryRetryRecoversTransientConsumer: a consumer whose first two
+// deliveries fail still receives the notification within one Publish,
+// because the retry interceptor re-sends with backoff.
+func TestDeliveryRetryRecoversTransientConsumer(t *testing.T) {
+	h := newDeliveryHarness(t)
+	h.producer.SetDeliveryRetry(pipeline.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		Jitter:      -1,
+	})
+	h.subscribe(t, "flaky")
+	h.failRemaining.Store(2)
+
+	if got := h.producer.Publish(context.Background(), "jobs/j1/exited", wsa.EndpointReference{}, nil); got != 1 {
+		t.Fatalf("Publish delivered %d, want 1", got)
+	}
+	select {
+	case n := <-h.flakyEvents:
+		if n.Topic != "jobs/j1/exited" {
+			t.Fatalf("delivered topic %q", n.Topic)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("transiently failing consumer never received the notification")
+	}
+	if n := h.producer.SubscriptionCount(); n != 1 {
+		t.Fatalf("subscription count %d after recovered delivery", n)
+	}
+}
+
+// TestDeliveryRetryDropsPermanentConsumer: a permanently failing
+// consumer exhausts its retries on every publish and is eventually
+// unsubscribed, while a healthy consumer — notified concurrently —
+// receives every notification; the broker/producer never wedges.
+func TestDeliveryRetryDropsPermanentConsumer(t *testing.T) {
+	h := newDeliveryHarness(t)
+	h.producer.SetDeliveryRetry(pipeline.RetryPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   time.Millisecond,
+		Jitter:      -1,
+	})
+	h.subscribe(t, "ok")
+	h.subscribe(t, "flaky")
+	h.failRemaining.Store(1 << 30) // permanent
+
+	const publishes = maxDeliveryFailures + 2
+	for i := 0; i < publishes; i++ {
+		if got := h.producer.Publish(context.Background(), "jobs/j1/exited", wsa.EndpointReference{}, nil); got != 1 {
+			t.Fatalf("publish %d delivered to %d consumers, want 1 (healthy only)", i, got)
+		}
+	}
+	for i := 0; i < publishes; i++ {
+		select {
+		case <-h.okEvents:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("healthy consumer missed notification %d", i)
+		}
+	}
+	if n := h.producer.SubscriptionCount(); n != 1 {
+		t.Fatalf("subscription count %d, want 1: dead consumer not dropped", n)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"uvacg/internal/pipeline"
 	"uvacg/internal/soap"
 	"uvacg/internal/transport"
 	"uvacg/internal/wsa"
@@ -60,6 +62,7 @@ type Producer struct {
 	client *transport.Client
 
 	mu       sync.RWMutex
+	retry    soap.Interceptor // per-subscriber delivery retry, nil = single attempt
 	subs     map[string]subscription
 	failures map[string]int
 	// current caches the last notification per concrete topic for
@@ -283,9 +286,30 @@ func (p *Producer) SubscriptionCount() int {
 	return len(p.subs)
 }
 
+// SetDeliveryRetry installs a bounded-backoff retry (pipeline.Retry)
+// around each subscriber's Notify delivery. Notification delivery is
+// at-least-once by contract, so re-sending is always safe: the policy's
+// Idempotent predicate defaults to admitting ActionNotify. A policy with
+// MaxAttempts < 2 removes any installed retry.
+func (p *Producer) SetDeliveryRetry(policy pipeline.RetryPolicy) {
+	if policy.Idempotent == nil {
+		policy.Idempotent = pipeline.IdempotentActions(ActionNotify)
+	}
+	p.mu.Lock()
+	if policy.MaxAttempts < 2 {
+		p.retry = nil
+	} else {
+		p.retry = pipeline.Retry(policy)
+	}
+	p.mu.Unlock()
+}
+
 // Publish delivers a notification on a concrete topic to every matching
 // subscriber as a one-way Notify, returning the number of deliveries
-// attempted. Consumers whose deliveries keep failing are unsubscribed.
+// that succeeded. Subscribers are notified concurrently — one slow or
+// dead consumer (possibly sitting out delivery retries) cannot starve
+// the others — and consumers whose deliveries keep failing across
+// publishes are unsubscribed.
 func (p *Producer) Publish(ctx context.Context, topic string, producerRef wsa.EndpointReference, message *xmlutil.Element) int {
 	n := Notification{Topic: topic, Producer: producerRef, Message: message}
 	p.mu.Lock()
@@ -301,17 +325,48 @@ func (p *Producer) Publish(ctx context.Context, topic string, producerRef wsa.En
 	}
 	p.mu.RUnlock()
 
-	delivered := 0
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
 	for _, sub := range matched {
-		err := p.client.Notify(ctx, sub.consumer, ActionNotify, NotifyBody(n))
-		if err != nil {
-			p.recordFailure(sub.id)
-			continue
-		}
-		p.clearFailures(sub.id)
-		delivered++
+		wg.Add(1)
+		go func(sub subscription) {
+			defer wg.Done()
+			if err := p.deliver(ctx, sub, n); err != nil {
+				p.recordFailure(sub.id)
+				return
+			}
+			p.clearFailures(sub.id)
+			delivered.Add(1)
+		}(sub)
 	}
-	return delivered
+	wg.Wait()
+	return int(delivered.Load())
+}
+
+// deliver sends one notification to one subscriber, through the
+// delivery-retry interceptor when installed. The notify body is rebuilt
+// per attempt by the client, so each retry carries fresh WS-Addressing
+// headers.
+func (p *Producer) deliver(ctx context.Context, sub subscription, n Notification) error {
+	p.mu.RLock()
+	retry := p.retry
+	p.mu.RUnlock()
+	notify := func(ctx context.Context) error {
+		return p.client.Notify(ctx, sub.consumer, ActionNotify, NotifyBody(n))
+	}
+	if retry == nil {
+		return notify(ctx)
+	}
+	call := &soap.CallInfo{
+		Side:   soap.ClientSide,
+		Addr:   sub.consumer.Address,
+		Action: ActionNotify,
+		OneWay: true,
+	}
+	_, err := retry(ctx, call, func(ctx context.Context, _ *soap.CallInfo) (*soap.Envelope, error) {
+		return nil, notify(ctx)
+	})
+	return err
 }
 
 func (p *Producer) recordFailure(id string) {

@@ -126,6 +126,53 @@ func TestReaperStartStop(t *testing.T) {
 	reaper.Stop() // idempotent
 }
 
+// TestReaperHonorsExtendAndCancel: re-setting the termination time
+// postpones reaping — a sweep past the original deadline must not
+// collect an extended resource — and clearing it cancels scheduled
+// destruction entirely.
+func TestReaperHonorsExtendAndCancel(t *testing.T) {
+	h := newHarness(t)
+	rcExtended := h.mustCreate(t, "job-extended")
+	rcExpiring := h.mustCreate(t, "job-expiring")
+	ctx := context.Background()
+	base := time.Now().UTC()
+
+	for _, rc := range []*ResourceClient{rcExtended, rcExpiring} {
+		if err := rc.SetTerminationTime(ctx, base.Add(time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Extend one lease past the sweep horizon.
+	if err := rcExtended.SetTerminationTime(ctx, base.Add(3*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	clock := base.Add(2 * time.Hour)
+	reaper := NewReaper(h.svc, time.Hour).WithClock(func() time.Time { return clock })
+	if n := reaper.SweepOnce(); n != 1 {
+		t.Fatalf("sweep past the original deadline reaped %d, want only the unextended resource", n)
+	}
+	if !h.svc.Home().Exists("job-extended") {
+		t.Fatal("extended resource reaped at its superseded deadline")
+	}
+	if h.svc.Home().Exists("job-expiring") {
+		t.Fatal("expired resource survived")
+	}
+
+	// Cancel the remaining lease: even a sweep far in the future must
+	// leave the resource alone.
+	if err := rcExtended.SetTerminationTime(ctx, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	clock = base.Add(100 * time.Hour)
+	if n := reaper.SweepOnce(); n != 0 {
+		t.Fatalf("sweep after cancel reaped %d resources", n)
+	}
+	if !h.svc.Home().Exists("job-extended") {
+		t.Fatal("cancelled lease did not stop the reaper")
+	}
+}
+
 func TestTerminationTimeOfMalformed(t *testing.T) {
 	doc := jobStateDoc("Running", 0)
 	if _, ok := TerminationTimeOf(doc); ok {
