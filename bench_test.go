@@ -381,6 +381,36 @@ func BenchmarkE10_Security(b *testing.B) {
 	}
 }
 
+// BenchmarkE12_DispatchThroughput compares the paper's literal Fig. 3
+// dispatch loop — one job at a time, one NIS GetProcessors poll per job
+// — against bounded-concurrency dispatch over the notification-fed
+// processor-catalog cache, on a wide set of independent jobs where the
+// dispatch path is the bottleneck.
+func BenchmarkE12_DispatchThroughput(b *testing.B) {
+	cases := []struct {
+		name     string
+		parallel bool
+	}{
+		{"serial-poll", false},
+		{"parallel-cached", true},
+	}
+	const jobs = 32
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("%s/jobs=%d", c.name, jobs), func(b *testing.B) {
+			var last benchkit.DispatchResult
+			for i := 0; i < b.N; i++ {
+				res, err := benchkit.MeasureDispatchThroughput(benchCtx, jobs, c.parallel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.JobsPerSec, "jobs/s")
+			b.ReportMetric(float64(last.NISPolls), "nis-polls")
+		})
+	}
+}
+
 // BenchmarkF3_JobSetEndToEnd runs the whole Fig. 3 sequence — submit,
 // schedule, stage, spawn, notify, advance the DAG — as one measured
 // operation.

@@ -40,6 +40,8 @@ func main() {
 	fsync := flag.Bool("fsync", true, "fsync each WAL group commit (with -data-dir); off trades machine-crash safety for throughput")
 	compactBytes := flag.Int64("compact-bytes", 8<<20, "WAL bytes that trigger background snapshot compaction (with -data-dir); negative disables")
 	jobTimeout := flag.Duration("job-timeout", 0, "fail dispatched jobs with no completion inside this window (0 disables)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent job dispatches (0 = default 8, 1 = serial)")
+	catalogTTL := flag.Duration("catalog-ttl", 0, "processor-catalog cache staleness bound (0 = default 2s, negative = poll NIS per dispatch)")
 	metricsFlag := flag.Bool("metrics", false, "dump per-action call metrics on shutdown")
 	retries := flag.Int("retries", 1, "max attempts for idempotent outbound calls (1 disables retry)")
 	trace := flag.Bool("trace", false, "log one line per call with its request ID")
@@ -108,6 +110,8 @@ func main() {
 	nis, err := nodeinfo.New(nodeinfo.Config{
 		Address: address,
 		Home:    wsrf.NewStateHome(store.MustTable("nodeinfo", resourcedb.BlobCodec{})),
+		Client:  client,
+		Broker:  broker.EPR(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -121,6 +125,9 @@ func main() {
 		Broker:     broker.EPR(),
 		Policy:     pickPolicy(*policyName),
 		JobTimeout: *jobTimeout,
+
+		MaxInflightDispatch: *maxInflight,
+		CatalogTTL:          *catalogTTL,
 	}
 	accounts := parseAccounts(*accountsFlag)
 	if accounts != nil {

@@ -37,6 +37,7 @@ func IdempotentActions() func(string) bool {
 		wsrf.ActionGetMultipleResourceProperties,
 		wsrf.ActionQueryResourceProperties,
 		nodeinfo.ActionGetProcessors,
+		wsn.ActionGetCurrentMessage,
 		filesystem.ActionRead,
 		filesystem.ActionList,
 	)
@@ -82,6 +83,16 @@ type GridConfig struct {
 	// transport failures. A nil Idempotent predicate defaults to
 	// IdempotentActions().
 	Retry *pipeline.RetryPolicy
+	// MaxInflightDispatch bounds the scheduler's concurrent job
+	// dispatches (0 = scheduler default, 1 = strictly serial).
+	MaxInflightDispatch int
+	// CatalogTTL tunes the scheduler's processor-catalog cache
+	// (0 = scheduler default, negative = poll the NIS per dispatch).
+	CatalogTTL time.Duration
+	// WireDelay, when positive, delays every outbound message by this
+	// much — a crude stand-in for a real campus network, used by the
+	// dispatch-throughput benchmarks to make RPC latency visible.
+	WireDelay time.Duration
 }
 
 // Grid is a running campus grid.
@@ -127,6 +138,14 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 	if cfg.Metrics != nil {
 		client.Use(cfg.Metrics.Interceptor())
 	}
+	if cfg.WireDelay > 0 {
+		delay := cfg.WireDelay
+		client.WrapSchemes(func(scheme string, rt transport.RoundTripper) transport.RoundTripper {
+			return transport.WrapFaults(rt, func(transport.FaultOp, string) transport.FaultDecision {
+				return transport.FaultDecision{Delay: delay}
+			})
+		})
+	}
 
 	g := &Grid{Network: network, Client: client, cfg: cfg}
 
@@ -151,6 +170,8 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 	nis, err := nodeinfo.New(nodeinfo.Config{
 		Address: masterAddr,
 		Home:    wsrf.NewStateHome(masterStore.MustTable("nodeinfo", resourcedb.BlobCodec{})),
+		Client:  client,
+		Broker:  broker.EPR(),
 	})
 	if err != nil {
 		return nil, err
@@ -166,6 +187,9 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 		Policy:     cfg.Policy,
 		ESCerts:    g.certFor,
 		JobTimeout: cfg.JobTimeout,
+
+		MaxInflightDispatch: cfg.MaxInflightDispatch,
+		CatalogTTL:          cfg.CatalogTTL,
 	}
 	if cfg.Accounts != nil {
 		g.ssIdentity, err = wssec.NewIdentity("CN=SchedulerService/" + cfg.MasterHost)

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"uvacg/internal/soap"
 	"uvacg/internal/transport"
 	"uvacg/internal/wsa"
+	"uvacg/internal/wsn"
 	"uvacg/internal/wsrf"
 	"uvacg/internal/xmlutil"
 )
@@ -36,6 +38,15 @@ const (
 // resource.
 const GroupResourceID = "processors"
 
+// CatalogTopic is the root topic the NIS publishes catalog changes on:
+// the paper's Processor Utilization → NIS notification chain extended
+// one hop to the broker, so the Scheduler can keep a pushed catalog
+// instead of polling GetProcessors before every dispatch.
+const CatalogTopic = "nis-catalog"
+
+// catalogChangedTopic is the concrete topic of catalog-change events.
+const catalogChangedTopic = CatalogTopic + "/changed"
+
 // Message QNames.
 var (
 	qReport           = xmlutil.Q(NS, "ProcessorReport")
@@ -49,6 +60,7 @@ var (
 	qRAMMB            = xmlutil.Q(NS, "RAMMB")
 	qUtilization      = xmlutil.Q(NS, "Utilization")
 	qUpdatedAt        = xmlutil.Q(NS, "UpdatedAt")
+	qCatalogChanged   = xmlutil.Q(NS, "CatalogChanged")
 )
 
 // Processor describes one machine's processors: the hardware
@@ -66,8 +78,11 @@ type Processor struct {
 
 // Service is the NIS.
 type Service struct {
-	svc *wsrf.Service
-	now func() time.Time
+	svc       *wsrf.Service
+	now       func() time.Time
+	client    *transport.Client
+	broker    wsa.EndpointReference
+	published atomic.Int64
 }
 
 // Config assembles a NIS.
@@ -78,6 +93,12 @@ type Config struct {
 	Path string
 	// Home backs the service-group resource.
 	Home wsrf.ResourceHome
+	// Client and Broker, when both set, make the NIS publish a
+	// catalog-changed notification (the full processor list) to the
+	// broker on every membership or utilization change. Leaving either
+	// unset keeps the NIS pull-only.
+	Client *transport.Client
+	Broker wsa.EndpointReference
 }
 
 // New builds the NIS and provisions its processors group resource.
@@ -92,7 +113,7 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Service{svc: svc, now: time.Now}
+	s := &Service{svc: svc, now: time.Now, client: cfg.Client, broker: cfg.Broker}
 	svc.Enable(wsrf.ResourcePropertiesPortType{})
 	svc.Enable(wsrf.ServiceGroupPortType{})
 	svc.RegisterServiceMethod(ActionReport, s.handleReport)
@@ -189,10 +210,57 @@ func (s *Service) handleReport(ctx context.Context, inv *wsrf.Invocation, body *
 		return nil, soap.SenderFault("nis: bad utilization: %v", err)
 	}
 	content := processorContent(p, s.now())
-	return nil, s.svc.UpdateResource(GroupResourceID, func(doc *xmlutil.Element) error {
+	if err := s.svc.UpdateResource(GroupResourceID, func(doc *xmlutil.Element) error {
 		wsrf.AddEntry(doc, member, content)
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
+	s.publishCatalogChanged(ctx)
+	return nil, nil
+}
+
+// publishCatalogChanged pushes the full current catalog to the broker —
+// the WS-Notification closing of the paper's poll loop. Best-effort: a
+// dropped publish only means subscribers serve a staler cache until
+// their TTL sends them back to polling GetProcessors.
+func (s *Service) publishCatalogChanged(ctx context.Context) {
+	if s.client == nil || s.broker.IsZero() {
+		return
+	}
+	procs, err := s.Processors()
+	if err != nil {
+		return
+	}
+	n := wsn.Notification{
+		Topic:    catalogChangedTopic,
+		Producer: s.svc.EPRFor(GroupResourceID),
+		Message:  CatalogChangedMessage(procs),
+	}
+	if wsn.PublishViaBroker(context.WithoutCancel(ctx), s.client, s.broker, n) == nil {
+		s.published.Add(1)
+	}
+}
+
+// CatalogPublishes reports how many catalog-changed notifications
+// reached the broker (accepted sends, not confirmed deliveries).
+func (s *Service) CatalogPublishes() int64 { return s.published.Load() }
+
+// CatalogChangedMessage renders a catalog as the notification payload
+// carried on the CatalogTopic.
+func CatalogChangedMessage(procs []Processor) *xmlutil.Element {
+	msg := &xmlutil.Element{Name: qCatalogChanged}
+	appendProcessors(msg, procs)
+	return msg
+}
+
+// ParseCatalogChanged decodes a catalog-changed payload back into the
+// processor list.
+func ParseCatalogChanged(msg *xmlutil.Element) ([]Processor, error) {
+	if msg == nil || msg.Name != qCatalogChanged {
+		return nil, fmt.Errorf("nis: message is not a CatalogChanged")
+	}
+	return parseProcessorElements(msg)
 }
 
 // handleGetProcessors answers the Scheduler's poll with every catalogued
@@ -203,12 +271,44 @@ func (s *Service) handleGetProcessors(ctx context.Context, inv *wsrf.Invocation,
 		return nil, soap.ReceiverFault("nis: %v", err)
 	}
 	resp := &xmlutil.Element{Name: qGetProcsResponse}
+	appendProcessors(resp, procs)
+	return resp, nil
+}
+
+// appendProcessors renders each processor (content plus its ES EPR) as
+// a child of parent — the wire shape shared by the GetProcessors
+// response and the catalog-changed payload.
+func appendProcessors(parent *xmlutil.Element, procs []Processor) {
 	for _, p := range procs {
 		el := processorContent(p, p.UpdatedAt)
 		el.Append(p.ES.ElementNamed(qES))
-		resp.Append(el)
+		parent.Append(el)
 	}
-	return resp, nil
+}
+
+// parseProcessorElements decodes the Processor children of body — the
+// inverse of appendProcessors.
+func parseProcessorElements(body *xmlutil.Element) ([]Processor, error) {
+	var out []Processor
+	for _, el := range body.ChildrenNamed(qProcessor) {
+		p := Processor{Host: el.ChildText(qHost)}
+		if esEl := el.Child(qES); esEl != nil {
+			epr, err := wsa.ParseEPR(esEl)
+			if err != nil {
+				return nil, err
+			}
+			p.ES = epr
+		}
+		p.Cores, _ = strconv.Atoi(el.ChildText(qCores))
+		p.SpeedMHz, _ = strconv.ParseFloat(el.ChildText(qSpeedMHz), 64)
+		p.RAMMB, _ = strconv.Atoi(el.ChildText(qRAMMB))
+		p.Utilization, _ = strconv.ParseFloat(el.ChildText(qUtilization), 64)
+		if ts := el.ChildText(qUpdatedAt); ts != "" {
+			p.UpdatedAt, _ = time.Parse(time.RFC3339Nano, ts)
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 // Processors reads the catalog server-side, sorted by host.
@@ -239,26 +339,7 @@ func GetProcessorsVia(ctx context.Context, c *transport.Client, nis wsa.Endpoint
 	if err != nil {
 		return nil, err
 	}
-	var out []Processor
-	for _, el := range body.ChildrenNamed(qProcessor) {
-		p := Processor{Host: el.ChildText(qHost)}
-		if esEl := el.Child(qES); esEl != nil {
-			epr, err := wsa.ParseEPR(esEl)
-			if err != nil {
-				return nil, err
-			}
-			p.ES = epr
-		}
-		p.Cores, _ = strconv.Atoi(el.ChildText(qCores))
-		p.SpeedMHz, _ = strconv.ParseFloat(el.ChildText(qSpeedMHz), 64)
-		p.RAMMB, _ = strconv.Atoi(el.ChildText(qRAMMB))
-		p.Utilization, _ = strconv.ParseFloat(el.ChildText(qUtilization), 64)
-		if ts := el.ChildText(qUpdatedAt); ts != "" {
-			p.UpdatedAt, _ = time.Parse(time.RFC3339Nano, ts)
-		}
-		out = append(out, p)
-	}
-	return out, nil
+	return parseProcessorElements(body)
 }
 
 // ReportVia sends a one-way utilization report to a NIS — what each

@@ -13,7 +13,10 @@ type JobSetView struct {
 	Name   string
 	Status string // SetRunning, SetCompleted, SetFailed, SetCancelled
 	Topic  string
-	Jobs   []JobView
+	// Notified reports whether the terminal set event was handed to the
+	// broker; terminal documents without it are republished by Recover.
+	Notified bool
+	Jobs     []JobView
 }
 
 // JobView is one job's progress inside a JobSetView.
@@ -40,9 +43,10 @@ func (v *JobSetView) Job(name string) *JobView {
 // client needs whatever progress survives.
 func ParseJobSetDocument(doc *xmlutil.Element) JobSetView {
 	v := JobSetView{
-		Name:   doc.ChildText(QName),
-		Status: doc.ChildText(QStatus),
-		Topic:  doc.ChildText(QTopic),
+		Name:     doc.ChildText(QName),
+		Status:   doc.ChildText(QStatus),
+		Topic:    doc.ChildText(QTopic),
+		Notified: doc.Attr(qNotifiedAttr) == "true",
 	}
 	for _, st := range doc.ChildrenNamed(QJobState) {
 		jv := JobView{

@@ -1,0 +1,305 @@
+package scheduler
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"uvacg/internal/node"
+	"uvacg/internal/procspawn"
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/services/filesystem"
+	"uvacg/internal/services/nodeinfo"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsn"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/xmlutil"
+)
+
+// waitStarted drains events until the first job-started notification.
+func waitStarted(t *testing.T, events <-chan wsn.Notification) {
+	t.Helper()
+	deadline := time.After(20 * time.Second)
+	for {
+		select {
+		case n := <-events:
+			if strings.HasSuffix(n.Topic, "/started") {
+				return
+			}
+		case <-deadline:
+			t.Fatal("job never started")
+		}
+	}
+}
+
+// TestCancelStopsWatchdogs: cancelling a set must stop every job
+// watchdog, not just kill the jobs — a leaked timer outlives the run and
+// fires into a set that already went terminal. The node is partitioned
+// first so no exit event can race in and stop the timer for us.
+func TestCancelStopsWatchdogs(t *testing.T) {
+	h := newSSHarness(t, Greedy{}, nil, "node-a")
+	h.ss.jobTimeout = time.Hour
+	h.files.Publish("long.app", procspawn.BuildScript("compute 100000000", "exit 0"))
+	spec := &JobSetSpec{Name: "wd", Jobs: []JobSpec{{Name: "long", Executable: "local://long.app"}}}
+	setEPR, topic, err := h.submit(t, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStarted(t, h.events)
+	h.network.Deregister("node-a")
+
+	ctx := context.Background()
+	if _, err := h.client.Call(ctx, setEPR, ActionCancel, CancelRequest()); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.waitTerminal(t, topic); got != "cancelled" {
+		t.Fatalf("terminal event %q", got)
+	}
+	h.ss.mu.Lock()
+	r := h.ss.runs[topic]
+	h.ss.mu.Unlock()
+	if r == nil {
+		t.Fatal("run gone before destroy")
+	}
+	r.mu.Lock()
+	wd := r.jobs["long"].watchdog
+	r.mu.Unlock()
+	if wd != nil {
+		t.Fatal("cancel left the job watchdog armed")
+	}
+}
+
+// TestSubmitCleansUpOnSubscribeFailure: when the broker subscription
+// fails after the job-set resource was created, Submit must unwind both
+// the in-memory run and the resource — otherwise a set the client was
+// never acked, will never poll and can never destroy leaks forever and
+// shadows its topic.
+func TestSubmitCleansUpOnSubscribeFailure(t *testing.T) {
+	h := newSSHarness(t, Greedy{}, nil, "node-a")
+	h.ss.broker = wsa.NewEPR("inproc://ghost/NB")
+	h.files.Publish("j.app", procspawn.BuildScript("exit 0"))
+	spec := &JobSetSpec{Name: "halfborn", Jobs: []JobSpec{{Name: "j", Executable: "local://j.app"}}}
+
+	if _, _, err := h.submit(t, spec, nil); err == nil {
+		t.Fatal("submit succeeded with an unreachable broker")
+	}
+	h.ss.mu.Lock()
+	nruns, nids := len(h.ss.runs), len(h.ss.runIDs)
+	h.ss.mu.Unlock()
+	if nruns != 0 || nids != 0 {
+		t.Fatalf("aborted submit left %d runs, %d run ids", nruns, nids)
+	}
+	if ids := h.ss.WSRF().Home().IDs(); len(ids) != 0 {
+		t.Fatalf("aborted submit left %d job-set resources", len(ids))
+	}
+}
+
+// TestDestroyEvictsTerminalRun: a completed set keeps serving
+// OutputDirectory until the client destroys the resource; the destroy
+// then evicts the in-memory run, so terminal runs no longer accumulate
+// for the master's whole lifetime.
+func TestDestroyEvictsTerminalRun(t *testing.T) {
+	h := newSSHarness(t, Greedy{}, nil, "node-a", "node-b")
+	h.files.Publish("first.app", procspawn.BuildScript("write out.txt hello", "exit 0"))
+	h.files.Publish("second.app", procspawn.BuildScript("read in.txt", "exit 0"))
+	setEPR, topic, err := h.submit(t, twoJobSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.waitTerminal(t, topic); got != "completed" {
+		t.Fatalf("terminal event %q", got)
+	}
+	// Completed but not destroyed: results stay retrievable.
+	if _, ok := h.ss.OutputDirectory(topic, "first"); !ok {
+		t.Fatal("completed set lost its output directory before destroy")
+	}
+
+	ctx := context.Background()
+	if err := wsrf.NewResourceClient(h.client, setEPR).Destroy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h.ss.mu.Lock()
+	_, haveRun := h.ss.runs[topic]
+	nids := len(h.ss.runIDs)
+	h.ss.mu.Unlock()
+	if haveRun || nids != 0 {
+		t.Fatalf("destroy left run=%v, %d run ids", haveRun, nids)
+	}
+	if _, ok := h.ss.OutputDirectory(topic, "first"); ok {
+		t.Fatal("destroyed set still serves an output directory")
+	}
+}
+
+// TestDestroyCancelsRunningSet: destroying a set mid-run is a cancel —
+// the run is evicted, its watchdogs stop, and the live job is killed.
+func TestDestroyCancelsRunningSet(t *testing.T) {
+	h := newSSHarness(t, Greedy{}, nil, "node-a")
+	h.ss.jobTimeout = time.Hour
+	h.files.Publish("long.app", procspawn.BuildScript("compute 100000000", "exit 0"))
+	spec := &JobSetSpec{Name: "doomed", Jobs: []JobSpec{{Name: "long", Executable: "local://long.app"}}}
+	setEPR, topic, err := h.submit(t, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStarted(t, h.events)
+	h.ss.mu.Lock()
+	r := h.ss.runs[topic]
+	h.ss.mu.Unlock()
+
+	ctx := context.Background()
+	if err := wsrf.NewResourceClient(h.client, setEPR).Destroy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h.ss.mu.Lock()
+	_, haveRun := h.ss.runs[topic]
+	h.ss.mu.Unlock()
+	if haveRun {
+		t.Fatal("destroyed running set still has a run")
+	}
+	r.mu.Lock()
+	status, wd := r.status, r.jobs["long"].watchdog
+	r.mu.Unlock()
+	if status != SetCancelled {
+		t.Fatalf("destroyed run left status %q", status)
+	}
+	if wd != nil {
+		t.Fatal("destroy left the job watchdog armed")
+	}
+}
+
+// newSplitBrokerHarness is newSSHarness with the broker on its own
+// network host, so tests can make only the broker unreachable while the
+// scheduler, NIS and nodes keep running. Returns the broker's server for
+// re-registration after a simulated outage.
+func newSplitBrokerHarness(t *testing.T, jobTimeout time.Duration) (*ssHarness, *transport.Server) {
+	t.Helper()
+	network := transport.NewNetwork()
+	client := transport.NewClient().WithNetwork(network)
+	store := resourcedb.NewStore()
+
+	broker, err := wsn.NewBroker("/NB", "inproc://broker",
+		wsrf.NewStateHome(store.MustTable("subs", resourcedb.BlobCodec{})), client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brokerMux := soap.NewMux()
+	brokerMux.Handle(broker.Service().Path(), broker.Service().Dispatcher())
+	brokerMux.Handle(broker.Producer().SubscriptionService().Path(), broker.Producer().SubscriptionService().Dispatcher())
+	brokerSrv := transport.NewServer(brokerMux)
+	network.Register("broker", brokerSrv)
+
+	nis, err := nodeinfo.New(nodeinfo.Config{
+		Address: "inproc://master",
+		Home:    wsrf.NewStateHome(store.MustTable("nis", resourcedb.BlobCodec{})),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := New(Config{
+		Address:    "inproc://master",
+		Home:       wsrf.NewStateHome(store.MustTable("jobsets", resourcedb.BlobCodec{})),
+		Client:     client,
+		NIS:        nis.EPR(),
+		Broker:     broker.EPR(),
+		Policy:     Greedy{},
+		JobTimeout: jobTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterMux := soap.NewMux()
+	masterMux.Handle(nis.WSRF().Path(), nis.WSRF().Dispatcher())
+	masterMux.Handle(ss.WSRF().Path(), ss.WSRF().Dispatcher())
+	ss.Consumer().Mount(masterMux, ss.ConsumerPath())
+	network.Register("master", transport.NewServer(masterMux))
+
+	n, err := node.New(node.Config{
+		Name:     "node-a",
+		Network:  network,
+		Client:   client,
+		Cores:    2,
+		SpeedMHz: 2000,
+		UnitTime: 5 * time.Microsecond,
+		Broker:   broker.EPR(),
+		NIS:      nis.EPR(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+
+	files := filesystem.NewFileServer("/files")
+	consumer := wsn.NewConsumer()
+	events := consumer.Channel(wsn.MustTopicExpression(wsn.DialectFull, "*//"), 128)
+	clientMux := soap.NewMux()
+	files.Mount(clientMux)
+	consumer.Mount(clientMux, "/listener")
+	network.Register("client", transport.NewServer(clientMux))
+
+	return &ssHarness{network: network, client: client, ss: ss, broker: broker, files: files, events: events}, brokerSrv
+}
+
+// TestFailedTerminalPublishLeavesUnnotified is the I4 regression: when
+// the terminal publish cannot reach the broker, the notified marker must
+// stay off — stamping it anyway (the old behaviour) makes Recover skip
+// the set and the client waits forever. Once the broker returns, a
+// restarted scheduler replays the event and only then stamps the marker.
+func TestFailedTerminalPublishLeavesUnnotified(t *testing.T) {
+	h, brokerSrv := newSplitBrokerHarness(t, 700*time.Millisecond)
+	h.files.Publish("long.app", procspawn.BuildScript("compute 100000000", "exit 0"))
+	spec := &JobSetSpec{Name: "eaten", Jobs: []JobSpec{{Name: "long", Executable: "local://long.app"}}}
+	setEPR, topic, err := h.submit(t, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStarted(t, h.events)
+
+	// The broker vanishes. The watchdog fails the set, and the terminal
+	// publish has nowhere to go.
+	h.network.Deregister("broker")
+	id := setEPR.Property(wsrf.QResourceID)
+	var doc *xmlutil.Element
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		doc, err = h.ss.WSRF().Home().Load(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.ChildText(QStatus) == SetFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog never failed the set (status %q)", doc.ChildText(QStatus))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if doc.Attr(qNotifiedAttr) == "true" {
+		t.Fatal("terminal publish failed but the set was stamped notified")
+	}
+
+	// Broker heals; a restarted scheduler must replay the event.
+	h.network.Register("broker", brokerSrv)
+	h.ss.mu.Lock()
+	h.ss.runs = make(map[string]*run)
+	h.ss.runIDs = make(map[string]string)
+	h.ss.mu.Unlock()
+	if _, err := h.ss.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.waitTerminal(t, topic); got != "failed" {
+		t.Fatalf("replayed terminal event %q", got)
+	}
+	doc, err = h.ss.WSRF().Home().Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Attr(qNotifiedAttr) != "true" {
+		t.Fatal("replayed set not stamped notified")
+	}
+}

@@ -28,6 +28,13 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 	home := s.svc.Home()
 	resumed := 0
 	var errs []error
+	// Wire the consumer and (best-effort) warm the catalog cache before
+	// touching any set: a recovering master wants pushed load data for
+	// the re-dispatches it is about to make.
+	s.mu.Lock()
+	s.wireConsumerLocked()
+	s.mu.Unlock()
+	s.ensureCatalogSubscription(ctx)
 	for _, id := range home.IDs() {
 		doc, err := home.Load(id)
 		if err != nil {
@@ -42,8 +49,11 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 			// proves delivery was attempted — duplicates are fine, the
 			// contract is at-least-once.
 			if topic != "" && isTerminalSetStatus(status) && doc.Attr(qNotifiedAttr) != "true" {
-				s.publishSetEventRaw(ctx, id, topic, status, "replayed after scheduler restart")
-				s.markNotified(id)
+				// Keep the marker off when the republish itself fails, so
+				// the next Recover tries again (at-least-once).
+				if s.publishSetEventRaw(ctx, id, topic, status, "replayed after scheduler restart") == nil {
+					s.markNotified(id)
+				}
 			}
 			continue
 		}
@@ -104,6 +114,7 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 		s.mu.Lock()
 		s.wireConsumerLocked()
 		s.runs[topic] = r
+		s.runIDs[id] = topic
 		s.mu.Unlock()
 
 		if doc.Attr(qSecured) == "true" && incomplete {
@@ -120,6 +131,7 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 			// starts clean, and move on to the next set.
 			s.mu.Lock()
 			delete(s.runs, topic)
+			delete(s.runIDs, id)
 			s.mu.Unlock()
 			errs = append(errs, fmt.Errorf("scheduler: recover %q: broker subscription: %w", id, err))
 			continue
@@ -159,8 +171,9 @@ func (s *Service) failUnrecoverable(ctx context.Context, id, topic, reason strin
 		}
 		return nil
 	})
-	s.publishSetEventRaw(ctx, id, topic, SetFailed, reason)
-	s.markNotified(id)
+	if s.publishSetEventRaw(ctx, id, topic, SetFailed, reason) == nil {
+		s.markNotified(id)
+	}
 }
 
 func firstIncomplete(r *run) string {

@@ -98,7 +98,23 @@ type Config struct {
 	// partitioned), the job — and with it the set — fails instead of
 	// hanging forever. Zero disables the watchdog.
 	JobTimeout time.Duration
+	// MaxInflightDispatch bounds how many jobs may be mid-dispatch
+	// (node selection plus the Run round trip) at once across all job
+	// sets. Zero means DefaultMaxInflightDispatch; 1 restores the old
+	// strictly serial dispatch loop.
+	MaxInflightDispatch int
+	// CatalogTTL bounds how long a pushed or polled processor catalog
+	// is trusted before dispatch polls the NIS again. Zero means
+	// DefaultCatalogTTL; negative disables the cache entirely, so every
+	// dispatch polls GetProcessors (the paper's literal Fig. 3 step 2).
+	CatalogTTL time.Duration
 }
+
+// Dispatch-path defaults.
+const (
+	DefaultMaxInflightDispatch = 8
+	DefaultCatalogTTL          = 2 * time.Second
+)
 
 // Service is the Scheduler Service.
 type Service struct {
@@ -111,10 +127,27 @@ type Service struct {
 	consumerPath string
 	esCerts      func(wsa.EndpointReference) (wssec.Certificate, bool)
 	jobTimeout   time.Duration
+	catalogTTL   time.Duration
+	dispatchSem  chan struct{} // bounds concurrent dispatches
 
-	mu    sync.Mutex
-	runs  map[string]*run // topic → run
-	wired bool            // consumer handler installed (at most once)
+	mu            sync.Mutex
+	runs          map[string]*run   // topic → run
+	runIDs        map[string]string // resource id → topic (for destroy eviction)
+	wired         bool              // consumer handler installed (at most once)
+	catSubscribed bool              // catalog-changed subscription established
+
+	cat catalogCache
+}
+
+// catalogCache is the scheduler's pushed view of the NIS processor
+// catalog, refreshed by catalog-changed notifications and by the polls
+// the TTL forces when pushes stop arriving.
+type catalogCache struct {
+	mu      sync.Mutex
+	procs   []nodeinfo.Processor
+	updated time.Time
+	polls   int64 // GetProcessors RPCs attempted
+	pushes  int64 // catalog-changed notifications applied
 }
 
 // wireConsumerLocked installs the notification handler exactly once.
@@ -167,6 +200,15 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = Greedy{}
 	}
+	if cfg.MaxInflightDispatch == 0 {
+		cfg.MaxInflightDispatch = DefaultMaxInflightDispatch
+	}
+	if cfg.MaxInflightDispatch < 1 {
+		cfg.MaxInflightDispatch = 1
+	}
+	if cfg.CatalogTTL == 0 {
+		cfg.CatalogTTL = DefaultCatalogTTL
+	}
 	svc, err := wsrf.NewService(wsrf.ServiceConfig{Path: cfg.Path, Address: cfg.Address, Home: cfg.Home})
 	if err != nil {
 		return nil, err
@@ -181,8 +223,12 @@ func New(cfg Config) (*Service, error) {
 		consumerPath: cfg.ConsumerPath,
 		esCerts:      cfg.ESCerts,
 		jobTimeout:   cfg.JobTimeout,
+		catalogTTL:   cfg.CatalogTTL,
+		dispatchSem:  make(chan struct{}, cfg.MaxInflightDispatch),
 		runs:         make(map[string]*run),
+		runIDs:       make(map[string]string),
 	}
+	svc.OnDestroy(s.onSetDestroyed)
 	if cfg.Security != nil {
 		// Submit carries the account credentials; status reads and
 		// cancellation stay open like the rest of the WSRF surface.
@@ -329,18 +375,34 @@ func (s *Service) handleSubmit(ctx context.Context, inv *wsrf.Invocation, body *
 	s.mu.Lock()
 	s.wireConsumerLocked()
 	s.runs[topic] = r
+	s.runIDs[id] = topic
 	s.mu.Unlock()
+
+	// On a subscription fault, undo the registration: leaving the run in
+	// s.runs and the resource in the home would let a half-born set — one
+	// the client was never acked, will never poll and can never destroy —
+	// leak forever and shadow its topic.
+	abort := func() {
+		s.mu.Lock()
+		delete(s.runs, topic)
+		delete(s.runIDs, id)
+		s.mu.Unlock()
+		_ = s.svc.DestroyResource(id)
+	}
 
 	// "subscribe both itself and the client's notification listener".
 	bg := context.WithoutCancel(ctx)
 	if _, err := wsn.SubscribeVia(bg, s.client, s.broker, s.ConsumerEPR(), wsn.Simple(topic)); err != nil {
+		abort()
 		return nil, soap.ReceiverFault("scheduler: broker subscription: %v", err)
 	}
 	if !clientListener.IsZero() {
 		if _, err := wsn.SubscribeVia(bg, s.client, s.broker, clientListener, wsn.Simple(topic)); err != nil {
+			abort()
 			return nil, soap.ReceiverFault("scheduler: client subscription: %v", err)
 		}
 	}
+	s.ensureCatalogSubscription(bg)
 
 	// Kick scheduling off the request path.
 	go s.scheduleReady(bg, r)
@@ -370,17 +432,30 @@ func needsClientFiles(spec *JobSetSpec) bool {
 }
 
 // scheduleReady dispatches every job whose dependencies are satisfied.
+// Ready jobs are still reserved one at a time under the run lock —
+// keeping sequence numbers, and with them round-robin placement,
+// deterministic — but the dispatches themselves run concurrently,
+// bounded by the service-wide inflight cap, so a wide DAG's independent
+// branches no longer queue behind each other's Run round trips. Returns
+// once every dispatch it started has finished.
 func (s *Service) scheduleReady(ctx context.Context, r *run) {
+	var wg sync.WaitGroup
 	for {
 		job, seq := s.nextReady(r)
 		if job == nil {
-			return
+			break
 		}
-		if err := s.dispatch(ctx, r, job, seq); err != nil {
-			s.failJob(ctx, r, job.spec.Name, "dispatch: "+err.Error())
-			return
-		}
+		s.dispatchSem <- struct{}{}
+		wg.Add(1)
+		go func(j *jobRun, seq int) {
+			defer wg.Done()
+			defer func() { <-s.dispatchSem }()
+			if err := s.dispatch(ctx, r, j, seq); err != nil {
+				s.failJob(ctx, r, j.spec.Name, "dispatch: "+err.Error())
+			}
+		}(job, seq)
 	}
+	wg.Wait()
 }
 
 // nextReady reserves one ready job (marks it Dispatched) and returns it
@@ -425,11 +500,13 @@ func jobOrder(spec *JobSetSpec) []string {
 	return out
 }
 
-// dispatch is steps 2-3 of Fig. 3: poll the NIS, pick a node, send Run.
+// dispatch is steps 2-3 of Fig. 3: consult the processor catalog, pick
+// a node, send Run. Step 2 is served from the notification-fed cache
+// when fresh; only a stale cache costs a NIS poll.
 func (s *Service) dispatch(ctx context.Context, r *run, j *jobRun, seq int) error {
-	procs, err := nodeinfo.GetProcessorsVia(ctx, s.client, s.nis)
+	procs, err := s.processors(ctx)
 	if err != nil {
-		return fmt.Errorf("poll NIS: %w", err)
+		return err
 	}
 	node, err := s.policy.Pick(procs, seq)
 	if err != nil {
@@ -465,6 +542,16 @@ func (s *Service) dispatch(ctx context.Context, r *run, j *jobRun, seq int) erro
 		return err
 	}
 	r.mu.Lock()
+	if r.status != SetRunning {
+		// The set went terminal (a sibling dispatch failed, the client
+		// cancelled) while this Run was in flight — the fresh job is an
+		// orphan the terminal path could not have known to kill.
+		j.state = JobCancelled
+		r.mu.Unlock()
+		_, _ = s.client.Call(ctx, jobEPR, execution.ActionKill, execution.KillRequest())
+		s.updateJobDoc(r, j.spec.Name)
+		return nil
+	}
 	j.node = node.Host
 	j.jobEPR = jobEPR
 	if !dirEPR.IsZero() {
@@ -500,6 +587,91 @@ func stopWatchdog(j *jobRun) {
 	if j.watchdog != nil {
 		j.watchdog.Stop()
 		j.watchdog = nil
+	}
+}
+
+// processors returns the catalog a dispatch decision should see: the
+// push-fed cache while fresh, otherwise a direct NIS poll whose result
+// re-primes the cache. When the poll itself fails but a stale catalog
+// exists, the stale view is served — dispatching on old load data beats
+// failing the job outright while the broker outage that starved the
+// cache is also breaking the poll path.
+func (s *Service) processors(ctx context.Context) ([]nodeinfo.Processor, error) {
+	if s.catalogTTL > 0 {
+		s.cat.mu.Lock()
+		procs, updated := s.cat.procs, s.cat.updated
+		s.cat.mu.Unlock()
+		if len(procs) > 0 && time.Since(updated) < s.catalogTTL {
+			return procs, nil
+		}
+	}
+	s.cat.mu.Lock()
+	s.cat.polls++
+	s.cat.mu.Unlock()
+	polled, err := nodeinfo.GetProcessorsVia(ctx, s.client, s.nis)
+	if err != nil {
+		if s.catalogTTL > 0 {
+			s.cat.mu.Lock()
+			procs := s.cat.procs
+			s.cat.mu.Unlock()
+			if len(procs) > 0 {
+				return procs, nil
+			}
+		}
+		return nil, fmt.Errorf("poll NIS: %w", err)
+	}
+	if s.catalogTTL > 0 {
+		s.cat.mu.Lock()
+		s.cat.procs, s.cat.updated = polled, time.Now()
+		s.cat.mu.Unlock()
+	}
+	return polled, nil
+}
+
+// storeCatalog applies a pushed catalog-changed payload to the cache.
+func (s *Service) storeCatalog(procs []nodeinfo.Processor) {
+	if s.catalogTTL <= 0 {
+		return
+	}
+	s.cat.mu.Lock()
+	s.cat.pushes++
+	s.cat.procs, s.cat.updated = procs, time.Now()
+	s.cat.mu.Unlock()
+}
+
+// CatalogStats reports how the dispatch path has been fed: NIS
+// GetProcessors polls attempted vs catalog-changed pushes applied.
+func (s *Service) CatalogStats() (polls, pushes int64) {
+	s.cat.mu.Lock()
+	defer s.cat.mu.Unlock()
+	return s.cat.polls, s.cat.pushes
+}
+
+// ensureCatalogSubscription subscribes the SS consumer to the NIS
+// catalog-changed topic, once, and primes the cache from the broker's
+// current message so the first dispatch may need no poll at all. Both
+// steps are best-effort: with the broker unreachable the cache simply
+// stays cold and dispatch falls back to polling the NIS directly.
+func (s *Service) ensureCatalogSubscription(ctx context.Context) {
+	if s.catalogTTL <= 0 {
+		return
+	}
+	s.mu.Lock()
+	done := s.catSubscribed
+	s.mu.Unlock()
+	if done {
+		return
+	}
+	if _, err := wsn.SubscribeVia(ctx, s.client, s.broker, s.ConsumerEPR(), wsn.Simple(nodeinfo.CatalogTopic)); err != nil {
+		return // retried on the next submission
+	}
+	s.mu.Lock()
+	s.catSubscribed = true
+	s.mu.Unlock()
+	if n, err := wsn.GetCurrentMessageVia(ctx, s.client, s.broker, wsn.Simple(nodeinfo.CatalogTopic)); err == nil {
+		if procs, perr := nodeinfo.ParseCatalogChanged(n.Message); perr == nil && len(procs) > 0 {
+			s.storeCatalog(procs)
+		}
 	}
 }
 
@@ -548,6 +720,12 @@ func (s *Service) resolveFiles(r *run, spec *JobSpec) ([]filesystem.FileRef, str
 // message that a job has completed, it schedules the next job that no
 // longer has any uncompleted dependencies."
 func (s *Service) onNotification(ctx context.Context, n wsn.Notification) {
+	if root, _, _ := strings.Cut(n.Topic, "/"); root == nodeinfo.CatalogTopic {
+		if procs, err := nodeinfo.ParseCatalogChanged(n.Message); err == nil {
+			s.storeCatalog(procs)
+		}
+		return
+	}
 	segs := strings.Split(n.Topic, "/")
 	if len(segs) < 3 {
 		return
@@ -624,8 +802,12 @@ func (s *Service) maybeComplete(ctx context.Context, r *run) {
 	r.status = SetCompleted
 	r.mu.Unlock()
 	s.setStatus(r, SetCompleted)
-	s.publishSetEvent(ctx, r, SetCompleted, "")
-	s.markNotified(r.id)
+	// Stamp notified only when the broker actually took the event: a
+	// failed publish must leave the marker off so Recover republishes
+	// after a restart (invariant I4, at-least-once terminal delivery).
+	if s.publishSetEvent(ctx, r, SetCompleted, "") == nil {
+		s.markNotified(r.id)
+	}
 }
 
 // failJob marks a job failed, fails the set, cancels the rest.
@@ -659,8 +841,10 @@ func (s *Service) failJob(ctx context.Context, r *run, jobName, reason string) {
 	}
 	s.updateAllJobDocs(r)
 	s.setStatus(r, SetFailed)
-	s.publishSetEvent(ctx, r, SetFailed, fmt.Sprintf("job %q failed: %s", jobName, reason))
-	s.markNotified(r.id)
+	// As in maybeComplete: only a successful publish earns the marker.
+	if s.publishSetEvent(ctx, r, SetFailed, fmt.Sprintf("job %q failed: %s", jobName, reason)) == nil {
+		s.markNotified(r.id)
+	}
 }
 
 // handleCancel aborts a job set on client request.
@@ -676,6 +860,7 @@ func (s *Service) handleCancel(ctx context.Context, inv *wsrf.Invocation, body *
 	r.status = SetCancelled
 	var toKill []wsa.EndpointReference
 	for _, j := range r.jobs {
+		stopWatchdog(j)
 		switch j.state {
 		case JobPending:
 			j.state = JobCancelled
@@ -701,10 +886,13 @@ func (s *Service) handleCancel(ctx context.Context, inv *wsrf.Invocation, body *
 			st.SetAttr(qStatusAttr, state)
 		}
 	}
-	s.publishSetEvent(ctx, r, SetCancelled, "cancelled by client")
-	// The invocation pipeline holds this resource's lock (see above), so
-	// mark the invocation's own document rather than via UpdateResource.
-	inv.Doc.SetAttr(qNotifiedAttr, "true")
+	if s.publishSetEvent(ctx, r, SetCancelled, "cancelled by client") == nil {
+		// The invocation pipeline holds this resource's lock (see above),
+		// so mark the invocation's own document rather than via
+		// UpdateResource. A failed publish leaves the marker off for
+		// Recover to republish.
+		inv.Doc.SetAttr(qNotifiedAttr, "true")
+	}
 	return &xmlutil.Element{Name: qCancelResp}, nil
 }
 
@@ -760,14 +948,15 @@ func (s *Service) updateAllJobDocs(r *run) {
 }
 
 // publishSetEvent broadcasts a set-level event on "<topic>/jobset/<kind>".
-func (s *Service) publishSetEvent(ctx context.Context, r *run, status, detail string) {
-	s.publishSetEventRaw(ctx, r.id, r.topic, status, detail)
+func (s *Service) publishSetEvent(ctx context.Context, r *run, status, detail string) error {
+	return s.publishSetEventRaw(ctx, r.id, r.topic, status, detail)
 }
 
 // publishSetEventRaw is publishSetEvent without a live run — Recover
 // republishes terminal events for crashed runs straight from the
-// persisted document.
-func (s *Service) publishSetEventRaw(ctx context.Context, id, topic, status, detail string) {
+// persisted document. The error matters: callers use it to decide
+// whether the notified marker may be stamped.
+func (s *Service) publishSetEventRaw(ctx context.Context, id, topic, status, detail string) error {
 	payload := xmlutil.NewContainer(xmlutil.Q(NS, "JobSetEvent"),
 		xmlutil.NewElement(QStatus, status),
 	)
@@ -779,7 +968,11 @@ func (s *Service) publishSetEventRaw(ctx context.Context, id, topic, status, det
 		Producer: s.svc.EPRFor(id),
 		Message:  payload,
 	}
-	_ = wsn.PublishViaBroker(ctx, s.client, s.broker, n)
+	// Set events are the at-least-once promise behind the notified
+	// marker, so they must be broker-acked: a fire-and-forget Notify
+	// cannot distinguish delivered from dropped, and stamping the marker
+	// on a silent drop makes Recover skip the replay forever.
+	return wsn.PublishAckedViaBroker(ctx, s.client, s.broker, n)
 }
 
 // markNotified records that the terminal set event reached the broker.
@@ -788,6 +981,51 @@ func (s *Service) markNotified(id string) {
 		doc.SetAttr(qNotifiedAttr, "true")
 		return nil
 	})
+}
+
+// onSetDestroyed evicts the in-memory run when its job-set resource is
+// destroyed — by the client's Destroy or by lifetime expiry. Without
+// this, terminal runs accumulate in s.runs for the master's whole
+// lifetime. A set destroyed while still running is treated as a cancel:
+// watchdogs stop, live jobs are killed best-effort. No document writes
+// happen here — the resource is gone, and the lifetime port's destroy
+// path runs this hook while holding the resource lock.
+func (s *Service) onSetDestroyed(id string) {
+	s.mu.Lock()
+	topic, ok := s.runIDs[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.runIDs, id)
+	r := s.runs[topic]
+	delete(s.runs, topic)
+	s.mu.Unlock()
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	wasRunning := r.status == SetRunning
+	if wasRunning {
+		r.status = SetCancelled
+	}
+	var toKill []wsa.EndpointReference
+	for _, j := range r.jobs {
+		stopWatchdog(j)
+		if wasRunning && (j.state == JobRunning || j.state == JobDispatched) && !j.jobEPR.IsZero() {
+			toKill = append(toKill, j.jobEPR)
+		}
+	}
+	r.mu.Unlock()
+	if len(toKill) > 0 {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			for _, epr := range toKill {
+				_, _ = s.client.Call(ctx, epr, execution.ActionKill, execution.KillRequest())
+			}
+		}()
+	}
 }
 
 // OutputDirectory reports where a job's outputs live, once known —

@@ -45,6 +45,8 @@ func newSSHarness(t *testing.T, policy Policy, accounts wssec.StaticAccounts, no
 	nis, err := nodeinfo.New(nodeinfo.Config{
 		Address: "inproc://master",
 		Home:    wsrf.NewStateHome(store.MustTable("nis", resourcedb.BlobCodec{})),
+		Client:  client,
+		Broker:  broker.EPR(),
 	})
 	if err != nil {
 		t.Fatal(err)

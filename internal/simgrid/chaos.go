@@ -57,6 +57,7 @@ type Chaos struct {
 	enabled    bool
 	defaults   RouteFaults
 	perDest    map[string]RouteFaults // dst host → profile override
+	targets    map[string]TargetRule  // "host/path" → targeted rule
 	exemptHost map[string]bool
 	exemptAddr map[string]bool // "host/path" exemptions
 	blocked    map[string]bool // "src|dst" directed partition edges
@@ -70,6 +71,7 @@ func NewChaos(seed int64) *Chaos {
 	return &Chaos{
 		seed:       seed,
 		perDest:    make(map[string]RouteFaults),
+		targets:    make(map[string]TargetRule),
 		exemptHost: make(map[string]bool),
 		exemptAddr: make(map[string]bool),
 		blocked:    make(map[string]bool),
@@ -88,6 +90,36 @@ func (c *Chaos) SetDefaults(f RouteFaults) {
 func (c *Chaos) SetRoute(dstHost string, f RouteFaults) {
 	c.mu.Lock()
 	c.perDest[dstHost] = f
+	c.mu.Unlock()
+}
+
+// TargetRule faults one exact destination address. Unlike SetRoute it
+// applies even on self-routes (src == dst host): it models a co-located
+// service failing — the master's own broker during a terminal publish —
+// which no network-level profile can express.
+type TargetRule struct {
+	// Src, when non-empty, restricts the rule to messages from that
+	// source host.
+	Src string
+	// OneWayOnly restricts the rule to one-way sends (notifications),
+	// leaving request-response calls to the same address clean.
+	OneWayOnly bool
+	// Faults is the profile applied to matching messages.
+	Faults RouteFaults
+}
+
+// SetTarget installs a rule for one "host/path" destination. Target
+// rules are checked before the self-route and exemption checks.
+func (c *Chaos) SetTarget(dstHost, dstPath string, rule TargetRule) {
+	c.mu.Lock()
+	c.targets[dstHost+dstPath] = rule
+	c.mu.Unlock()
+}
+
+// ClearTarget removes a target rule.
+func (c *Chaos) ClearTarget(dstHost, dstPath string) {
+	c.mu.Lock()
+	delete(c.targets, dstHost+dstPath)
 	c.mu.Unlock()
 }
 
@@ -157,7 +189,23 @@ func (c *Chaos) FaultFunc(src string) transport.FaultFunc {
 		dstHost, dstPath := splitAddr(addr)
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		if !c.enabled || src == dstHost || c.exemptHost[dstHost] || c.exemptAddr[dstHost+dstPath] {
+		if !c.enabled {
+			return transport.FaultDecision{}
+		}
+		if rule, ok := c.targets[dstHost+dstPath]; ok &&
+			(rule.Src == "" || rule.Src == src) &&
+			(!rule.OneWayOnly || op == transport.OpSend) &&
+			!rule.Faults.Zero() {
+			route := "target:" + src + "|" + dstHost + dstPath
+			k := c.counters[route]
+			c.counters[route] = k + 1
+			d := decisionAt(c.seed, route, k, rule.Faults)
+			if d != (transport.FaultDecision{}) {
+				c.decisions++
+			}
+			return d
+		}
+		if src == dstHost || c.exemptHost[dstHost] || c.exemptAddr[dstHost+dstPath] {
 			return transport.FaultDecision{}
 		}
 		if c.blocked[src+"|"+dstHost] {

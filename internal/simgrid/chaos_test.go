@@ -151,3 +151,52 @@ func TestDisabledEngineIsTransparent(t *testing.T) {
 		t.Fatalf("disabled engine recorded %d decisions", n)
 	}
 }
+
+func notifyOnce(client *transport.Client) error {
+	return client.Notify(context.Background(), wsa.NewEPR("inproc://server/echo"), "urn:Echo",
+		xmlutil.NewElement(xmlutil.Q("urn:simgrid:test", "Ping"), ""))
+}
+
+// TestTargetRuleOverridesSelfRouteExemption: a target rule faults an
+// exact address even when the caller lives on the same host — a
+// co-located service failing, which no network-level profile can model.
+func TestTargetRuleOverridesSelfRouteExemption(t *testing.T) {
+	chaos, client := chaosEcho(t, 1, "server")
+	chaos.Enable(true)
+	if err := echoOnce(client); err != nil {
+		t.Fatalf("clean self-route failed: %v", err)
+	}
+	chaos.SetTarget("server", "/echo", TargetRule{Faults: RouteFaults{Drop: 1}})
+	if err := echoOnce(client); !errors.Is(err, transport.ErrInjectedDrop) {
+		t.Fatalf("targeted self-route returned %v, want injected drop", err)
+	}
+	chaos.ClearTarget("server", "/echo")
+	if err := echoOnce(client); err != nil {
+		t.Fatalf("cleared target still faulted: %v", err)
+	}
+}
+
+// TestTargetRuleSrcAndOneWayFilters: a rule scoped to another source
+// leaves this client's calls clean, and a OneWayOnly rule drops one-way
+// sends (silently — the caller sees no error) while round trips to the
+// same address pass.
+func TestTargetRuleSrcAndOneWayFilters(t *testing.T) {
+	chaos, client := chaosEcho(t, 1, "client")
+	chaos.SetTarget("server", "/echo", TargetRule{Src: "other", Faults: RouteFaults{Drop: 1}})
+	chaos.Enable(true)
+	if err := echoOnce(client); err != nil {
+		t.Fatalf("rule for another source faulted this one: %v", err)
+	}
+
+	chaos.SetTarget("server", "/echo", TargetRule{OneWayOnly: true, Faults: RouteFaults{Drop: 1}})
+	if err := echoOnce(client); err != nil {
+		t.Fatalf("one-way-only rule faulted a round trip: %v", err)
+	}
+	before := chaos.Decisions()
+	if err := notifyOnce(client); err != nil {
+		t.Fatalf("one-way drop leaked an error: %v", err)
+	}
+	if got := chaos.Decisions(); got != before+1 {
+		t.Fatalf("decisions %d → %d, want the one-way send drawn and dropped", before, got)
+	}
+}

@@ -40,6 +40,10 @@ type ClusterConfig struct {
 	// JobTimeout is the scheduler watchdog window (default 1.5s) —
 	// without it a dropped exit event would stall a set forever.
 	JobTimeout time.Duration
+	// CatalogTTL overrides the scheduler's processor-catalog staleness
+	// bound; zero keeps the scheduler's default, negative disables the
+	// cache (every dispatch polls the NIS).
+	CatalogTTL time.Duration
 }
 
 // Ack records one acknowledged submission: the scheduler accepted the
@@ -185,6 +189,8 @@ func (c *Cluster) startMaster() error {
 	nis, err := nodeinfo.New(nodeinfo.Config{
 		Address: addr,
 		Home:    wsrf.NewStateHome(store.MustTable("nodeinfo", resourcedb.BlobCodec{})),
+		Client:  client,
+		Broker:  broker.EPR(),
 	})
 	if err != nil {
 		return err
@@ -196,6 +202,7 @@ func (c *Cluster) startMaster() error {
 		NIS:        nis.EPR(),
 		Broker:     broker.EPR(),
 		JobTimeout: c.cfg.JobTimeout,
+		CatalogTTL: c.cfg.CatalogTTL,
 	})
 	if err != nil {
 		return err

@@ -152,3 +152,148 @@ func TestPartitionedNodeFailsSetNotHangs(t *testing.T) {
 		}
 	}
 }
+
+// docFor projects one set's persisted document by topic.
+func docFor(c *Cluster, topic string) (scheduler.JobSetView, bool) {
+	for _, v := range c.JobSetDocs() {
+		if v.Topic == topic {
+			return v, true
+		}
+	}
+	return scheduler.JobSetView{}, false
+}
+
+// waitDocStatus polls the persisted job-set document until it reaches
+// the wanted status.
+func waitDocStatus(t *testing.T, c *Cluster, topic, want string, deadline time.Duration) scheduler.JobSetView {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		if v, ok := docFor(c, topic); ok && v.Status == want {
+			return v
+		}
+		if time.Now().After(end) {
+			v, _ := docFor(c, topic)
+			t.Fatalf("set %s stuck at %q, want %q", topic, v.Status, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBrokerFaultedTerminalPublishRecovers drives the I4 edge the
+// catalog cache and the notified-marker fix exist for, in two fault
+// windows. First the master's co-located broker eats everything the
+// master sends it — the acked terminal publish of the failing set
+// included — so the set must NOT be stamped notified and the listener
+// must see nothing. Then the fault narrows to one-way sends only: NIS
+// catalog pushes stay eaten (dispatch must fall back to polling the
+// NIS once its pushed catalog goes stale) while the next set's acked
+// terminal publish goes through and IS stamped — the marker tracks
+// actual delivery per set. A master restart after the broker heals
+// must replay the starved set's terminal event to the listener.
+func TestBrokerFaultedTerminalPublishRecovers(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Seed: 41, Nodes: 2, DataDir: t.TempDir(),
+		JobTimeout: 800 * time.Millisecond,
+		CatalogTTL: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Observer.Files.Publish("long.app", procspawn.BuildScript("compute 500000000", "exit 0"))
+	c.Observer.Files.Publish("quick.app", procspawn.BuildScript("exit 0"))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	wedge, err := c.Submit(ctx, &scheduler.JobSetSpec{Name: "wedge", Jobs: []scheduler.JobSpec{
+		{Name: "long", Executable: "local://long.app"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the job is running so the watchdog is armed.
+	started := func() bool {
+		for _, ev := range c.Observer.Events() {
+			if ev.Set == wedge.Topic && ev.Kind == "started" {
+				return true
+			}
+		}
+		return false
+	}
+	for end := time.Now().Add(15 * time.Second); !started(); {
+		if time.Now().After(end) {
+			t.Fatal("wedge job never started")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Window 1: the master's co-located broker eats every message from
+	// the master — acked terminal publishes and one-way catalog pushes
+	// alike. The Src filter leaves node → broker job events flowing, and
+	// the path scoping leaves Submit (scheduler path) and the broker's
+	// deliveries out of it.
+	ssBefore := c.Scheduler()
+	c.Chaos.SetTarget(MasterHost, "/NotificationBroker",
+		TargetRule{Src: MasterHost, Faults: RouteFaults{Drop: 1}})
+	c.Chaos.Enable(true)
+
+	// The watchdog fails the set; its terminal publish is dropped, so
+	// the notified marker must stay off and the listener sees nothing.
+	view := waitDocStatus(t, c, wedge.Topic, scheduler.SetFailed, 15*time.Second)
+	if view.Notified {
+		t.Fatal("terminal publish was dropped but the set is stamped notified")
+	}
+	if c.Observer.TerminalSets()[wedge.Topic] {
+		t.Fatal("listener saw a terminal event the broker never accepted")
+	}
+
+	// Window 2: the fault narrows to one-way sends. Catalog pushes are
+	// still eaten, so once the TTL lapses dispatch falls back to polling
+	// GetProcessors; the new set's subscription and acked terminal
+	// publish are round trips and go through.
+	c.Chaos.SetTarget(MasterHost, "/NotificationBroker",
+		TargetRule{Src: MasterHost, OneWayOnly: true, Faults: RouteFaults{Drop: 1}})
+	time.Sleep(250 * time.Millisecond)
+	quick, err := c.Submit(ctx, &scheduler.JobSetSpec{Name: "fallback", Jobs: []scheduler.JobSpec{
+		{Name: "q", Executable: "local://quick.app"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view = waitDocStatus(t, c, quick.Topic, scheduler.SetCompleted, 15*time.Second)
+	// The marker is stamped after the publish returns; give it a beat.
+	for end := time.Now().Add(5 * time.Second); !view.Notified; view, _ = docFor(c, quick.Topic) {
+		if time.Now().After(end) {
+			t.Fatal("acked terminal publish went through but the set is not stamped notified")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if polls, _ := ssBefore.CatalogStats(); polls == 0 {
+		t.Fatal("starved catalog cache never fell back to polling the NIS")
+	}
+
+	// Broker heals; a restarted master replays the starved set's
+	// terminal event (the fallback set was already delivered).
+	c.Chaos.ClearTarget(MasterHost, "/NotificationBroker")
+	c.CrashMaster()
+	time.Sleep(50 * time.Millisecond)
+	if err := c.RestartMaster(ctx); err != nil {
+		t.Logf("recover reported: %v", err)
+	}
+	for end := time.Now().Add(20 * time.Second); ; {
+		terminal := c.Observer.TerminalSets()
+		if terminal[wedge.Topic] && terminal[quick.Topic] {
+			break
+		}
+		if time.Now().After(end) {
+			t.Fatalf("terminal events after recovery: %v", terminal)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, topic := range []string{wedge.Topic, quick.Topic} {
+		if v, ok := docFor(c, topic); !ok || !v.Notified {
+			t.Fatalf("set %s not stamped notified after replay (found=%v)", topic, ok)
+		}
+	}
+}

@@ -131,7 +131,20 @@ func RegisterPublisherRequest(publisher wsa.EndpointReference) *xmlutil.Element 
 
 // PublishViaBroker sends a notification to a broker as a one-way Notify
 // — the single call producing services use (the ES broadcasting job
-// status in paper Fig. 3 steps 9 and 10).
+// status in paper Fig. 3 steps 9 and 10). Delivery is best-effort: a
+// dropped one-way message is indistinguishable from a delivered one at
+// the caller.
 func PublishViaBroker(ctx context.Context, c *transport.Client, broker wsa.EndpointReference, n Notification) error {
 	return c.Notify(ctx, broker, ActionNotify, NotifyBody(n))
+}
+
+// PublishAckedViaBroker sends a notification as a request-response
+// exchange: a nil return means the broker accepted (and stored) the
+// event, not merely that it was handed to the transport. Publishers
+// whose durability bookkeeping depends on knowing the event arrived —
+// e.g. an at-least-once "notified" marker — must use this instead of
+// the fire-and-forget PublishViaBroker.
+func PublishAckedViaBroker(ctx context.Context, c *transport.Client, broker wsa.EndpointReference, n Notification) error {
+	_, err := c.Call(ctx, broker, ActionNotify, NotifyBody(n))
+	return err
 }
