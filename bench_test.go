@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"uvacg/internal/benchkit"
 	"uvacg/internal/core"
@@ -408,6 +409,43 @@ func BenchmarkE12_DispatchThroughput(b *testing.B) {
 			b.ReportMetric(last.JobsPerSec, "jobs/s")
 			b.ReportMetric(float64(last.NISPolls), "nis-polls")
 		})
+	}
+}
+
+// BenchmarkE13_MultiMasterDispatch measures aggregate dispatch
+// throughput as scheduler replicas are added: the same batch of job
+// sets spread across the shard ring, at one master (the classic
+// layout) and two (sharded). wsrfbench runs the full 1/2/4 sweep.
+func BenchmarkE13_MultiMasterDispatch(b *testing.B) {
+	for _, masters := range []int{1, 2} {
+		b.Run(fmt.Sprintf("masters=%d", masters), func(b *testing.B) {
+			var last benchkit.MultiMasterResult
+			for i := 0; i < b.N; i++ {
+				res, err := benchkit.MeasureMultiMasterThroughput(benchCtx, masters, 6, 6, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.JobsPerSec, "jobs/s")
+		})
+	}
+}
+
+// BenchmarkE13_Failover kills one of two masters mid-batch and reports
+// the takeover milestones: lease claim and first orphaned-shard
+// dispatch by the survivor.
+func BenchmarkE13_Failover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := benchkit.MeasureFailover(benchCtx, 300*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != res.Sets {
+			b.Fatalf("failover lost sets: %d/%d completed", res.Completed, res.Sets)
+		}
+		b.ReportMetric(float64(res.Claim.Milliseconds()), "claim-ms")
+		b.ReportMetric(float64(res.Resume.Milliseconds()), "resume-ms")
 	}
 }
 

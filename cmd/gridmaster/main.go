@@ -5,6 +5,14 @@
 //
 //	gridmaster -addr :8700 [-host localhost] [-policy greedy]
 //	           [-accounts user:pw,user2:pw2]
+//
+// Several gridmasters can split one grid's job sets between them:
+// start each with the full replica roster and they shard the job-set
+// name space, owning shards through journaled leases and redirecting
+// misrouted submits to the owner with a WrongShardFault.
+//
+//	gridmaster -addr :8700 -peers http://a:8700,http://b:8700 [-shards 8]
+//	           [-lease-ttl 5s]
 package main
 
 import (
@@ -14,17 +22,20 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"uvacg/internal/core"
+	"uvacg/internal/lease"
 	"uvacg/internal/pipeline"
 	"uvacg/internal/resourcedb"
 	"uvacg/internal/services/nodeinfo"
 	"uvacg/internal/services/scheduler"
 	"uvacg/internal/soap"
 	"uvacg/internal/transport"
+	"uvacg/internal/wsa"
 	"uvacg/internal/wsn"
 	"uvacg/internal/wsrf"
 	"uvacg/internal/wssec"
@@ -47,6 +58,9 @@ func main() {
 	trace := flag.Bool("trace", false, "log one line per call with its request ID")
 	noAttach := flag.Bool("noattach", false, "inline binary content as base64 instead of soap.tcp attachments")
 	tcpPool := flag.Int("tcp-pool", 8, "max idle pooled soap.tcp connections per host (0 dials per message)")
+	peersFlag := flag.String("peers", "", "comma-separated base URLs of every master replica, this one included; enables sharded multi-master mode")
+	shardsFlag := flag.Int("shards", 0, "shard-ring size in -peers mode (0 = 4 per replica)")
+	leaseTTL := flag.Duration("lease-ttl", 5*time.Second, "shard lease duration in -peers mode; bounds how long a crashed master's claims outlive it")
 	flag.Parse()
 
 	port := portOf(*addr)
@@ -129,6 +143,13 @@ func main() {
 		MaxInflightDispatch: *maxInflight,
 		CatalogTTL:          *catalogTTL,
 	}
+	if *peersFlag != "" {
+		sharding, err := buildSharding(*peersFlag, *shardsFlag, *leaseTTL, address, store)
+		if err != nil {
+			log.Fatalf("gridmaster: %v", err)
+		}
+		ssCfg.Sharding = sharding
+	}
 	accounts := parseAccounts(*accountsFlag)
 	if accounts != nil {
 		// HTTP deployment note: credentials cross as UsernameToken
@@ -159,6 +180,17 @@ func main() {
 	base, shutdown, err := transport.ListenHTTP(srv, *addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Claim this replica's preferred shards before Recover, so the
+	// recovery pass below covers exactly the sets it now owns. The
+	// background lease maintenance keeps renewing (and claiming
+	// orphans) until shutdown.
+	shardCtx, stopSharding := context.WithCancel(context.Background())
+	defer stopSharding()
+	if ssCfg.Sharding != nil {
+		owned := ss.StartSharding(shardCtx)
+		log.Printf("sharding: claimed %d of %d shard(s) at startup: %v",
+			len(owned), ssCfg.Sharding.Manager.Shards(), owned)
 	}
 	{
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -201,6 +233,65 @@ func main() {
 	if metrics != nil {
 		metrics.Dump(os.Stderr)
 	}
+}
+
+// buildSharding wires the lease protocol for -peers mode. The roster
+// is sorted so every replica derives the same shard layout from the
+// same flag value; this master finds itself in it by its advertised
+// address. Lease claims are journaled through the resource database —
+// with -data-dir that is the WAL, so a restarted master self-reclaims
+// its shards (epoch bumped) instead of waiting out its own stale
+// leases.
+func buildSharding(peersFlag string, shards int, ttl time.Duration, address string, store *resourcedb.Store) (*scheduler.Sharding, error) {
+	var peers []string
+	for _, p := range strings.Split(peersFlag, ",") {
+		if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	sort.Strings(peers)
+	self := -1
+	for i, p := range peers {
+		if p == address {
+			self = i
+		}
+	}
+	if self < 0 {
+		return nil, fmt.Errorf("-peers %q does not include this master's advertised address %s", peersFlag, address)
+	}
+	if shards <= 0 {
+		shards = 4 * len(peers)
+	}
+	var preferred []int
+	for shard := 0; shard < shards; shard++ {
+		if shard%len(peers) == self {
+			preferred = append(preferred, shard)
+		}
+	}
+	// Each gridmaster journals leases in its own store, so it cannot
+	// observe peer renewals: takeover is disabled (OrphanWait < 0) and
+	// the roster stays the authority for who owns what. Failover in
+	// this deployment is restarting the dead replica — same roster
+	// slot, same data-dir — and letting it self-reclaim at the next
+	// epoch. The dynamic takeover path needs a shared lease table; the
+	// simulator (gridsim -masters N) exercises it.
+	mgr, err := lease.NewManager(lease.Config{
+		Store:      lease.NewTableStore(store.MustTable("leases", resourcedb.BlobCodec{})),
+		Owner:      address + "/SchedulerService",
+		Shards:     shards,
+		Preferred:  preferred,
+		TTL:        ttl,
+		OrphanWait: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &scheduler.Sharding{
+		Manager: mgr,
+		PeerForShard: func(shard int) (wsa.EndpointReference, bool) {
+			return wsa.NewEPR(peers[shard%len(peers)] + "/SchedulerService"), true
+		},
+	}, nil
 }
 
 func portOf(addr string) string {

@@ -187,16 +187,28 @@ func main() {
 			}
 		}
 	} else {
-		env := soap.New(scheduler.SubmitRequest(desc.Spec, filesEPR, listenerEPR))
-		if *user != "" {
-			creds := wssec.Credentials{Username: *user, Password: *pass}
-			if err := wssec.AttachUsernameToken(env, creds, true, time.Now()); err != nil {
-				log.Fatal(err)
+		// A sharded grid may answer with a WrongShardFault naming the
+		// master that owns this set's shard; follow the redirect
+		// transparently, with a hop bound against routing loops.
+		var resp *soap.Envelope
+		for hop := 0; ; hop++ {
+			env := soap.New(scheduler.SubmitRequest(desc.Spec, filesEPR, listenerEPR))
+			if *user != "" {
+				creds := wssec.Credentials{Username: *user, Password: *pass}
+				if err := wssec.AttachUsernameToken(env, creds, true, time.Now()); err != nil {
+					log.Fatal(err)
+				}
 			}
-		}
-		resp, err := client.Invoke(ctx, ssEPR, scheduler.ActionSubmit, env)
-		if err != nil {
-			log.Fatalf("submit: %v", err)
+			resp, err = client.Invoke(ctx, ssEPR, scheduler.ActionSubmit, env)
+			if err == nil {
+				break
+			}
+			owner, ok := scheduler.RedirectTarget(err)
+			if !ok || hop >= 3 {
+				log.Fatalf("submit: %v", err)
+			}
+			log.Printf("redirected to shard owner %s", owner.Address)
+			ssEPR = owner
 		}
 		setEPR, topic, err = scheduler.ParseSubmitResponse(resp.Body)
 		if err != nil {

@@ -1,8 +1,14 @@
 // Command wsrfbench regenerates the experiment tables recorded in
-// EXPERIMENTS.md: one table per experiment id (F1, F3, E1-E10), driven
+// EXPERIMENTS.md: one table per experiment id (F1, F3, E1-E13), driven
 // by the same internal/benchkit harnesses as the testing.B benchmarks.
 //
 //	wsrfbench [-quick] [-only E4,E7]
+//
+// With -record the experiment tables are skipped and a machine-readable
+// headline snapshot (envelope codec, soap.tcp, WAL commit, dispatch and
+// multi-master throughput) is written instead — the per-PR BENCH_<n>.json:
+//
+//	wsrfbench -record BENCH_6.json
 package main
 
 import (
@@ -21,14 +27,21 @@ import (
 )
 
 var (
-	quick = flag.Bool("quick", false, "fewer iterations (fast sanity run)")
-	only  = flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	quick  = flag.Bool("quick", false, "fewer iterations (fast sanity run)")
+	only   = flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	record = flag.String("record", "", "write a machine-readable headline snapshot to this JSON file instead of printing tables")
 )
 
 var ctx = context.Background()
 
 func main() {
 	flag.Parse()
+	if *record != "" {
+		if err := recordBench(*record); err != nil {
+			log.Fatalf("record: %v", err)
+		}
+		return
+	}
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
@@ -53,6 +66,7 @@ func main() {
 		{"E9", "termination-time reaper sweep", expE9},
 		{"E10", "WS-Security request cost (§4.2)", expE10},
 		{"E11", "WAL durability: commit modes and recovery", expE11},
+		{"E13", "multi-master scaling and failover", expE13},
 		{"F3", "end-to-end job set execution (Fig. 3)", expF3},
 	}
 	for _, e := range experiments {
@@ -434,6 +448,32 @@ func expE11() error {
 		}
 		row(fmt.Sprintf("recovery, %d-record log", records), d, fmt.Sprintf("%v/record", perRec.Round(10*time.Nanosecond)))
 	}
+	return nil
+}
+
+func expE13() error {
+	// Aggregate dispatch throughput by replica count. Per-master
+	// dispatch concurrency is pinned to one inside the harness, so the
+	// scaled resource is the master itself — see MeasureMultiMasterThroughput.
+	sets := iters(16, 6)
+	for _, masters := range []int{1, 2, 4} {
+		res, err := benchkit.MeasureMultiMasterThroughput(ctx, masters, 12, sets, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %d master(s), %2d shards, %2d nodes  %4d jobs in %10v  %6.1f jobs/s\n",
+			res.Masters, res.Shards, res.Nodes, res.Jobs,
+			res.Elapsed.Round(time.Millisecond), res.JobsPerSec)
+	}
+	// Kill one of two masters mid-layer; the lease TTL dominates the
+	// claim milestone (claim ≈ TTL + grace + a maintenance tick).
+	fo, err := benchkit.MeasureFailover(ctx, 300*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  failover (kill 1 of %d, TTL 300ms): claim %v, resume %v, %d/%d sets completed\n",
+		fo.Masters, fo.Claim.Round(time.Millisecond), fo.Resume.Round(time.Millisecond),
+		fo.Completed, fo.Sets)
 	return nil
 }
 

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"uvacg/internal/benchkit"
+	"uvacg/internal/soap"
+	"uvacg/internal/xmlutil"
+)
+
+// BenchRecord is the machine-readable envelope -record writes: one
+// headline number per subsystem, so a PR can commit a BENCH_<n>.json
+// snapshot and reviewers can diff performance across PRs without
+// parsing prose tables. Numbers are means over the same harnesses the
+// experiment tables use; treat single-digit-percent deltas as noise.
+type BenchRecord struct {
+	Schema    string `json:"schema"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	// SOAP envelope codec (internal/soap).
+	EnvelopeMarshalNsPerOp   float64 `json:"envelope_marshal_ns_per_op"`
+	EnvelopeUnmarshalNsPerOp float64 `json:"envelope_unmarshal_ns_per_op"`
+
+	// soap.tcp file movement, 256 KiB payload with attachments.
+	SoapTCPMiBPerSec float64 `json:"soap_tcp_mib_per_s"`
+
+	// WAL group commit, 4 concurrent writers, 256-byte values.
+	WALCommitFsyncUs  float64 `json:"wal_commit_fsync_us"`
+	WALCommitNosyncUs float64 `json:"wal_commit_nosync_us"`
+
+	// E12: parallel dispatch over the catalog cache, 32 independent jobs.
+	DispatchJobsPerSec float64 `json:"dispatch_jobs_per_s"`
+
+	// E13: aggregate dispatch throughput by scheduler replica count,
+	// and the kill-one-of-two failover milestones.
+	MultiMasterJobsPerSec map[string]float64 `json:"multi_master_jobs_per_s"`
+	FailoverClaimMs       float64            `json:"failover_claim_ms"`
+	FailoverResumeMs      float64            `json:"failover_resume_ms"`
+	FailoverSetsCompleted int                `json:"failover_sets_completed"`
+	FailoverSets          int                `json:"failover_sets"`
+}
+
+// recordEnvelope mirrors internal/soap's benchmark message: WS-A
+// headers plus an FSS-sized body.
+func recordEnvelope() *soap.Envelope {
+	nsA := "http://schemas.xmlsoap.org/ws/2004/03/addressing"
+	nsF := "urn:uvacg:fss"
+	env := soap.New(xmlutil.NewContainer(xmlutil.Q(nsF, "Upload"),
+		xmlutil.NewContainer(xmlutil.Q(nsF, "File"),
+			xmlutil.NewElement(xmlutil.Q(nsF, "SourceEPR"), "soap.tcp://client:9999/files"),
+			xmlutil.NewElement(xmlutil.Q(nsF, "RemoteName"), "input.dat"),
+			xmlutil.NewElement(xmlutil.Q(nsF, "LocalName"), "input.dat"),
+		),
+		xmlutil.NewElement(xmlutil.Q(nsF, "Token"), "bench-token-0001"),
+	))
+	env.AddHeader(xmlutil.NewElement(xmlutil.Q(nsA, "To"), "http://node-a:8080/FileSystemService"))
+	env.AddHeader(xmlutil.NewElement(xmlutil.Q(nsA, "Action"), nsF+"/Upload"))
+	env.AddHeader(xmlutil.NewElement(xmlutil.Q(nsA, "MessageID"), "urn:uuid:00000000-0000-0000-0000-000000000000"))
+	return env
+}
+
+func recordBench(path string) error {
+	rec := BenchRecord{
+		Schema:                "uvacg-bench/1",
+		Generated:             time.Now().UTC().Format(time.RFC3339),
+		GoVersion:             runtime.Version(),
+		GOOS:                  runtime.GOOS,
+		GOARCH:                runtime.GOARCH,
+		CPUs:                  runtime.NumCPU(),
+		MultiMasterJobsPerSec: map[string]float64{},
+	}
+
+	fmt.Println("  envelope codec ...")
+	env := recordEnvelope()
+	data, err := env.Marshal()
+	if err != nil {
+		return err
+	}
+	n := iters(20000, 2000)
+	d, err := timeOp(n, func() error { _, err := env.Marshal(); return err })
+	if err != nil {
+		return err
+	}
+	rec.EnvelopeMarshalNsPerOp = float64(d.Nanoseconds())
+	d, err = timeOp(n, func() error { _, err := soap.Unmarshal(data); return err })
+	if err != nil {
+		return err
+	}
+	rec.EnvelopeUnmarshalNsPerOp = float64(d.Nanoseconds())
+
+	fmt.Println("  soap.tcp transfer ...")
+	const payload = 256 << 10
+	th, err := benchkit.NewTransferHarness(payload)
+	if err != nil {
+		return err
+	}
+	d, err = timeOp(iters(60, 6), func() error {
+		_, err := th.Fetch(ctx, "soap.tcp")
+		return err
+	})
+	th.Close()
+	if err != nil {
+		return err
+	}
+	rec.SoapTCPMiBPerSec = float64(payload) / d.Seconds() / (1 << 20)
+
+	fmt.Println("  WAL group commit ...")
+	for _, c := range []struct {
+		mode string
+		out  *float64
+	}{
+		{benchkit.ModeFsync, &rec.WALCommitFsyncUs},
+		{benchkit.ModeNosync, &rec.WALCommitNosyncUs},
+	} {
+		res, err := benchkit.RunCommits(c.mode, iters(2000, 200), 256, 4)
+		if err != nil {
+			return err
+		}
+		*c.out = float64(res.PerOp().Nanoseconds()) / 1e3
+	}
+
+	fmt.Println("  dispatch throughput (E12) ...")
+	dres, err := benchkit.MeasureDispatchThroughput(ctx, 32, true)
+	if err != nil {
+		return err
+	}
+	rec.DispatchJobsPerSec = dres.JobsPerSec
+
+	for _, masters := range []int{1, 2, 4} {
+		fmt.Printf("  multi-master throughput, %d master(s) (E13) ...\n", masters)
+		res, err := benchkit.MeasureMultiMasterThroughput(ctx, masters, 12, iters(16, 6), 8)
+		if err != nil {
+			return err
+		}
+		rec.MultiMasterJobsPerSec[fmt.Sprintf("%d", masters)] = res.JobsPerSec
+	}
+
+	fmt.Println("  failover (E13) ...")
+	fo, err := benchkit.MeasureFailover(ctx, 300*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	rec.FailoverClaimMs = float64(fo.Claim.Microseconds()) / 1e3
+	rec.FailoverResumeMs = float64(fo.Resume.Microseconds()) / 1e3
+	rec.FailoverSetsCompleted = fo.Completed
+	rec.FailoverSets = fo.Sets
+
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

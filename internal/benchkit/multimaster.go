@@ -1,0 +1,266 @@
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"uvacg/internal/lease"
+	"uvacg/internal/procspawn"
+	"uvacg/internal/services/scheduler"
+	"uvacg/internal/simgrid"
+)
+
+// MultiMasterResult is one E13 aggregate-throughput run: a batch of
+// independent job sets spread across the shard ring, pushed through a
+// cluster of M scheduler replicas and timed to full quiescence.
+type MultiMasterResult struct {
+	Masters    int
+	Shards     int
+	Nodes      int
+	Sets       int
+	Jobs       int
+	Elapsed    time.Duration
+	JobsPerSec float64
+}
+
+// FailoverResult is the E13 failover drill: one of two masters is
+// killed while its sets are mid-flight, and the clock runs on the two
+// recovery milestones that follow.
+type FailoverResult struct {
+	Masters int
+	Shards  int
+	// Claim is kill → the survivor holds every shard (lease expiry +
+	// grace + its next maintenance tick).
+	Claim time.Duration
+	// Resume is kill → the survivor's first committed dispatch on a
+	// shard the dead master owned; the orphaned work is moving again.
+	Resume time.Duration
+	// Completed counts acked sets that finished SetCompleted, out of
+	// Sets submitted — failover must lose none.
+	Completed int
+	Sets      int
+}
+
+// multiMasterWireDelay is the per-message latency for E13. It is
+// deliberately larger than E12's dispatchWireDelay: with dispatch
+// concurrency pinned to one per master (below), each master's
+// throughput ceiling is one job per dispatch round-trip, so replica
+// count — not host CPU — is the scaled resource. E12 already measures
+// how far a single master gets by widening its own dispatch window.
+const multiMasterWireDelay = 10 * time.Millisecond
+
+// MeasureMultiMasterThroughput is the E13 scaling rig: `sets` job sets
+// of `jobsPerSet` independent quick jobs each, submitted concurrently
+// against a cluster of `masters` replicas and `nodes` machines, timed
+// from first submit to cluster quiescence. masters=1 runs the classic
+// single-master layout — the baseline the sharded layouts are compared
+// against. Each master dispatches one job at a time over a 10ms wire,
+// so aggregate throughput tracks the number of live masters even on a
+// single-core host.
+func MeasureMultiMasterThroughput(ctx context.Context, masters, nodes, sets, jobsPerSet int) (MultiMasterResult, error) {
+	dir, err := os.MkdirTemp("", "uvacg-multimaster-*")
+	if err != nil {
+		return MultiMasterResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	c, err := simgrid.NewCluster(simgrid.ClusterConfig{
+		Seed:        1,
+		Nodes:       nodes,
+		DataDir:     dir,
+		Masters:     masters,
+		WireDelay:   multiMasterWireDelay,
+		MaxInflight: 1,
+	})
+	if err != nil {
+		return MultiMasterResult{}, err
+	}
+	defer c.Close()
+	c.Observer.Files.Publish("quick.app", procspawn.BuildScript("write out.txt ok", "exit 0"))
+
+	specs := make([]*scheduler.JobSetSpec, sets)
+	for i := range specs {
+		jobs := make([]scheduler.JobSpec, jobsPerSet)
+		for j := range jobs {
+			jobs[j] = scheduler.JobSpec{
+				Name:       fmt.Sprintf("w%03d", j),
+				Executable: "local://quick.app",
+				Outputs:    []string{"out.txt"},
+			}
+		}
+		specs[i] = &scheduler.JobSetSpec{Name: fmt.Sprintf("mm-%d", i), Jobs: jobs}
+	}
+
+	// Concurrent submitters model independent clients; set names hash
+	// across the ring so every master owns a slice of the batch.
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, sets)
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec *scheduler.JobSetSpec) {
+			defer wg.Done()
+			_, errs[i] = c.Submit(ctx, spec)
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return MultiMasterResult{}, err
+		}
+	}
+	if err := c.AwaitQuiescence(120 * time.Second); err != nil {
+		return MultiMasterResult{}, err
+	}
+	elapsed := time.Since(start)
+	jobs := sets * jobsPerSet
+	return MultiMasterResult{
+		Masters:    masters,
+		Shards:     c.Shards(),
+		Nodes:      nodes,
+		Sets:       sets,
+		Jobs:       jobs,
+		Elapsed:    elapsed,
+		JobsPerSec: float64(jobs) / elapsed.Seconds(),
+	}, nil
+}
+
+// MeasureFailover kills one of two masters while every shard has a
+// two-layer set mid-flight and times the takeover: lease claim and
+// first orphaned-shard dispatch by the survivor, then waits the batch
+// out and counts survivors. The lease TTL is part of the measurement —
+// Claim ≈ TTL + grace + one maintenance tick by construction.
+func MeasureFailover(ctx context.Context, ttl time.Duration) (FailoverResult, error) {
+	const masters, shards, nodes = 2, 4, 4
+	res := FailoverResult{Masters: masters, Shards: shards}
+	dir, err := os.MkdirTemp("", "uvacg-failover-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	c, err := simgrid.NewCluster(simgrid.ClusterConfig{
+		Seed:      2,
+		Nodes:     nodes,
+		DataDir:   dir,
+		Masters:   masters,
+		Shards:    shards,
+		LeaseTTL:  ttl,
+		WireDelay: dispatchWireDelay,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	c.Observer.Files.Publish("layer-a.app", procspawn.BuildScript("compute 200000", "write out.txt ok", "exit 0"))
+	c.Observer.Files.Publish("layer-b.app", procspawn.BuildScript("read in_a.txt", "exit 0"))
+
+	// One two-layer set per shard, so the dead master's shards all hold
+	// mid-flight work when the axe falls.
+	var acks []simgrid.Ack
+	var victimTopics []string
+	for shard := 0; shard < shards; shard++ {
+		name := nameOnShard(shard, shards, "fo")
+		spec := &scheduler.JobSetSpec{Name: name, Jobs: []scheduler.JobSpec{
+			{Name: "a", Executable: "local://layer-a.app", Outputs: []string{"out.txt"}},
+			{Name: "b", Executable: "local://layer-b.app",
+				Inputs: []scheduler.FileSpec{{LocalName: "in_a.txt", Source: "a://out.txt"}}},
+		}}
+		ack, err := c.Submit(ctx, spec)
+		if err != nil {
+			return res, err
+		}
+		acks = append(acks, ack)
+		if shard%masters == 0 {
+			victimTopics = append(victimTopics, ack.Topic)
+		}
+	}
+	res.Sets = len(acks)
+
+	// The victim's sets must be observably running before the kill:
+	// layer one started, layer two still pending.
+	if err := awaitStarted(c, victimTopics, 30*time.Second); err != nil {
+		return res, err
+	}
+
+	start := time.Now()
+	c.CrashMasterN(0)
+	survivor := c.LeaseManagerN(1)
+	deadline := time.Now().Add(60 * time.Second)
+	for res.Claim == 0 || res.Resume == 0 {
+		if res.Claim == 0 && len(survivor.Owned()) == shards {
+			res.Claim = time.Since(start)
+		}
+		if res.Resume == 0 {
+			for _, d := range c.Dispatches() {
+				// The survivor could never dispatch on the victim's
+				// shards before takeover, so the first such record
+				// timestamps the resumption of orphaned work.
+				if d.Owner == survivor.Owner() && d.Shard%masters == 0 {
+					res.Resume = time.Since(start)
+					break
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("benchkit: failover incomplete after %v (claim=%v resume=%v)",
+				time.Since(start), res.Claim, res.Resume)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if err := c.AwaitQuiescence(60 * time.Second); err != nil {
+		return res, err
+	}
+	completed := make(map[string]bool)
+	for _, v := range c.JobSetDocs() {
+		if v.Status == scheduler.SetCompleted {
+			completed[v.Topic] = true
+		}
+	}
+	for _, ack := range acks {
+		if completed[ack.Topic] {
+			res.Completed++
+		}
+	}
+	return res, nil
+}
+
+// nameOnShard brute-forces a set name hashing onto one shard.
+func nameOnShard(shard, shards int, tag string) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s-%d", tag, i)
+		if lease.ShardOf(name, shards) == shard {
+			return name
+		}
+	}
+}
+
+// awaitStarted polls the observer until every listed topic has a
+// started event.
+func awaitStarted(c *simgrid.Cluster, topics []string, deadline time.Duration) error {
+	end := time.Now().Add(deadline)
+	for {
+		started := make(map[string]bool)
+		for _, ev := range c.Observer.Events() {
+			if ev.Kind == "started" {
+				started[ev.Set] = true
+			}
+		}
+		ready := true
+		for _, topic := range topics {
+			if !started[topic] {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return nil
+		}
+		if time.Now().After(end) {
+			return fmt.Errorf("benchkit: job sets never started: %v", topics)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

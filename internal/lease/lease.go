@@ -1,0 +1,503 @@
+// Package lease implements the shard-map/lease layer that lets several
+// gridmaster replicas split ownership of the job-set space. Job sets
+// hash by name onto a fixed shard ring; a master may only schedule sets
+// in shards it holds a live lease on. Leases are ordinary rows in a
+// resourcedb table, so on a DurableStore every acquire/renew/release is
+// journaled through the write-ahead log before it is acknowledged — an
+// acked claim survives a crash, and failover is a surviving peer
+// noticing the expiry and claiming the orphaned shard (paper §4.2's
+// single Scheduler Service generalized the way WSRF.NET's central
+// database makes natural).
+package lease
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/xmlutil"
+)
+
+// NS is the XML namespace of lease documents.
+const NS = "urn:uvacg:lease"
+
+var (
+	qLease   = xmlutil.Q(NS, "Lease")
+	qShard   = xmlutil.Q(NS, "Shard")
+	qOwner   = xmlutil.Q(NS, "Owner")
+	qEpoch   = xmlutil.Q(NS, "Epoch")
+	qExpires = xmlutil.Q(NS, "Expires")
+)
+
+// ShardOf routes a job-set name onto one of `shards` shards with a
+// stable FNV-1a hash, so every master (and gridsub) computes the same
+// owner without coordination.
+func ShardOf(name string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// Record is one shard's lease: who owns it, under which fencing epoch,
+// and until when. Epochs increase by one on every ownership change
+// (including an owner reclaiming its own shard after a restart), so a
+// dispatch stamped with an old epoch can always be recognized as
+// fenced.
+type Record struct {
+	Shard   int
+	Owner   string
+	Epoch   uint64
+	Expires time.Time
+}
+
+// Element renders the lease document journaled into the store.
+func (r Record) Element() *xmlutil.Element {
+	return xmlutil.NewContainer(qLease,
+		xmlutil.NewElement(qShard, strconv.Itoa(r.Shard)),
+		xmlutil.NewElement(qOwner, r.Owner),
+		xmlutil.NewElement(qEpoch, strconv.FormatUint(r.Epoch, 10)),
+		xmlutil.NewElement(qExpires, r.Expires.UTC().Format(time.RFC3339Nano)),
+	)
+}
+
+// ParseRecord decodes a lease document.
+func ParseRecord(el *xmlutil.Element) (Record, error) {
+	if el == nil || el.Name != qLease {
+		return Record{}, fmt.Errorf("lease: element is not a Lease")
+	}
+	shard, err := strconv.Atoi(el.ChildText(qShard))
+	if err != nil {
+		return Record{}, fmt.Errorf("lease: bad shard: %w", err)
+	}
+	epoch, err := strconv.ParseUint(el.ChildText(qEpoch), 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("lease: bad epoch: %w", err)
+	}
+	expires, err := time.Parse(time.RFC3339Nano, el.ChildText(qExpires))
+	if err != nil {
+		return Record{}, fmt.Errorf("lease: bad expiry: %w", err)
+	}
+	return Record{Shard: shard, Owner: el.ChildText(qOwner), Epoch: epoch, Expires: expires}, nil
+}
+
+// ErrConflict reports a CompareAndSave that lost the race: the stored
+// epoch no longer matches what the caller observed.
+var ErrConflict = errors.New("lease: epoch conflict")
+
+// ErrLost reports a renew that found the lease claimed away by another
+// owner — the holder must stop scheduling the shard immediately.
+var ErrLost = errors.New("lease: lost to another owner")
+
+// Store persists shard leases. CompareAndSave is the only mutation and
+// is conditional on the epoch the caller last observed (0 = the shard
+// must be absent), which is what makes concurrent claimants safe: at
+// most one CAS per epoch transition wins.
+type Store interface {
+	Load(shard int) (Record, bool, error)
+	CompareAndSave(rec Record, expectEpoch uint64) error
+}
+
+// TableStore keeps leases in a resourcedb table (one row per shard).
+// On a DurableStore table every save is WAL-journaled before it
+// returns. A local mutex serializes the read-check-write so the epoch
+// comparison is atomic for every master sharing the table handle.
+type TableStore struct {
+	mu    sync.Mutex
+	table *resourcedb.Table
+}
+
+// NewTableStore wraps a leases table.
+func NewTableStore(table *resourcedb.Table) *TableStore {
+	return &TableStore{table: table}
+}
+
+func leaseRowID(shard int) string { return "shard-" + strconv.Itoa(shard) }
+
+// Load implements Store.
+func (ts *TableStore) Load(shard int) (Record, bool, error) {
+	doc, ok, err := ts.table.Get(leaseRowID(shard))
+	if err != nil || !ok {
+		return Record{}, false, err
+	}
+	rec, err := ParseRecord(doc)
+	if err != nil {
+		return Record{}, false, err
+	}
+	return rec, true, nil
+}
+
+// CompareAndSave implements Store.
+func (ts *TableStore) CompareAndSave(rec Record, expectEpoch uint64) error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	cur, ok, err := ts.Load(rec.Shard)
+	if err != nil {
+		return err
+	}
+	var have uint64
+	if ok {
+		have = cur.Epoch
+	}
+	if have != expectEpoch {
+		return fmt.Errorf("%w: shard %d holds epoch %d, expected %d", ErrConflict, rec.Shard, have, expectEpoch)
+	}
+	return ts.table.Put(leaseRowID(rec.Shard), rec.Element())
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Store holds the shard leases (shared by all masters in a
+	// simulated cluster; per-master in a CLI deployment).
+	Store Store
+	// Owner identifies this master — by convention its scheduler
+	// endpoint address, so a lease record doubles as the redirect
+	// target for misrouted submits.
+	Owner string
+	// Shards is the fixed size of the shard ring.
+	Shards int
+	// Preferred lists the shards this master claims eagerly at
+	// startup; other shards are claimed only once orphaned.
+	Preferred []int
+	// TTL is the lease duration granted by acquire and renew.
+	TTL time.Duration
+	// Grace is how long past an expiry a claimant must wait before
+	// taking the shard over; the holder stops scheduling at Expires,
+	// so the gap guarantees old-owner-stops precedes takeover.
+	// Defaults to TTL/2.
+	Grace time.Duration
+	// OrphanWait is how long after startup a master waits before
+	// claiming non-preferred shards that have no lease record at all,
+	// giving slower-starting peers first shot at their own shards.
+	// Defaults to TTL. Negative disables takeover entirely: the
+	// manager only ever claims its Preferred shards — static sharding,
+	// for deployments where each master journals leases in a private
+	// store and so cannot observe its peers' renewals.
+	OrphanWait time.Duration
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Hooks observe ownership changes during Tick/Maintain.
+type Hooks struct {
+	// OnAcquired fires after a shard lease is claimed (initial,
+	// orphan takeover, or self-reclaim after restart).
+	OnAcquired func(rec Record)
+	// OnLost fires when a held lease is gone: renewed away by a peer
+	// or expired un-renewable (e.g. the store was unreachable).
+	OnLost func(shard int, epoch uint64)
+}
+
+// Manager runs one master's side of the lease protocol: claim
+// preferred shards, renew held ones, fence itself off expired ones and
+// take over orphans.
+type Manager struct {
+	cfg     Config
+	now     func() time.Time
+	mu      sync.Mutex
+	held    map[int]Record
+	started time.Time
+}
+
+// NewManager validates the config and builds a manager. No leases are
+// touched until the first Acquire/Tick.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("lease: config needs a Store")
+	}
+	if cfg.Owner == "" {
+		return nil, fmt.Errorf("lease: config needs an Owner")
+	}
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("lease: config needs Shards > 0")
+	}
+	if cfg.TTL <= 0 {
+		return nil, fmt.Errorf("lease: config needs TTL > 0")
+	}
+	if cfg.Grace <= 0 {
+		cfg.Grace = cfg.TTL / 2
+	}
+	if cfg.OrphanWait == 0 {
+		cfg.OrphanWait = cfg.TTL
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	m := &Manager{cfg: cfg, now: cfg.Now, held: make(map[int]Record)}
+	m.started = m.now()
+	return m, nil
+}
+
+// Owner returns the configured owner identity.
+func (m *Manager) Owner() string { return m.cfg.Owner }
+
+// Shards returns the shard ring size.
+func (m *Manager) Shards() int { return m.cfg.Shards }
+
+// TTL returns the lease duration.
+func (m *Manager) TTL() time.Duration { return m.cfg.TTL }
+
+// Held reports whether this master currently holds a live lease on the
+// shard. It consults only the local copy and the clock: once the local
+// expiry passes the master considers itself fenced even if it cannot
+// reach the store to learn who (if anyone) took over.
+func (m *Manager) Held(shard int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.held[shard]
+	return ok && m.now().Before(rec.Expires)
+}
+
+// Epoch returns the fencing epoch of a held shard.
+func (m *Manager) Epoch(shard int) (uint64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.held[shard]
+	if !ok || !m.now().Before(rec.Expires) {
+		return 0, false
+	}
+	return rec.Epoch, true
+}
+
+// Owned lists the shards currently held, sorted.
+func (m *Manager) Owned() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	out := make([]int, 0, len(m.held))
+	for shard, rec := range m.held {
+		if now.Before(rec.Expires) {
+			out = append(out, shard)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// OwnerOf reads the shard's current lease from the store — the lookup
+// behind submit redirects.
+func (m *Manager) OwnerOf(shard int) (Record, bool, error) {
+	return m.cfg.Store.Load(shard)
+}
+
+// Acquire attempts to claim the shard now. It succeeds when the shard
+// has no lease, when the recorded lease is this master's own (a
+// previous incarnation), or when the lease expired more than Grace
+// ago. The new lease carries the next epoch. The bool reports whether
+// the shard is held after the call.
+func (m *Manager) Acquire(shard int) (Record, bool, error) {
+	if shard < 0 || shard >= m.cfg.Shards {
+		return Record{}, false, fmt.Errorf("lease: shard %d out of range [0,%d)", shard, m.cfg.Shards)
+	}
+	m.mu.Lock()
+	if rec, ok := m.held[shard]; ok && m.now().Before(rec.Expires) {
+		m.mu.Unlock()
+		return rec, true, nil
+	}
+	m.mu.Unlock()
+	cur, ok, err := m.cfg.Store.Load(shard)
+	if err != nil {
+		return Record{}, false, err
+	}
+	var expect uint64
+	if ok {
+		expect = cur.Epoch
+		claimable := cur.Owner == m.cfg.Owner ||
+			m.now().After(cur.Expires.Add(m.cfg.Grace))
+		if !claimable {
+			return cur, false, nil
+		}
+	}
+	return m.claim(shard, expect)
+}
+
+// claim CASes a fresh lease at epoch expect+1 and records it locally.
+func (m *Manager) claim(shard int, expect uint64) (Record, bool, error) {
+	rec := Record{
+		Shard:   shard,
+		Owner:   m.cfg.Owner,
+		Epoch:   expect + 1,
+		Expires: m.now().Add(m.cfg.TTL),
+	}
+	if err := m.cfg.Store.CompareAndSave(rec, expect); err != nil {
+		if errors.Is(err, ErrConflict) {
+			return Record{}, false, nil
+		}
+		return Record{}, false, err
+	}
+	m.mu.Lock()
+	m.held[shard] = rec
+	m.mu.Unlock()
+	return rec, true, nil
+}
+
+// Renew extends a held lease. ErrLost means a peer claimed the shard
+// away (the local copy is dropped); other errors are transient — the
+// lease stays locally held until its expiry passes.
+func (m *Manager) Renew(shard int) (Record, error) {
+	m.mu.Lock()
+	rec, ok := m.held[shard]
+	m.mu.Unlock()
+	if !ok {
+		return Record{}, fmt.Errorf("lease: shard %d not held", shard)
+	}
+	// A lapsed lease cannot be renewed, only re-claimed at the next
+	// epoch: Held() has been fencing dispatches since Expires, so
+	// extending the same epoch would hide an ownership gap.
+	if !m.now().Before(rec.Expires) {
+		m.mu.Lock()
+		delete(m.held, shard)
+		m.mu.Unlock()
+		return Record{}, fmt.Errorf("%w: shard %d lease lapsed before renewal", ErrLost, shard)
+	}
+	next := rec
+	next.Expires = m.now().Add(m.cfg.TTL)
+	err := m.cfg.Store.CompareAndSave(next, rec.Epoch)
+	if err == nil {
+		m.mu.Lock()
+		m.held[shard] = next
+		m.mu.Unlock()
+		return next, nil
+	}
+	if !errors.Is(err, ErrConflict) {
+		return Record{}, err
+	}
+	// The stored epoch moved: someone fenced us. Drop the local copy.
+	m.mu.Lock()
+	delete(m.held, shard)
+	m.mu.Unlock()
+	cur, _, _ := m.cfg.Store.Load(shard)
+	return Record{}, fmt.Errorf("%w: shard %d now owned by %q at epoch %d",
+		ErrLost, shard, cur.Owner, cur.Epoch)
+}
+
+// Release gives a held shard up: the stored lease is marked expired as
+// of now, so a peer can claim it after Grace. The local copy is
+// dropped regardless of whether the store write succeeds.
+func (m *Manager) Release(shard int) error {
+	m.mu.Lock()
+	rec, ok := m.held[shard]
+	delete(m.held, shard)
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	expired := rec
+	expired.Expires = m.now()
+	return m.cfg.Store.CompareAndSave(expired, rec.Epoch)
+}
+
+// preferred reports whether the shard is in the eager-claim set.
+func (m *Manager) preferred(shard int) bool {
+	for _, s := range m.cfg.Preferred {
+		if s == shard {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick runs one maintenance pass: renew every held lease (dropping the
+// ones that were claimed away or expired un-renewable), then try to
+// claim unheld shards — preferred ones eagerly, never-leased ones
+// after OrphanWait, expired ones after Grace.
+func (m *Manager) Tick(hooks Hooks) {
+	m.mu.Lock()
+	heldNow := make(map[int]Record, len(m.held))
+	for shard, rec := range m.held {
+		heldNow[shard] = rec
+	}
+	m.mu.Unlock()
+
+	for shard, rec := range heldNow {
+		// A lease that lapsed before this tick got to it is already
+		// lost, even if no peer has claimed it yet: Held() said false to
+		// every dispatch since Expires, so work may have been dropped on
+		// the floor. Renewing it at the same epoch would resurrect the
+		// lease with no ownership transition — and nothing would ever
+		// recover the dropped work. Report the loss; the claim loop
+		// below re-claims it at the next epoch (the owner needs no
+		// grace for its own record), and that acquire triggers recovery.
+		if !m.now().Before(rec.Expires) {
+			m.mu.Lock()
+			delete(m.held, shard)
+			m.mu.Unlock()
+			if hooks.OnLost != nil {
+				hooks.OnLost(shard, rec.Epoch)
+			}
+			continue
+		}
+		if _, err := m.Renew(shard); err != nil {
+			switch {
+			case errors.Is(err, ErrLost):
+				if hooks.OnLost != nil {
+					hooks.OnLost(shard, rec.Epoch)
+				}
+			case m.now().After(rec.Expires):
+				// Could not renew (store unreachable?) and the lease
+				// ran out: we are fenced and must assume a peer takes
+				// over after Grace.
+				m.mu.Lock()
+				delete(m.held, shard)
+				m.mu.Unlock()
+				if hooks.OnLost != nil {
+					hooks.OnLost(shard, rec.Epoch)
+				}
+			}
+		}
+	}
+
+	for shard := 0; shard < m.cfg.Shards; shard++ {
+		if m.Held(shard) {
+			continue
+		}
+		if m.cfg.OrphanWait < 0 && !m.preferred(shard) {
+			continue // static sharding: never take over a peer's shard
+		}
+		cur, ok, err := m.cfg.Store.Load(shard)
+		if err != nil {
+			continue // unreachable store: nothing to claim
+		}
+		switch {
+		case !ok:
+			if !m.preferred(shard) && m.now().Sub(m.started) < m.cfg.OrphanWait {
+				continue
+			}
+		case cur.Owner != m.cfg.Owner && !m.now().After(cur.Expires.Add(m.cfg.Grace)):
+			continue // live lease elsewhere
+		}
+		var expect uint64
+		if ok {
+			expect = cur.Epoch
+		}
+		if rec, won, err := m.claim(shard, expect); err == nil && won {
+			if hooks.OnAcquired != nil {
+				hooks.OnAcquired(rec)
+			}
+		}
+	}
+}
+
+// Maintain loops Tick every interval until ctx is done. Run it in its
+// own goroutine; interval should be well under TTL (TTL/3 is typical)
+// so a healthy master never lets a lease lapse.
+func (m *Manager) Maintain(ctx context.Context, interval time.Duration, hooks Hooks) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.Tick(hooks)
+		}
+	}
+}

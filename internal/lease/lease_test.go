@@ -1,0 +1,475 @@
+package lease
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"uvacg/internal/resourcedb"
+)
+
+// fakeClock is a manually advanced clock shared by managers in a test.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// gatedStore wraps a Store and fails every call while blocked — the
+// partitioned-from-the-database condition.
+type gatedStore struct {
+	inner   Store
+	mu      sync.Mutex
+	blocked bool
+}
+
+func (g *gatedStore) setBlocked(b bool) {
+	g.mu.Lock()
+	g.blocked = b
+	g.mu.Unlock()
+}
+
+func (g *gatedStore) isBlocked() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.blocked
+}
+
+func (g *gatedStore) Load(shard int) (Record, bool, error) {
+	if g.isBlocked() {
+		return Record{}, false, fmt.Errorf("gated: store unreachable")
+	}
+	return g.inner.Load(shard)
+}
+
+func (g *gatedStore) CompareAndSave(rec Record, expect uint64) error {
+	if g.isBlocked() {
+		return fmt.Errorf("gated: store unreachable")
+	}
+	return g.inner.CompareAndSave(rec, expect)
+}
+
+func memStore(t *testing.T) *TableStore {
+	t.Helper()
+	return NewTableStore(resourcedb.NewTable("leases", resourcedb.BlobCodec{}))
+}
+
+func newMgr(t *testing.T, store Store, owner string, clock *fakeClock, preferred ...int) *Manager {
+	t.Helper()
+	m, err := NewManager(Config{
+		Store:     store,
+		Owner:     owner,
+		Shards:    4,
+		Preferred: preferred,
+		TTL:       time.Second,
+		Now:       clock.Now,
+	})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m
+}
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	if got := ShardOf("anything", 1); got != 0 {
+		t.Fatalf("single shard: got %d", got)
+	}
+	counts := make([]int, 8)
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("jobset-%d", i)
+		s := ShardOf(name, 8)
+		if s < 0 || s >= 8 {
+			t.Fatalf("ShardOf(%q, 8) = %d out of range", name, s)
+		}
+		if s != ShardOf(name, 8) {
+			t.Fatalf("ShardOf(%q) not stable", name)
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d never chosen across 1000 names: %v", s, counts)
+		}
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := Record{Shard: 3, Owner: "inproc://master-1/SchedulerService", Epoch: 7,
+		Expires: time.Date(2026, 2, 3, 4, 5, 6, 700, time.UTC)}
+	got, err := ParseRecord(rec.Element())
+	if err != nil {
+		t.Fatalf("ParseRecord: %v", err)
+	}
+	if got != rec {
+		t.Fatalf("round trip: got %+v want %+v", got, rec)
+	}
+}
+
+func TestAcquireRenewRelease(t *testing.T) {
+	clock := newFakeClock()
+	store := memStore(t)
+	a := newMgr(t, store, "a", clock)
+
+	rec, ok, err := a.Acquire(2)
+	if err != nil || !ok {
+		t.Fatalf("Acquire: ok=%v err=%v", ok, err)
+	}
+	if rec.Epoch != 1 {
+		t.Fatalf("first epoch = %d, want 1", rec.Epoch)
+	}
+	if !a.Held(2) {
+		t.Fatal("shard 2 should be held")
+	}
+
+	clock.Advance(700 * time.Millisecond)
+	if _, err := a.Renew(2); err != nil {
+		t.Fatalf("Renew: %v", err)
+	}
+	clock.Advance(700 * time.Millisecond)
+	if !a.Held(2) {
+		t.Fatal("renewed lease should still be held")
+	}
+
+	if err := a.Release(2); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if a.Held(2) {
+		t.Fatal("released shard still held")
+	}
+
+	// A peer can claim a released shard after grace, at the next epoch.
+	b := newMgr(t, store, "b", clock)
+	if _, ok, _ := b.Acquire(2); ok {
+		t.Fatal("claim inside grace window should fail")
+	}
+	clock.Advance(600 * time.Millisecond)
+	rec, ok, err = b.Acquire(2)
+	if err != nil || !ok {
+		t.Fatalf("Acquire after grace: ok=%v err=%v", ok, err)
+	}
+	if rec.Epoch != 2 {
+		t.Fatalf("takeover epoch = %d, want 2", rec.Epoch)
+	}
+}
+
+// TestRenewRacingExpiry is the satellite edge case: a renew that loses
+// the race against its own expiry must never silently resurrect the
+// lease at the same epoch. Held() has been fencing dispatches since
+// Expires — work may have been dropped in that window — so the lapse
+// is a real ownership gap: the renew fails with ErrLost and the owner
+// takes the shard back by re-claiming at the next epoch, which is the
+// transition that forces the scheduler's acquire hook to recover the
+// dropped work.
+func TestRenewRacingExpiry(t *testing.T) {
+	clock := newFakeClock()
+	store := memStore(t)
+	a := newMgr(t, store, "a", clock)
+	b := newMgr(t, store, "b", clock)
+
+	if _, ok, err := a.Acquire(1); !ok || err != nil {
+		t.Fatalf("a.Acquire: ok=%v err=%v", ok, err)
+	}
+	// Past expiry but inside grace: the shard is in limbo — b cannot
+	// claim it yet, and a no longer considers itself the owner.
+	clock.Advance(1200 * time.Millisecond)
+	if a.Held(1) {
+		t.Fatal("a should be fenced at local expiry")
+	}
+	if _, ok, _ := b.Acquire(1); ok {
+		t.Fatal("b claimed inside the grace window")
+	}
+	// The late renew lost the race against the expiry.
+	if _, err := a.Renew(1); !errors.Is(err, ErrLost) {
+		t.Fatalf("renew of a lapsed lease: err=%v, want ErrLost", err)
+	}
+	if a.Held(1) {
+		t.Fatal("a still holds the shard after a lapsed renew")
+	}
+	// The owner re-claims its own record immediately (no grace needed:
+	// its clock fenced it at Expires), at the next epoch.
+	rec, ok, err := a.Acquire(1)
+	if !ok || err != nil {
+		t.Fatalf("self-reclaim: ok=%v err=%v", ok, err)
+	}
+	if rec.Epoch != 2 {
+		t.Fatalf("self-reclaim epoch = %d, want 2", rec.Epoch)
+	}
+
+	// Now let it fully lapse past grace and lose the shard to a peer.
+	clock.Advance(1600 * time.Millisecond)
+	if _, ok, err := b.Acquire(1); !ok || err != nil {
+		t.Fatalf("b takeover: ok=%v err=%v", ok, err)
+	}
+	if _, err := a.Renew(1); !errors.Is(err, ErrLost) {
+		t.Fatalf("a.Renew after takeover: err=%v, want ErrLost", err)
+	}
+	if a.Held(1) {
+		t.Fatal("a still holds shard after ErrLost")
+	}
+	if epoch, ok := b.Epoch(1); !ok || epoch != 3 {
+		t.Fatalf("b epoch = %d,%v want 3,true", epoch, ok)
+	}
+}
+
+// TestLateTickReclaimsLapsedLease pins the regression behind a cluster
+// hang: a maintenance tick that fires after the lease already lapsed
+// (no peer contention at all — just a late tick under load). The old
+// behavior renewed the lapsed lease at the same epoch with no hooks,
+// so dispatches fenced during the lapse were never recovered. The tick
+// must instead report the loss and re-claim at the next epoch, so the
+// acquire hook re-runs recovery over the shard.
+func TestLateTickReclaimsLapsedLease(t *testing.T) {
+	clock := newFakeClock()
+	store := memStore(t)
+	a := newMgr(t, store, "a", clock, 0)
+
+	var lost, acquired []uint64
+	hooks := Hooks{ // track shard 0 only; later ticks also sweep orphans
+		OnLost: func(shard int, epoch uint64) {
+			if shard == 0 {
+				lost = append(lost, epoch)
+			}
+		},
+		OnAcquired: func(rec Record) {
+			if rec.Shard == 0 {
+				acquired = append(acquired, rec.Epoch)
+			}
+		},
+	}
+	a.Tick(hooks)
+	if len(acquired) != 1 || acquired[0] != 1 {
+		t.Fatalf("initial claim epochs %v, want [1]", acquired)
+	}
+
+	// The next tick arrives after the TTL: the lease lapsed unattended.
+	clock.Advance(1100 * time.Millisecond)
+	lost, acquired = nil, nil
+	a.Tick(hooks)
+	if len(lost) != 1 || lost[0] != 1 {
+		t.Fatalf("OnLost epochs %v, want [1]", lost)
+	}
+	if len(acquired) != 1 || acquired[0] != 2 {
+		t.Fatalf("reclaim epochs %v, want [2]", acquired)
+	}
+	if !a.Held(0) {
+		t.Fatal("shard not held after the reclaim")
+	}
+}
+
+// TestPartitionedOwnerFencesItself is the other satellite edge case:
+// the owner is partitioned from the store (not dead). A peer claims
+// the orphaned shard after expiry+grace; when the partition heals the
+// returning master must have stopped considering itself the owner, and
+// its tick observes the loss.
+func TestPartitionedOwnerFencesItself(t *testing.T) {
+	clock := newFakeClock()
+	backing := memStore(t)
+	gate := &gatedStore{inner: backing}
+	a := newMgr(t, gate, "a", clock)
+	b := newMgr(t, backing, "b", clock)
+
+	if _, ok, err := a.Acquire(0); !ok || err != nil {
+		t.Fatalf("a.Acquire: ok=%v err=%v", ok, err)
+	}
+
+	gate.setBlocked(true) // partition a from the lease store
+
+	// Within the TTL the partitioned owner keeps working off its local
+	// lease; renews fail transiently but the lease is not dropped.
+	clock.Advance(500 * time.Millisecond)
+	var lost []int
+	hooks := Hooks{OnLost: func(shard int, _ uint64) { lost = append(lost, shard) }}
+	a.Tick(hooks)
+	if !a.Held(0) {
+		t.Fatal("a dropped its lease while still inside the TTL")
+	}
+
+	// Past the local expiry the owner is fenced even though it cannot
+	// see the store, and the next tick reports the loss.
+	clock.Advance(600 * time.Millisecond)
+	if a.Held(0) {
+		t.Fatal("a not fenced at local expiry during partition")
+	}
+	a.Tick(hooks)
+	if len(lost) != 1 || lost[0] != 0 {
+		t.Fatalf("OnLost = %v, want [0]", lost)
+	}
+
+	// The peer claims the orphan only after expiry+grace.
+	if _, ok, _ := b.Acquire(0); ok {
+		t.Fatal("b claimed before grace elapsed")
+	}
+	clock.Advance(600 * time.Millisecond)
+	rec, ok, err := b.Acquire(0)
+	if !ok || err != nil {
+		t.Fatalf("b orphan takeover: ok=%v err=%v", ok, err)
+	}
+	if rec.Epoch != 2 {
+		t.Fatalf("takeover epoch = %d, want 2", rec.Epoch)
+	}
+
+	// Partition heals; the returning master must not steal the shard
+	// back (b's lease is live) and must stay fenced.
+	gate.setBlocked(false)
+	a.Tick(hooks)
+	if a.Held(0) {
+		t.Fatal("returning master reclaimed a live peer lease")
+	}
+	if !b.Held(0) {
+		t.Fatal("b lost the shard to the returning master")
+	}
+}
+
+func TestTickClaimsPreferredThenOrphans(t *testing.T) {
+	clock := newFakeClock()
+	store := memStore(t)
+	a := newMgr(t, store, "a", clock, 0, 1)
+
+	var acquired []int
+	hooks := Hooks{OnAcquired: func(rec Record) { acquired = append(acquired, rec.Shard) }}
+	a.Tick(hooks)
+	if len(acquired) != 2 || acquired[0] != 0 || acquired[1] != 1 {
+		t.Fatalf("first tick acquired %v, want [0 1]", acquired)
+	}
+
+	// Non-preferred never-leased shards are left alone until
+	// OrphanWait, then swept up. Tick once mid-way so the held leases
+	// stay renewed — a lapsed lease would count as lost and reclaimed.
+	clock.Advance(600 * time.Millisecond)
+	acquired = nil
+	a.Tick(hooks)
+	if len(acquired) != 0 {
+		t.Fatalf("mid-way tick acquired %v, want none", acquired)
+	}
+	clock.Advance(500 * time.Millisecond)
+	a.Tick(hooks)
+	if len(acquired) != 2 || acquired[0] != 2 || acquired[1] != 3 {
+		t.Fatalf("orphan sweep acquired %v, want [2 3]", acquired)
+	}
+	if got := a.Owned(); len(got) != 4 {
+		t.Fatalf("Owned = %v, want all four shards", got)
+	}
+}
+
+// TestNegativeOrphanWaitPinsStaticLayout covers the gridmaster CLI
+// mode: with a private lease store per master, takeover must be off —
+// the manager claims its preferred shards and nothing else, no matter
+// how long other shards sit unleased or expired.
+func TestNegativeOrphanWaitPinsStaticLayout(t *testing.T) {
+	clock := newFakeClock()
+	store := memStore(t)
+	a, err := NewManager(Config{
+		Store:      store,
+		Owner:      "a",
+		Shards:     4,
+		Preferred:  []int{0, 2},
+		TTL:        time.Second,
+		OrphanWait: -1,
+		Now:        clock.Now,
+	})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	// Shard 1 holds a long-expired peer lease; shard 3 has none.
+	if err := store.CompareAndSave(Record{Shard: 1, Owner: "b", Epoch: 7,
+		Expires: clock.Now().Add(-time.Hour)}, 0); err != nil {
+		t.Fatalf("seed peer lease: %v", err)
+	}
+	a.Tick(Hooks{})
+	for i := 0; i < 20; i++ {
+		clock.Advance(10 * time.Second)
+		a.Tick(Hooks{})
+	}
+	if got := a.Owned(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Owned = %v, want the static layout [0 2]", got)
+	}
+	if rec, ok, _ := store.Load(1); !ok || rec.Owner != "b" {
+		t.Fatalf("peer lease on shard 1 = %+v (ok=%v), want b's record untouched", rec, ok)
+	}
+}
+
+func TestCompareAndSaveConflict(t *testing.T) {
+	store := memStore(t)
+	rec := Record{Shard: 0, Owner: "a", Epoch: 1, Expires: time.Now().Add(time.Second)}
+	if err := store.CompareAndSave(rec, 0); err != nil {
+		t.Fatalf("initial save: %v", err)
+	}
+	rival := Record{Shard: 0, Owner: "b", Epoch: 1, Expires: time.Now().Add(time.Second)}
+	if err := store.CompareAndSave(rival, 0); !errors.Is(err, ErrConflict) {
+		t.Fatalf("racing save: err=%v, want ErrConflict", err)
+	}
+	if err := store.CompareAndSave(Record{Shard: 0, Owner: "b", Epoch: 2,
+		Expires: time.Now().Add(time.Second)}, 1); err != nil {
+		t.Fatalf("CAS at observed epoch: %v", err)
+	}
+}
+
+// TestLeaseSurvivesReopen exercises the WAL journaling path: an acked
+// lease in a DurableStore-backed table must be there after a crash
+// (simulated by reopening the directory without a clean snapshot).
+func TestLeaseSurvivesReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "master")
+	ds, err := resourcedb.OpenDurable(dir, resourcedb.DurableOptions{})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	store := NewTableStore(ds.MustTable("leases", resourcedb.BlobCodec{}))
+	clock := newFakeClock()
+	m, err := NewManager(Config{Store: store, Owner: "a", Shards: 2, TTL: time.Minute, Now: clock.Now})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	rec, ok, err := m.Acquire(1)
+	if !ok || err != nil {
+		t.Fatalf("Acquire: ok=%v err=%v", ok, err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	ds2, err := resourcedb.OpenDurable(dir, resourcedb.DurableOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer ds2.Close()
+	store2 := NewTableStore(ds2.MustTable("leases", resourcedb.BlobCodec{}))
+	got, ok, err := store2.Load(1)
+	if err != nil || !ok {
+		t.Fatalf("Load after reopen: ok=%v err=%v", ok, err)
+	}
+	if got.Owner != rec.Owner || got.Epoch != rec.Epoch {
+		t.Fatalf("replayed lease %+v, want %+v", got, rec)
+	}
+
+	// The restarted incarnation reclaims its own shard at a higher
+	// epoch, fencing any dispatch stamped with the old one.
+	m2, err := NewManager(Config{Store: store2, Owner: "a", Shards: 2, TTL: time.Minute, Now: clock.Now})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	rec2, ok, err := m2.Acquire(1)
+	if !ok || err != nil {
+		t.Fatalf("reclaim: ok=%v err=%v", ok, err)
+	}
+	if rec2.Epoch != rec.Epoch+1 {
+		t.Fatalf("reclaim epoch = %d, want %d", rec2.Epoch, rec.Epoch+1)
+	}
+}

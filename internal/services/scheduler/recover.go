@@ -24,7 +24,27 @@ import (
 // resumed (unparseable spec snapshot, broker subscription failure) is
 // skipped, not fatal: the remaining sets still recover, and the
 // per-set failures come back joined in the error.
+//
+// Under sharding, only sets in shards this master currently holds are
+// touched — recovering (or even republishing for) a peer's shard would
+// break the single-writer guarantee.
 func (s *Service) Recover(ctx context.Context) (int, error) {
+	return s.recoverFiltered(ctx, s.ownsSet)
+}
+
+// RecoverShard recovers the job sets of one shard — the failover path,
+// run after the lease on a dead or lapsed peer's shard is claimed.
+func (s *Service) RecoverShard(ctx context.Context, shard int) (int, error) {
+	return s.recoverFiltered(ctx, func(name string) bool {
+		return s.sharding != nil && s.shardOf(name) == shard && s.ownsSet(name)
+	})
+}
+
+// recoverFiltered is the shared recovery sweep; accept filters by
+// job-set name. Sets that already have a live run are left alone, so
+// overlapping sweeps (initial Recover racing a lease-acquired
+// RecoverShard) are idempotent.
+func (s *Service) recoverFiltered(ctx context.Context, accept func(name string) bool) (int, error) {
 	home := s.svc.Home()
 	resumed := 0
 	var errs []error
@@ -40,7 +60,16 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 		if err != nil {
 			continue
 		}
+		if !accept(doc.ChildText(QName)) {
+			continue
+		}
 		topic := doc.ChildText(QTopic)
+		s.mu.Lock()
+		active := topic != "" && s.runs[topic] != nil
+		s.mu.Unlock()
+		if active {
+			continue
+		}
 		if status := doc.ChildText(QStatus); status != SetRunning {
 			// Terminal set whose completion event may never have left the
 			// building: the status write and the broker publish are not
@@ -112,6 +141,11 @@ func (s *Service) Recover(ctx context.Context) (int, error) {
 		}
 
 		s.mu.Lock()
+		if s.runs[topic] != nil {
+			// A concurrent sweep registered this set first.
+			s.mu.Unlock()
+			continue
+		}
 		s.wireConsumerLocked()
 		s.runs[topic] = r
 		s.runIDs[id] = topic

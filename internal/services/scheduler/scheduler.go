@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -108,6 +109,13 @@ type Config struct {
 	// DefaultCatalogTTL; negative disables the cache entirely, so every
 	// dispatch polls GetProcessors (the paper's literal Fig. 3 step 2).
 	CatalogTTL time.Duration
+	// Sharding, when non-nil, opts the master into the multi-master
+	// lease protocol: it only accepts and schedules job sets whose
+	// shard it holds, redirecting the rest (see shard.go).
+	Sharding *Sharding
+	// OnDispatch, when set, observes every committed job dispatch —
+	// the simulator's single-writer ledger.
+	OnDispatch func(rec DispatchRecord)
 }
 
 // Dispatch-path defaults.
@@ -129,12 +137,16 @@ type Service struct {
 	jobTimeout   time.Duration
 	catalogTTL   time.Duration
 	dispatchSem  chan struct{} // bounds concurrent dispatches
+	sharding     *Sharding
+	onDispatch   func(rec DispatchRecord)
 
 	mu            sync.Mutex
 	runs          map[string]*run   // topic → run
 	runIDs        map[string]string // resource id → topic (for destroy eviction)
 	wired         bool              // consumer handler installed (at most once)
 	catSubscribed bool              // catalog-changed subscription established
+	shardOwners   map[int]string    // pushed shard-map routing view
+	shardEpochs   map[int]uint64    // highest epoch seen per shard
 
 	cat catalogCache
 }
@@ -171,6 +183,9 @@ type run struct {
 	jobs        map[string]*jobRun
 	seq         int
 	status      string
+	// lost marks a run parked by a shard lease loss: another master
+	// owns the set now, and every write path drops the run on sight.
+	lost bool
 }
 
 type jobRun struct {
@@ -225,8 +240,15 @@ func New(cfg Config) (*Service, error) {
 		jobTimeout:   cfg.JobTimeout,
 		catalogTTL:   cfg.CatalogTTL,
 		dispatchSem:  make(chan struct{}, cfg.MaxInflightDispatch),
+		sharding:     cfg.Sharding,
+		onDispatch:   cfg.OnDispatch,
 		runs:         make(map[string]*run),
 		runIDs:       make(map[string]string),
+		shardOwners:  make(map[int]string),
+		shardEpochs:  make(map[int]uint64),
+	}
+	if cfg.Sharding != nil && cfg.Sharding.Manager == nil {
+		return nil, fmt.Errorf("scheduler: Sharding requires a lease Manager")
 	}
 	svc.OnDestroy(s.onSetDestroyed)
 	if cfg.Security != nil {
@@ -300,6 +322,11 @@ func (s *Service) handleSubmit(ctx context.Context, inv *wsrf.Invocation, body *
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, wsrf.NewBaseFault("InvalidJobSetFault", "%v", err).SOAPFault(soap.CodeSender)
+	}
+	if !s.ownsSet(spec.Name) {
+		// Typed redirect, not a generic fault: the Originator names the
+		// owning master so the client can resubmit there directly.
+		return nil, s.wrongShardFault(spec.Name, s.shardOf(spec.Name))
 	}
 	var clientFiles, clientListener wsa.EndpointReference
 	if el := body.Child(qClientFiles); el != nil {
@@ -451,6 +478,12 @@ func (s *Service) scheduleReady(ctx context.Context, r *run) {
 			defer wg.Done()
 			defer func() { <-s.dispatchSem }()
 			if err := s.dispatch(ctx, r, j, seq); err != nil {
+				if errors.Is(err, errShardLost) {
+					// The shard moved to another master mid-dispatch;
+					// the run is (or is about to be) parked. Not a job
+					// failure — the new owner re-dispatches.
+					return
+				}
 				s.failJob(ctx, r, j.spec.Name, "dispatch: "+err.Error())
 			}
 		}(job, seq)
@@ -466,7 +499,7 @@ func (s *Service) scheduleReady(ctx context.Context, r *run) {
 func (s *Service) nextReady(r *run) (*jobRun, int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.status != SetRunning {
+	if r.status != SetRunning || r.lost {
 		return nil, 0
 	}
 	for _, name := range jobOrder(r.spec) {
@@ -504,6 +537,9 @@ func jobOrder(spec *JobSetSpec) []string {
 // a node, send Run. Step 2 is served from the notification-fed cache
 // when fresh; only a stale cache costs a NIS poll.
 func (s *Service) dispatch(ctx context.Context, r *run, j *jobRun, seq int) error {
+	if err := s.dispatchFence(r); err != nil {
+		return err
+	}
 	procs, err := s.processors(ctx)
 	if err != nil {
 		return err
@@ -533,6 +569,14 @@ func (s *Service) dispatch(ctx context.Context, r *run, j *jobRun, seq int) erro
 			}
 		}
 	}
+	// Re-check the fence at the last possible moment: the lease may
+	// have lapsed while credentials and files were being prepared. The
+	// grace window peers wait out before claiming an expired shard is
+	// what makes this check-then-send safe against a concurrent owner.
+	if err := s.dispatchFence(r); err != nil {
+		return err
+	}
+	s.recordDispatch(r, j.spec.Name, node.Host)
 	resp, err := s.client.Invoke(ctx, node.ES, execution.ActionRun, req)
 	if err != nil {
 		return fmt.Errorf("run on %s: %w", node.Host, err)
@@ -725,6 +769,11 @@ func (s *Service) onNotification(ctx context.Context, n wsn.Notification) {
 			s.storeCatalog(procs)
 		}
 		return
+	} else if root == ShardMapTopic {
+		if shard, epoch, owner, err := parseShardOwner(n.Message); err == nil {
+			s.noteShardOwner(shard, epoch, owner)
+		}
+		return
 	}
 	segs := strings.Split(n.Topic, "/")
 	if len(segs) < 3 {
@@ -789,7 +838,7 @@ func (s *Service) onNotification(ctx context.Context, n wsn.Notification) {
 // maybeComplete finishes the job set when every job completed.
 func (s *Service) maybeComplete(ctx context.Context, r *run) {
 	r.mu.Lock()
-	if r.status != SetRunning {
+	if r.status != SetRunning || r.lost {
 		r.mu.Unlock()
 		return
 	}
@@ -813,6 +862,10 @@ func (s *Service) maybeComplete(ctx context.Context, r *run) {
 // failJob marks a job failed, fails the set, cancels the rest.
 func (s *Service) failJob(ctx context.Context, r *run, jobName, reason string) {
 	r.mu.Lock()
+	if r.lost {
+		r.mu.Unlock()
+		return
+	}
 	if j := r.jobs[jobName]; j != nil {
 		j.state = JobFailed
 	}
@@ -901,6 +954,9 @@ func CancelRequest() *xmlutil.Element { return &xmlutil.Element{Name: qCancel} }
 
 // setStatus persists the set-level status into the resource document.
 func (s *Service) setStatus(r *run, status string) {
+	if r.fenced() {
+		return
+	}
 	_ = s.svc.UpdateResource(r.id, func(doc *xmlutil.Element) error {
 		if c := doc.Child(QStatus); c != nil {
 			c.Text = status
@@ -912,6 +968,10 @@ func (s *Service) setStatus(r *run, status string) {
 // updateJobDoc mirrors one job's runtime state into the resource doc.
 func (s *Service) updateJobDoc(r *run, jobName string) {
 	r.mu.Lock()
+	if r.lost {
+		r.mu.Unlock()
+		return
+	}
 	j := r.jobs[jobName]
 	state, node, exit := j.state, j.node, j.exitCode
 	dir := j.dirEPR

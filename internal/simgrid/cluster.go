@@ -44,6 +44,30 @@ type ClusterConfig struct {
 	// bound; zero keeps the scheduler's default, negative disables the
 	// cache (every dispatch polls the NIS).
 	CatalogTTL time.Duration
+	// Masters, when ≥2, switches to the sharded multi-master layout:
+	// broker, NIS and the shared job-set and lease tables move onto
+	// CoreHost (the central database of the WSRF.NET deployment), and
+	// each replica "master-1".."master-M" hosts a scheduler that only
+	// schedules the shards it holds a lease on. 0 or 1 keeps the
+	// classic single-master layout unchanged.
+	Masters int
+	// Shards sizes the shard ring (multi-master only); defaults to
+	// 2×Masters so failover redistributes load instead of doubling one
+	// survivor's share in the two-master case.
+	Shards int
+	// LeaseTTL is the shard lease duration (multi-master only;
+	// default 500ms). Grace takes the lease package default, TTL/2, so
+	// failover completes within TTL+TTL/2 of a master death.
+	LeaseTTL time.Duration
+	// WireDelay adds a constant latency to every cross-host message —
+	// benchkit's stand-in for a real network. Unlike fault profiles it
+	// applies even while chaos is disabled.
+	WireDelay time.Duration
+	// MaxInflight overrides each scheduler's dispatch-concurrency
+	// bound (zero keeps the scheduler default). Benchkit pins it so a
+	// master's dispatch capacity — the resource multi-master replicates
+	// — is a controlled variable.
+	MaxInflight int
 }
 
 // Ack records one acknowledged submission: the scheduler accepted the
@@ -87,10 +111,18 @@ type Cluster struct {
 
 	cfg ClusterConfig
 
-	mu     sync.Mutex
-	master *masterServices
-	nodes  map[string]*nodeHost
-	acked  []Ack
+	mu      sync.Mutex
+	master  *masterServices // single-master layout
+	core    *coreServices   // multi-master layout: the hub
+	masters []*masterHost   // multi-master layout: scheduler replicas
+	nodes   map[string]*nodeHost
+	acked   []Ack
+	rr      int // round-robin submit cursor (multi-master)
+
+	// Ledgers for invariant I5: every lease transition and every
+	// committed dispatch, in commit order.
+	shardEvents []scheduler.ShardEvent
+	dispatches  []scheduler.DispatchRecord
 }
 
 // NewCluster builds and starts a cluster with chaos disabled; call
@@ -106,6 +138,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("simgrid: ClusterConfig.DataDir is required")
 	}
+	if cfg.Masters > 1 {
+		if cfg.Shards <= 0 {
+			cfg.Shards = 2 * cfg.Masters
+		}
+		if cfg.LeaseTTL <= 0 {
+			cfg.LeaseTTL = 500 * time.Millisecond
+		}
+	}
 	c := &Cluster{
 		Chaos:   NewChaos(cfg.Seed),
 		Network: transport.NewNetwork(),
@@ -120,13 +160,39 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.Observer = newObserver(c.hostClient(ObserverHost))
 	c.Network.Register(ObserverHost, c.Observer.server)
 
-	if err := c.startMaster(); err != nil {
+	if cfg.Masters > 1 {
+		if err := c.startCore(); err != nil {
+			return nil, err
+		}
+		for i := 0; i < cfg.Masters; i++ {
+			if err := c.startMasterN(i); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := c.startMaster(); err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
+	// Machines join in parallel — a multi-master scenario runs hundreds
+	// of them — with concurrency capped so store opens do not stampede.
+	// Registration order was never part of the determinism contract
+	// (chaos counters only start once the engine is enabled).
+	sem := make(chan struct{}, 32)
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Nodes)
 	for i := 1; i <= cfg.Nodes; i++ {
-		if err := c.startNode(ctx, fmt.Sprintf("node-%d", i)); err != nil {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i-1] = c.startNode(ctx, fmt.Sprintf("node-%d", i))
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -138,6 +204,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 // idempotent actions, over a chaos-wrapped transport. Jitter is
 // disabled so a replayed seed retries on the same schedule.
 func (c *Cluster) hostClient(host string) *transport.Client {
+	return c.clientWith(host, nil)
+}
+
+// clientWith is hostClient plus two optional behaviors: a fence that
+// kills every outbound message once the host's incarnation is crashed
+// (a multi-master replica keeps no store of its own, so SIGKILL is
+// "all its I/O fails" rather than "its store closes"), and the
+// configured constant wire delay on cross-host messages.
+func (c *Cluster) clientWith(host string, f *fence) *transport.Client {
 	client := transport.NewClient().WithNetwork(c.Network)
 	client.Use(
 		pipeline.ClientRequestID(),
@@ -151,8 +226,20 @@ func (c *Cluster) hostClient(host string) *transport.Client {
 		}),
 	)
 	decide := c.Chaos.FaultFunc(host)
+	wire := c.cfg.WireDelay
 	client.WrapSchemes(func(_ string, rt transport.RoundTripper) transport.RoundTripper {
-		return transport.WrapFaults(rt, decide)
+		return transport.WrapFaults(rt, func(op transport.FaultOp, addr string) transport.FaultDecision {
+			if f != nil && f.dead.Load() {
+				return transport.FaultDecision{Err: errMasterDead}
+			}
+			d := decide(op, addr)
+			if wire > 0 && d.Err == nil && !d.Drop {
+				if dst, _ := splitAddr(addr); dst != host {
+					d.Delay += wire
+				}
+			}
+			return d
+		})
 	})
 	return client
 }
@@ -196,13 +283,14 @@ func (c *Cluster) startMaster() error {
 		return err
 	}
 	ss, err := scheduler.New(scheduler.Config{
-		Address:    addr,
-		Home:       wsrf.NewStateHome(store.MustTable("jobsets", resourcedb.BlobCodec{})),
-		Client:     client,
-		NIS:        nis.EPR(),
-		Broker:     broker.EPR(),
-		JobTimeout: c.cfg.JobTimeout,
-		CatalogTTL: c.cfg.CatalogTTL,
+		Address:             addr,
+		Home:                wsrf.NewStateHome(store.MustTable("jobsets", resourcedb.BlobCodec{})),
+		Client:              client,
+		NIS:                 nis.EPR(),
+		Broker:              broker.EPR(),
+		JobTimeout:          c.cfg.JobTimeout,
+		CatalogTTL:          c.cfg.CatalogTTL,
+		MaxInflightDispatch: c.cfg.MaxInflight,
 	})
 	if err != nil {
 		return err
@@ -235,7 +323,6 @@ func (c *Cluster) startNode(ctx context.Context, name string) error {
 		return fmt.Errorf("simgrid: open %s store: %w", name, err)
 	}
 	client := c.hostClient(name)
-	m := c.Master()
 	n, err := node.New(node.Config{
 		Interceptors: serverInterceptors(),
 		Name:         name,
@@ -244,8 +331,8 @@ func (c *Cluster) startNode(ctx context.Context, name string) error {
 		Cores:        2,
 		SpeedMHz:     2000,
 		UnitTime:     5 * time.Microsecond,
-		Broker:       m.broker.EPR(),
-		NIS:          m.nis.EPR(),
+		Broker:       c.brokerEPR(),
+		NIS:          c.nisEPR(),
 		Store:        store.Store,
 	})
 	if err != nil {
@@ -268,10 +355,10 @@ func (c *Cluster) startNode(ctx context.Context, name string) error {
 	return nil
 }
 
-// nisKnows reports whether the NIS catalog (read locally on the master)
+// nisKnows reports whether the NIS catalog (read locally on its host)
 // already lists host from an earlier incarnation.
 func (c *Cluster) nisKnows(ctx context.Context, host string) bool {
-	procs, err := c.Master().nis.Processors()
+	procs, err := c.nisService().Processors()
 	if err != nil {
 		return false
 	}
@@ -283,15 +370,45 @@ func (c *Cluster) nisKnows(ctx context.Context, host string) bool {
 	return false
 }
 
-// Master returns the current master incarnation.
+// Master returns the current master incarnation (single-master layout).
 func (c *Cluster) Master() *masterServices {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.master
 }
 
-// Scheduler returns the current scheduler instance.
-func (c *Cluster) Scheduler() *scheduler.Service { return c.Master().ss }
+// Scheduler returns the current scheduler instance. In the multi-master
+// layout it is replica 1's; prefer SchedulerN there.
+func (c *Cluster) Scheduler() *scheduler.Service {
+	if c.MultiMaster() {
+		return c.SchedulerN(0)
+	}
+	return c.Master().ss
+}
+
+// brokerEPR locates the Notification Broker, wherever the layout put it.
+func (c *Cluster) brokerEPR() wsa.EndpointReference {
+	if c.MultiMaster() {
+		return c.core.broker.EPR()
+	}
+	return c.Master().broker.EPR()
+}
+
+// nisEPR locates the Node Info Service.
+func (c *Cluster) nisEPR() wsa.EndpointReference {
+	if c.MultiMaster() {
+		return c.core.nis.EPR()
+	}
+	return c.Master().nis.EPR()
+}
+
+// nisService returns the in-process NIS handle for local catalog reads.
+func (c *Cluster) nisService() *nodeinfo.Service {
+	if c.MultiMaster() {
+		return c.core.nis
+	}
+	return c.Master().nis
+}
 
 // NodeNames lists the execution machines.
 func (c *Cluster) NodeNames() []string {
@@ -346,8 +463,13 @@ func (c *Cluster) RestartNode(ctx context.Context, name string) error {
 // Submit publishes nothing itself — apps must already be on the observer
 // file server — it sends the Submit and retries a few times under
 // chaos. Only a parsed response counts as an ack; a created-but-unacked
-// set is invariant I1's problem, not I3's.
+// set is invariant I1's problem, not I3's. In the multi-master layout
+// it round-robins over the replicas and follows WrongShardFault
+// redirects the way a sharded gridsub does.
 func (c *Cluster) Submit(ctx context.Context, spec *scheduler.JobSetSpec) (Ack, error) {
+	if c.MultiMaster() {
+		return c.submitMulti(ctx, spec)
+	}
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
 		resp, err := c.Observer.client.Call(ctx, c.Scheduler().EPR(), scheduler.ActionSubmit,
@@ -380,10 +502,17 @@ func (c *Cluster) Acked() []Ack {
 	return append([]Ack(nil), c.acked...)
 }
 
-// JobSetDocs projects every persisted job-set resource on the current
-// master — the ground truth the invariants read.
+// JobSetDocs projects every persisted job-set resource — the ground
+// truth the invariants read. In the multi-master layout the shared
+// jobsets table on the core is read directly, so crashed replicas
+// cannot hide documents.
 func (c *Cluster) JobSetDocs() []scheduler.JobSetView {
-	home := c.Scheduler().WSRF().Home()
+	var home wsrf.ResourceHome
+	if c.MultiMaster() {
+		home = wsrf.NewStateHome(c.core.jobsets)
+	} else {
+		home = c.Scheduler().WSRF().Home()
+	}
 	var views []scheduler.JobSetView
 	for _, id := range home.IDs() {
 		doc, err := home.Load(id)
@@ -437,8 +566,9 @@ func isTerminalSet(status string) bool {
 	return false
 }
 
-// Close tears the cluster down: nodes stop, stores close, the observer's
-// drain loop exits. Crash-closed stores close twice harmlessly.
+// Close tears the cluster down: nodes stop, stores close, lease loops
+// cancel, the observer's drain loop exits. Crash-closed stores close
+// twice harmlessly.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	nodes := make([]*nodeHost, 0, len(c.nodes))
@@ -446,13 +576,23 @@ func (c *Cluster) Close() {
 		nodes = append(nodes, h)
 	}
 	m := c.master
+	core := c.core
+	masters := append([]*masterHost(nil), c.masters...)
 	c.mu.Unlock()
+	for _, mh := range masters {
+		if mh != nil {
+			mh.cancel()
+		}
+	}
 	for _, h := range nodes {
 		h.node.Stop()
 		_ = h.store.Close()
 	}
 	if m != nil {
 		_ = m.store.Close()
+	}
+	if core != nil {
+		_ = core.store.Close()
 	}
 	c.Observer.stop()
 }

@@ -6,7 +6,7 @@ import (
 	"uvacg/internal/services/scheduler"
 )
 
-// CheckInvariants audits a quiesced cluster against the four safety and
+// CheckInvariants audits a quiesced cluster against the five safety and
 // liveness properties every chaos run must uphold, returning one message
 // per violation (empty means the run passed).
 //
@@ -24,6 +24,12 @@ import (
 //	    subscribed listener observed a terminal job-set event, across
 //	    broker restarts (subscriptions are durable) and scheduler
 //	    crash/republish.
+//	I5  Single-writer sharding (multi-master only): no shard was ever
+//	    scheduled by two masters concurrently. Every dispatch carries
+//	    the lease epoch it was committed under; within a shard, the
+//	    epoch must never regress along the dispatch ledger and one
+//	    epoch must never be shared by two owners. At quiescence at
+//	    most one live master still holds each shard.
 func CheckInvariants(c *Cluster, sc *Scenario) []string {
 	var violations []string
 	docs := c.JobSetDocs()
@@ -99,6 +105,60 @@ func CheckInvariants(c *Cluster, sc *Scenario) []string {
 		if !terminal[ack.Topic] {
 			violations = append(violations,
 				fmt.Sprintf("I4: acked submission %s (topic %s) never delivered a terminal notification", ack.Name, ack.Topic))
+		}
+	}
+
+	// I5: the dispatch ledger proves the single-writer property. The
+	// grace period real-time-separates an old owner's last dispatch
+	// from the claimant's first, so ledger (commit) order within a
+	// shard must show non-decreasing epochs, and a given (shard,epoch)
+	// pair must belong to exactly one owner. Epoch-0 records are
+	// skipped: they mark the benign sliver where a lease lapsed between
+	// the dispatch fence and the epoch read — still inside the grace
+	// window, so no peer could have owned the shard yet.
+	if c.MultiMaster() {
+		type shardEpoch struct {
+			shard int
+			epoch uint64
+		}
+		ownerAt := make(map[shardEpoch]string)
+		lastEpoch := make(map[int]uint64)
+		for _, d := range c.Dispatches() {
+			if d.Epoch == 0 {
+				continue
+			}
+			k := shardEpoch{d.Shard, d.Epoch}
+			if prev, ok := ownerAt[k]; ok && prev != d.Owner {
+				violations = append(violations,
+					fmt.Sprintf("I5: shard %d epoch %d dispatched by both %s and %s", d.Shard, d.Epoch, prev, d.Owner))
+			}
+			ownerAt[k] = d.Owner
+			if d.Epoch < lastEpoch[d.Shard] {
+				violations = append(violations,
+					fmt.Sprintf("I5: shard %d epoch regressed %d -> %d (dispatch %s/%s by %s)",
+						d.Shard, lastEpoch[d.Shard], d.Epoch, d.Topic, d.Job, d.Owner))
+			}
+			lastEpoch[d.Shard] = d.Epoch
+		}
+		// Acquisitions in the lease ledger must carry strictly
+		// increasing epochs per shard: every ownership change is fenced.
+		lastAcq := make(map[int]uint64)
+		for _, ev := range c.ShardEvents() {
+			if !ev.Acquired {
+				continue
+			}
+			if ev.Epoch <= lastAcq[ev.Shard] {
+				violations = append(violations,
+					fmt.Sprintf("I5: shard %d acquired at epoch %d after epoch %d (owner %s)",
+						ev.Shard, ev.Epoch, lastAcq[ev.Shard], ev.Owner))
+			}
+			lastAcq[ev.Shard] = ev.Epoch
+		}
+		for shard := 0; shard < c.Shards(); shard++ {
+			if holders := c.LiveHolders(shard); len(holders) > 1 {
+				violations = append(violations,
+					fmt.Sprintf("I5: shard %d held by %d live masters at quiescence: %v", shard, len(holders), holders))
+			}
 		}
 	}
 	return violations

@@ -1,0 +1,327 @@
+package simgrid
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"uvacg/internal/lease"
+	"uvacg/internal/procspawn"
+	"uvacg/internal/services/scheduler"
+)
+
+// nameOwnedBy brute-forces a job-set name whose shard is preferred by
+// replica idx (0-based) in the static layout.
+func nameOwnedBy(idx, masters, shards int, tag string) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s-%d", tag, i)
+		if lease.ShardOf(name, shards)%masters == idx {
+			return name
+		}
+	}
+}
+
+// twoLayerSpec is one a→b DAG: a computes and writes out.txt, b reads
+// it. The apps are published once per cluster under fixed names.
+func twoLayerSpec(name string) *scheduler.JobSetSpec {
+	return &scheduler.JobSetSpec{Name: name, Jobs: []scheduler.JobSpec{
+		{Name: "a", Executable: "local://layer-a.app", Outputs: []string{"out.txt"}},
+		{Name: "b", Executable: "local://layer-b.app",
+			Inputs: []scheduler.FileSpec{{LocalName: "in_a.txt", Source: "a://out.txt"}}},
+	}}
+}
+
+func publishLayerApps(c *Cluster) {
+	c.Observer.Files.Publish("layer-a.app", procspawn.BuildScript("compute 200000", "write out.txt ok", "exit 0"))
+	c.Observer.Files.Publish("layer-b.app", procspawn.BuildScript("read in_a.txt", "exit 0"))
+}
+
+// waitObserved polls the observer's event log for one (topic, job,
+// kind) triple.
+func waitObserved(t *testing.T, c *Cluster, topic, job, kind string, deadline time.Duration) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		for _, ev := range c.Observer.Events() {
+			if ev.Set == topic && ev.Job == job && ev.Kind == kind {
+				return
+			}
+		}
+		if time.Now().After(end) {
+			t.Fatalf("event %s/%s %s never observed", topic, job, kind)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// dispatchOwners splits one topic's ledger entries by owner, returning
+// owner → the lease epochs it dispatched under.
+func dispatchOwners(c *Cluster, topic string) map[string][]uint64 {
+	out := make(map[string][]uint64)
+	for _, d := range c.Dispatches() {
+		if d.Topic == topic {
+			out[d.Owner] = append(out[d.Owner], d.Epoch)
+		}
+	}
+	return out
+}
+
+// TestMultiMasterFailoverMidLayer is the acceptance drill: two masters
+// split the shard space, one is killed between a set's first and
+// second DAG layer, and the survivor must claim the orphaned shard,
+// recover the set from the shared documents and drive it to
+// completion — with all five invariants holding and the dispatch
+// ledger showing both owners under distinct, increasing epochs.
+func TestMultiMasterFailoverMidLayer(t *testing.T) {
+	const masters, shards = 2, 4
+	c, err := NewCluster(ClusterConfig{
+		Seed: 11, Nodes: 3, DataDir: t.TempDir(),
+		Masters: masters, Shards: shards, LeaseTTL: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	publishLayerApps(c)
+
+	spec := twoLayerSpec(nameOwnedBy(0, masters, shards, "failset"))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ack, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the owner once layer one is running: the set is mid-flight,
+	// its first job's exit event will land after the owner is gone.
+	waitObserved(t, c, ack.Topic, "a", "started", 15*time.Second)
+	c.CrashMasterN(0)
+
+	if err := c.AwaitQuiescence(30 * time.Second); err != nil {
+		t.Fatalf("cluster never quiesced after failover: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	v, ok := docFor(c, ack.Topic)
+	if !ok {
+		t.Fatalf("acked set (topic %s) lost across master failover", ack.Topic)
+	}
+	if v.Status != scheduler.SetCompleted {
+		t.Fatalf("failed-over set finished %q, want %q", v.Status, scheduler.SetCompleted)
+	}
+
+	// The survivor must now hold every shard (its own plus the dead
+	// master's, claimed after lease expiry and grace).
+	if owned := c.LeaseManagerN(1).Owned(); len(owned) != shards {
+		t.Fatalf("survivor owns %v, want all %d shards", owned, shards)
+	}
+
+	// Both incarnations dispatched this topic, under distinct epochs:
+	// the dead master's layer one, the survivor's recovery re-dispatch
+	// and layer two.
+	owners := dispatchOwners(c, ack.Topic)
+	if len(owners) != 2 {
+		t.Fatalf("dispatch ledger names %d owners for %s, want 2: %v", len(owners), ack.Topic, owners)
+	}
+	dead, survivor := c.masterEPR(0).Address, c.masterEPR(1).Address
+	for _, de := range owners[dead] {
+		for _, se := range owners[survivor] {
+			if se <= de && se != 0 && de != 0 {
+				t.Fatalf("survivor epoch %d not above dead master's %d", se, de)
+			}
+		}
+	}
+
+	sc := &Scenario{Sets: []*scheduler.JobSetSpec{spec}, Masters: masters, Shards: shards}
+	if violations := CheckInvariants(c, sc); len(violations) != 0 {
+		t.Fatalf("invariants violated after failover: %v", violations)
+	}
+}
+
+// TestPartitionedMasterFencesAndRejoins pins the partition half of the
+// lease protocol at cluster level: a master cut off from the core (so
+// its renewals fail) must fence itself on its local clock, the peer
+// claims its shard after the grace period and finishes the orphaned
+// set, and when the partition heals the returning master must observe
+// the lost lease — no reclaim, no late dispatches, misrouted submits
+// redirected to the new owner.
+func TestPartitionedMasterFencesAndRejoins(t *testing.T) {
+	const masters, shards = 2, 2
+	ttl := 300 * time.Millisecond
+	c, err := NewCluster(ClusterConfig{
+		Seed: 12, Nodes: 2, DataDir: t.TempDir(),
+		Masters: masters, Shards: shards, LeaseTTL: ttl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	publishLayerApps(c)
+
+	spec := twoLayerSpec(nameOwnedBy(0, masters, shards, "cutset"))
+	shard := lease.ShardOf(spec.Name, shards)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ack, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitObserved(t, c, ack.Topic, "a", "started", 15*time.Second)
+
+	// Cut master-1 off from the core: broker events stop arriving and
+	// lease renewals fail, so its leases lapse on its own clock.
+	c.Chaos.Enable(true)
+	c.Chaos.PartitionBoth(MasterName(1), CoreHost)
+
+	if err := c.AwaitQuiescence(30 * time.Second); err != nil {
+		t.Fatalf("set never finished on the surviving master: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if v, _ := docFor(c, ack.Topic); v.Status != scheduler.SetCompleted {
+		t.Fatalf("set finished %q under the new owner, want %q", v.Status, scheduler.SetCompleted)
+	}
+
+	c.Chaos.Heal(MasterName(1), CoreHost)
+	c.Chaos.Heal(CoreHost, MasterName(1))
+	// Give the returned master a few maintenance ticks: it must see the
+	// shard live at the peer and stay out.
+	time.Sleep(4 * ttl)
+	c.Chaos.Enable(false)
+
+	if c.LeaseManagerN(0).Held(shard) {
+		t.Fatal("partitioned master reclaimed the shard it lost")
+	}
+	if !c.LeaseManagerN(1).Held(shard) {
+		t.Fatal("surviving master dropped the shard it took over")
+	}
+
+	// The returning master's dispatches all predate the takeover: every
+	// epoch it dispatched under is below the peer's takeover epoch.
+	owners := dispatchOwners(c, ack.Topic)
+	cut, peer := c.masterEPR(0).Address, c.masterEPR(1).Address
+	if len(owners[peer]) == 0 {
+		t.Fatal("peer never dispatched the recovered set")
+	}
+	for _, ce := range owners[cut] {
+		for _, pe := range owners[peer] {
+			if ce != 0 && pe != 0 && ce >= pe {
+				t.Fatalf("cut master dispatched at epoch %d, not below peer's %d", ce, pe)
+			}
+		}
+	}
+
+	// A misrouted submit for the lost shard must come back as a typed
+	// redirect naming the new owner.
+	fresh := &scheduler.JobSetSpec{Name: nameOwnedBy(0, masters, shards, "cutset-fresh"),
+		Jobs: []scheduler.JobSpec{{Name: "q", Executable: "local://layer-b.app"}}}
+	_, err = c.Observer.client.Call(ctx, c.masterEPR(0), scheduler.ActionSubmit,
+		scheduler.SubmitRequest(fresh, c.Observer.FilesEPR(), c.Observer.ListenerEPR()))
+	if err == nil {
+		t.Fatal("fenced master accepted a submit for a shard it no longer owns")
+	}
+	epr, ok := scheduler.RedirectTarget(err)
+	if !ok {
+		t.Fatalf("want WrongShardFault redirect, got: %v", err)
+	}
+	if epr.Address != peer {
+		t.Fatalf("redirect names %s, want the new owner %s", epr.Address, peer)
+	}
+
+	sc := &Scenario{Sets: []*scheduler.JobSetSpec{spec}, Masters: masters, Shards: shards}
+	if violations := CheckInvariants(c, sc); len(violations) != 0 {
+		t.Fatalf("invariants violated across the partition: %v", violations)
+	}
+}
+
+// TestMultiMasterSubmitRedirect is the wrong-shard regression at
+// cluster level: a submit aimed at the wrong replica comes back as a
+// typed WrongShardFault whose Originator is the owner, and the
+// cluster's redirect-following Submit lands it there transparently.
+func TestMultiMasterSubmitRedirect(t *testing.T) {
+	const masters, shards = 2, 4
+	c, err := NewCluster(ClusterConfig{
+		Seed: 13, Nodes: 1, DataDir: t.TempDir(),
+		Masters: masters, Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Observer.Files.Publish("quick.app", procspawn.BuildScript("exit 0"))
+
+	// A set owned by master-2, aimed at master-1.
+	spec := &scheduler.JobSetSpec{Name: nameOwnedBy(1, masters, shards, "redirset"),
+		Jobs: []scheduler.JobSpec{{Name: "q", Executable: "local://quick.app"}}}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err = c.Observer.client.Call(ctx, c.masterEPR(0), scheduler.ActionSubmit,
+		scheduler.SubmitRequest(spec, c.Observer.FilesEPR(), c.Observer.ListenerEPR()))
+	if err == nil {
+		t.Fatal("wrong master accepted the submit")
+	}
+	epr, ok := scheduler.RedirectTarget(err)
+	if !ok {
+		t.Fatalf("want WrongShardFault redirect, got: %v", err)
+	}
+	if want := c.masterEPR(1).Address; epr.Address != want {
+		t.Fatalf("redirect names %s, want %s", epr.Address, want)
+	}
+
+	// The cluster's Submit follows it end to end.
+	ack, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("redirect-following submit failed: %v", err)
+	}
+	if err := c.AwaitQuiescence(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := docFor(c, ack.Topic); v.Status != scheduler.SetCompleted {
+		t.Fatalf("redirected set finished %q", v.Status)
+	}
+}
+
+// TestHundredsOfNodes scales the harness to the paper's "grid" claim:
+// two masters, 160 execution machines joining in parallel, a batch of
+// sets spread across shards — everything registers, dispatches and
+// completes.
+func TestHundredsOfNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("160-node cluster is not a -short test")
+	}
+	const masters, nodes = 2, 160
+	c, err := NewCluster(ClusterConfig{
+		Seed: 14, Nodes: nodes, DataDir: t.TempDir(), Masters: masters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := len(c.NodeNames()); got != nodes {
+		t.Fatalf("%d machines joined, want %d", got, nodes)
+	}
+	c.Observer.Files.Publish("quick.app", procspawn.BuildScript("write out.txt ok", "exit 0"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var acks []Ack
+	for i := 0; i < 6; i++ {
+		spec := &scheduler.JobSetSpec{Name: fmt.Sprintf("wide-%d", i), Jobs: []scheduler.JobSpec{
+			{Name: "x", Executable: "local://quick.app", Outputs: []string{"out.txt"}},
+			{Name: "y", Executable: "local://quick.app", Outputs: []string{"out.txt"}},
+			{Name: "z", Executable: "local://quick.app", Outputs: []string{"out.txt"}},
+		}}
+		ack, err := c.Submit(ctx, spec)
+		if err != nil {
+			t.Fatalf("submit %s: %v", spec.Name, err)
+		}
+		acks = append(acks, ack)
+	}
+	if err := c.AwaitQuiescence(60 * time.Second); err != nil {
+		t.Fatalf("wide cluster never quiesced: %v", err)
+	}
+	for _, ack := range acks {
+		if v, ok := docFor(c, ack.Topic); !ok || v.Status != scheduler.SetCompleted {
+			t.Fatalf("set %s finished %q", ack.Name, v.Status)
+		}
+	}
+}

@@ -21,12 +21,15 @@ var FaultProfiles = map[string]RouteFaults{
 
 // CrashPlan schedules one service kill and its rebirth.
 type CrashPlan struct {
-	Target  string // MasterHost or a node name
+	Target  string // MasterHost, a MasterName replica, or a node name
 	At      time.Duration
 	Restart time.Duration // after the crash
 }
 
-// PartitionPlan cuts a node off from the master both ways, then heals.
+// PartitionPlan cuts a host off from the cluster hub both ways, then
+// heals. The hub is the master in the single-master layout and the
+// core in the multi-master one; the cut host may itself be a master
+// replica, which severs its lease renewals too.
 type PartitionPlan struct {
 	Node string
 	At   time.Duration
@@ -39,6 +42,8 @@ type PartitionPlan struct {
 type Scenario struct {
 	Seed       int64
 	Nodes      int
+	Masters    int // 1 = classic layout; ≥2 = sharded multi-master
+	Shards     int // shard ring size when Masters ≥ 2
 	Sets       []*scheduler.JobSetSpec
 	Apps       map[string][]byte // file name → script published on the observer
 	Profile    string
@@ -49,6 +54,14 @@ type Scenario struct {
 	failing map[string]bool
 }
 
+// hub names the host every partition plan cuts against.
+func (sc *Scenario) hub() string {
+	if sc.Masters > 1 {
+		return CoreHost
+	}
+	return MasterHost
+}
+
 // Generate derives the scenario for a seed. It is a pure function: the
 // same seed always yields a byte-identical Transcript, which is the
 // determinism contract the tests pin.
@@ -57,6 +70,7 @@ func Generate(seed int64) *Scenario {
 	sc := &Scenario{
 		Seed:    seed,
 		Nodes:   1 + r.Intn(3),
+		Masters: 1,
 		Apps:    make(map[string][]byte),
 		failing: make(map[string]bool),
 	}
@@ -117,6 +131,33 @@ func Generate(seed int64) *Scenario {
 			Heal: time.Duration(100+r.Intn(150)) * time.Millisecond,
 		})
 	}
+
+	// Multi-master draws come last so the single-master prefix of every
+	// seed's random stream is unchanged by the sharded layout's arrival.
+	if r.Float64() < 0.35 {
+		sc.Masters = 2 + r.Intn(2)
+		sc.Shards = 2 * sc.Masters
+		// A generic master crash becomes one specific replica's, and its
+		// restart stretches so some runs exercise lease-expiry failover
+		// (restart after TTL+grace) and others a quick self-reclaim.
+		for i := range sc.Crashes {
+			if sc.Crashes[i].Target == MasterHost {
+				sc.Crashes[i].Target = MasterName(1 + r.Intn(sc.Masters))
+				sc.Crashes[i].Restart = time.Duration(150+r.Intn(1200)) * time.Millisecond
+			}
+		}
+		// A master partition severs lease renewals too: the cut replica
+		// must fence itself on its local clock while a peer takes its
+		// shards. Heal exceeds TTL+grace (750ms at the simulated 500ms
+		// TTL) so the takeover completes before the replica returns.
+		if r.Float64() < 0.30 {
+			sc.Partitions = append(sc.Partitions, PartitionPlan{
+				Node: MasterName(1 + r.Intn(sc.Masters)),
+				At:   time.Duration(80+r.Intn(200)) * time.Millisecond,
+				Heal: time.Duration(1200+r.Intn(600)) * time.Millisecond,
+			})
+		}
+	}
 	return sc
 }
 
@@ -124,7 +165,11 @@ func Generate(seed int64) *Scenario {
 // the replayable record that must be byte-identical for a given seed.
 func (sc *Scenario) Transcript() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "seed=%d nodes=%d profile=%s\n", sc.Seed, sc.Nodes, sc.Profile)
+	fmt.Fprintf(&b, "seed=%d nodes=%d profile=%s", sc.Seed, sc.Nodes, sc.Profile)
+	if sc.Masters > 1 {
+		fmt.Fprintf(&b, " masters=%d shards=%d", sc.Masters, sc.Shards)
+	}
+	b.WriteString("\n")
 	for _, set := range sc.Sets {
 		fmt.Fprintf(&b, "set %s:", set.Name)
 		for _, j := range set.Jobs {
@@ -145,7 +190,7 @@ func (sc *Scenario) Transcript() string {
 		fmt.Fprintf(&b, "crash %s at=%v restart=%v\n", cr.Target, cr.At, cr.Restart)
 	}
 	for _, p := range sc.Partitions {
-		fmt.Fprintf(&b, "partition %s<->master at=%v heal=%v\n", p.Node, p.At, p.Heal)
+		fmt.Fprintf(&b, "partition %s<->%s at=%v heal=%v\n", p.Node, sc.hub(), p.At, p.Heal)
 	}
 	return b.String()
 }
@@ -157,6 +202,10 @@ type RunOptions struct {
 	// Faults, when non-empty, overrides the scenario's generated fault
 	// profile with a named one from FaultProfiles.
 	Faults string
+	// Masters, when positive, overrides the generated master count
+	// (the gridsim -masters flag); crash and partition targets naming
+	// replicas that no longer exist are remapped or dropped.
+	Masters int
 	// Quiescence bounds the terminal wait (default 30s).
 	Quiescence time.Duration
 }
@@ -177,18 +226,27 @@ func (r Result) Failed() bool { return r.Err != nil || len(r.Violations) > 0 }
 
 // RunSeed generates the scenario for a seed and drives it end to end:
 // build the cluster, arm the crash/partition schedule, submit every job
-// set under chaos, wait for quiescence, then check all four invariants.
+// set under chaos, wait for quiescence, then check all five invariants.
 func RunSeed(seed int64, opts RunOptions) Result {
 	sc := Generate(seed)
 	if opts.Faults != "" {
 		sc.Profile = opts.Faults
+	}
+	if opts.Masters > 0 && opts.Masters != sc.Masters {
+		sc.retargetMasters(opts.Masters)
 	}
 	if opts.Quiescence == 0 {
 		opts.Quiescence = 30 * time.Second
 	}
 	res := Result{Seed: seed, Transcript: sc.Transcript()}
 
-	cluster, err := NewCluster(ClusterConfig{Seed: seed, Nodes: sc.Nodes, DataDir: opts.Dir})
+	cluster, err := NewCluster(ClusterConfig{
+		Seed:    seed,
+		Nodes:   sc.Nodes,
+		DataDir: opts.Dir,
+		Masters: sc.Masters,
+		Shards:  sc.Shards,
+	})
 	if err != nil {
 		res.Err = err
 		return res
@@ -211,17 +269,22 @@ func RunSeed(seed int64, opts RunOptions) Result {
 				time.Sleep(wait)
 			}
 		}
+		hub := sc.hub()
 		for _, p := range sc.Partitions {
 			at(p.At)
-			cluster.Chaos.PartitionBoth(p.Node, MasterHost)
+			cluster.Chaos.PartitionBoth(p.Node, hub)
 			time.Sleep(p.Heal)
-			cluster.Chaos.Heal(p.Node, MasterHost)
-			cluster.Chaos.Heal(MasterHost, p.Node)
+			cluster.Chaos.Heal(p.Node, hub)
+			cluster.Chaos.Heal(hub, p.Node)
 		}
 		for _, cr := range sc.Crashes {
 			at(cr.At)
 			ctx, cancel := newRestartContext()
-			if cr.Target == MasterHost {
+			if idx, ok := masterIndex(cr.Target); ok {
+				cluster.CrashMasterN(idx)
+				time.Sleep(cr.Restart)
+				_ = cluster.RestartMasterN(ctx, idx)
+			} else if cr.Target == MasterHost {
 				cluster.CrashMaster()
 				time.Sleep(cr.Restart)
 				_ = cluster.RestartMaster(ctx)
@@ -257,6 +320,40 @@ func RunSeed(seed int64, opts RunOptions) Result {
 	}
 	res.Decisions = cluster.Chaos.Decisions()
 	return res
+}
+
+// retargetMasters reshapes the scenario for an overridden master
+// count: the shard ring resizes, master fault targets are remapped
+// onto replicas that exist, and replica-specific plans that make no
+// sense in the single-master layout fold back onto it or drop.
+func (sc *Scenario) retargetMasters(masters int) {
+	sc.Masters = masters
+	sc.Shards = 0
+	if masters > 1 {
+		sc.Shards = 2 * masters
+	}
+	for i := range sc.Crashes {
+		idx, ok := masterIndex(sc.Crashes[i].Target)
+		if !ok && sc.Crashes[i].Target != MasterHost {
+			continue
+		}
+		if masters > 1 {
+			sc.Crashes[i].Target = MasterName(idx%masters + 1)
+		} else {
+			sc.Crashes[i].Target = MasterHost
+		}
+	}
+	kept := sc.Partitions[:0]
+	for _, p := range sc.Partitions {
+		if idx, ok := masterIndex(p.Node); ok {
+			if masters <= 1 {
+				continue // a hub cannot partition from itself
+			}
+			p.Node = MasterName(idx%masters + 1)
+		}
+		kept = append(kept, p)
+	}
+	sc.Partitions = kept
 }
 
 func newRestartContext() (context.Context, context.CancelFunc) {
