@@ -50,6 +50,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshot): every state change is journaled and survives a crash; overrides -snapshot")
 	fsync := flag.Bool("fsync", true, "fsync each WAL group commit (with -data-dir); off trades machine-crash safety for throughput")
 	compactBytes := flag.Int64("compact-bytes", 8<<20, "WAL bytes that trigger background snapshot compaction (with -data-dir); negative disables")
+	walFlushWindow := flag.Duration("wal-flush-window", 0, "adaptive WAL group-commit linger: how long a flush leader waits for concurrent committers before fsyncing a lone record (0 disables)")
+	noFastCodec := flag.Bool("nofastcodec", false, "disable the streaming SOAP fast-path codec; every envelope goes through encoding/xml")
 	jobTimeout := flag.Duration("job-timeout", 0, "fail dispatched jobs with no completion inside this window (0 disables)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent job dispatches (0 = default 8, 1 = serial)")
 	catalogTTL := flag.Duration("catalog-ttl", 0, "processor-catalog cache staleness bound (0 = default 2s, negative = poll NIS per dispatch)")
@@ -63,6 +65,9 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 5*time.Second, "shard lease duration in -peers mode; bounds how long a crashed master's claims outlive it")
 	flag.Parse()
 
+	if *noFastCodec {
+		soap.SetFastCodec(false)
+	}
 	port := portOf(*addr)
 	address := fmt.Sprintf("http://%s:%s", *host, port)
 	client := transport.NewClient()
@@ -95,6 +100,7 @@ func main() {
 		durable, err = resourcedb.OpenDurable(*dataDir, resourcedb.DurableOptions{
 			Sync:         *fsync,
 			CompactBytes: *compactBytes,
+			FlushWindow:  *walFlushWindow,
 			Metrics:      metrics,
 		})
 		if err != nil {

@@ -46,6 +46,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshot): job and directory resources survive a crash")
 	fsync := flag.Bool("fsync", true, "fsync each WAL group commit (with -data-dir)")
 	compactBytes := flag.Int64("compact-bytes", 8<<20, "WAL bytes that trigger background snapshot compaction (with -data-dir); negative disables")
+	walFlushWindow := flag.Duration("wal-flush-window", 0, "adaptive WAL group-commit linger: how long a flush leader waits for concurrent committers before fsyncing a lone record (0 disables)")
+	noFastCodec := flag.Bool("nofastcodec", false, "disable the streaming SOAP fast-path codec; every envelope goes through encoding/xml")
 	metricsFlag := flag.Bool("metrics", false, "dump per-action call metrics on shutdown")
 	retries := flag.Int("retries", 1, "max attempts for idempotent outbound calls (1 disables retry)")
 	trace := flag.Bool("trace", false, "log one line per call with its request ID")
@@ -54,6 +56,9 @@ func main() {
 	flag.Parse()
 	if *name == "" {
 		log.Fatal("gridnode: -name is required")
+	}
+	if *noFastCodec {
+		soap.SetFastCodec(false)
 	}
 
 	port := (*addr)[strings.LastIndex(*addr, ":")+1:]
@@ -89,6 +94,7 @@ func main() {
 		durable, err = resourcedb.OpenDurable(*dataDir, resourcedb.DurableOptions{
 			Sync:         *fsync,
 			CompactBytes: *compactBytes,
+			FlushWindow:  *walFlushWindow,
 			Metrics:      metrics,
 		})
 		if err != nil {

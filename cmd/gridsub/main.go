@@ -51,9 +51,14 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory: journals the submission so a restarted gridsub resumes following the job set instead of resubmitting")
 	fsync := flag.Bool("fsync", true, "fsync each WAL group commit (with -data-dir)")
 	compactBytes := flag.Int64("compact-bytes", 8<<20, "WAL bytes that trigger background snapshot compaction (with -data-dir); negative disables")
+	walFlushWindow := flag.Duration("wal-flush-window", 0, "adaptive WAL group-commit linger: how long a flush leader waits for concurrent committers before fsyncing a lone record (0 disables)")
+	noFastCodec := flag.Bool("nofastcodec", false, "disable the streaming SOAP fast-path codec; every envelope goes through encoding/xml")
 	flag.Parse()
 	if *jobsetPath == "" {
 		log.Fatal("gridsub: -jobset is required")
+	}
+	if *noFastCodec {
+		soap.SetFastCodec(false)
 	}
 
 	f, err := os.Open(*jobsetPath)
@@ -101,6 +106,7 @@ func main() {
 		durable, err := resourcedb.OpenDurable(*dataDir, resourcedb.DurableOptions{
 			Sync:         *fsync,
 			CompactBytes: *compactBytes,
+			FlushWindow:  *walFlushWindow,
 			Metrics:      metrics,
 		})
 		if err != nil {

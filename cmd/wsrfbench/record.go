@@ -35,6 +35,9 @@ type BenchRecord struct {
 	// WAL group commit, 4 concurrent writers, 256-byte values.
 	WALCommitFsyncUs  float64 `json:"wal_commit_fsync_us"`
 	WALCommitNosyncUs float64 `json:"wal_commit_nosync_us"`
+	// The same fsync commit at 8 concurrent committers: group commit
+	// should amortize the sync further, not degrade, as writers double.
+	WALCommitFsyncUs8W float64 `json:"wal_commit_fsync_us_8w"`
 
 	// E12: parallel dispatch over the catalog cache, 32 independent jobs.
 	DispatchJobsPerSec float64 `json:"dispatch_jobs_per_s"`
@@ -114,13 +117,15 @@ func recordBench(path string) error {
 
 	fmt.Println("  WAL group commit ...")
 	for _, c := range []struct {
-		mode string
-		out  *float64
+		mode    string
+		workers int
+		out     *float64
 	}{
-		{benchkit.ModeFsync, &rec.WALCommitFsyncUs},
-		{benchkit.ModeNosync, &rec.WALCommitNosyncUs},
+		{benchkit.ModeFsync, 4, &rec.WALCommitFsyncUs},
+		{benchkit.ModeNosync, 4, &rec.WALCommitNosyncUs},
+		{benchkit.ModeFsync, 8, &rec.WALCommitFsyncUs8W},
 	} {
-		res, err := benchkit.RunCommits(c.mode, iters(2000, 200), 256, 4)
+		res, err := benchkit.RunCommits(c.mode, iters(2000, 200), 256, c.workers)
 		if err != nil {
 			return err
 		}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 
+	"uvacg/internal/soap/fastcodec"
 	"uvacg/internal/xmlutil"
 )
 
@@ -44,13 +45,28 @@ func (BlobCodec) Name() string { return "blob" }
 // Indexable implements Codec.
 func (BlobCodec) Indexable() bool { return false }
 
-// Encode implements Codec.
+// Encode implements Codec. Blob rows ride the fast-path codec when the
+// document fits its recognized shape — rows are written on every
+// journaled Put, so this is squarely on the WAL hot path — and fall
+// back to encoding/xml otherwise. Both encodings decode identically
+// under either decoder, so rows written before and after the fast path
+// (or with it toggled off) interoperate.
 func (BlobCodec) Encode(doc *xmlutil.Element) ([]byte, error) {
+	if fastcodec.Enabled() {
+		if out, ok := fastcodec.AppendElement(nil, doc); ok {
+			return out, nil
+		}
+	}
 	return xmlutil.MarshalElement(doc)
 }
 
 // Decode implements Codec.
 func (BlobCodec) Decode(data []byte) (*xmlutil.Element, error) {
+	if fastcodec.Enabled() {
+		if root, ok := fastcodec.Decode(data); ok {
+			return root, nil
+		}
+	}
 	return xmlutil.UnmarshalElement(data)
 }
 

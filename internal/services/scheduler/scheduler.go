@@ -140,7 +140,11 @@ type Service struct {
 	sharding     *Sharding
 	onDispatch   func(rec DispatchRecord)
 
-	mu            sync.Mutex
+	// mu guards the maps below. Reader-heavy paths — the notification
+	// fan-in's run lookups, cancel/output queries, shard-owner routing —
+	// take the read side so they no longer serialize against each other
+	// behind Submit's writes.
+	mu            sync.RWMutex
 	runs          map[string]*run   // topic → run
 	runIDs        map[string]string // resource id → topic (for destroy eviction)
 	wired         bool              // consumer handler installed (at most once)
@@ -155,7 +159,7 @@ type Service struct {
 // catalog, refreshed by catalog-changed notifications and by the polls
 // the TTL forces when pushes stop arriving.
 type catalogCache struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	procs   []nodeinfo.Processor
 	updated time.Time
 	polls   int64 // GetProcessors RPCs attempted
@@ -642,9 +646,9 @@ func stopWatchdog(j *jobRun) {
 // cache is also breaking the poll path.
 func (s *Service) processors(ctx context.Context) ([]nodeinfo.Processor, error) {
 	if s.catalogTTL > 0 {
-		s.cat.mu.Lock()
+		s.cat.mu.RLock()
 		procs, updated := s.cat.procs, s.cat.updated
-		s.cat.mu.Unlock()
+		s.cat.mu.RUnlock()
 		if len(procs) > 0 && time.Since(updated) < s.catalogTTL {
 			return procs, nil
 		}
@@ -655,9 +659,9 @@ func (s *Service) processors(ctx context.Context) ([]nodeinfo.Processor, error) 
 	polled, err := nodeinfo.GetProcessorsVia(ctx, s.client, s.nis)
 	if err != nil {
 		if s.catalogTTL > 0 {
-			s.cat.mu.Lock()
+			s.cat.mu.RLock()
 			procs := s.cat.procs
-			s.cat.mu.Unlock()
+			s.cat.mu.RUnlock()
 			if len(procs) > 0 {
 				return procs, nil
 			}
@@ -686,8 +690,8 @@ func (s *Service) storeCatalog(procs []nodeinfo.Processor) {
 // CatalogStats reports how the dispatch path has been fed: NIS
 // GetProcessors polls attempted vs catalog-changed pushes applied.
 func (s *Service) CatalogStats() (polls, pushes int64) {
-	s.cat.mu.Lock()
-	defer s.cat.mu.Unlock()
+	s.cat.mu.RLock()
+	defer s.cat.mu.RUnlock()
 	return s.cat.polls, s.cat.pushes
 }
 
@@ -700,9 +704,9 @@ func (s *Service) ensureCatalogSubscription(ctx context.Context) {
 	if s.catalogTTL <= 0 {
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	done := s.catSubscribed
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if done {
 		return
 	}
@@ -780,9 +784,9 @@ func (s *Service) onNotification(ctx context.Context, n wsn.Notification) {
 		return
 	}
 	topic := segs[0]
-	s.mu.Lock()
+	s.mu.RLock()
 	r := s.runs[topic]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if r == nil {
 		return
 	}
@@ -903,9 +907,9 @@ func (s *Service) failJob(ctx context.Context, r *run, jobName, reason string) {
 // handleCancel aborts a job set on client request.
 func (s *Service) handleCancel(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
 	topic := inv.Property(QTopic)
-	s.mu.Lock()
+	s.mu.RLock()
 	r := s.runs[topic]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if r == nil {
 		return nil, wsrf.NewBaseFault("NoSuchJobSetFault", "job set %q has no active run", inv.ResourceID).SOAPFault(soap.CodeSender)
 	}
@@ -1091,9 +1095,9 @@ func (s *Service) onSetDestroyed(id string) {
 // OutputDirectory reports where a job's outputs live, once known —
 // clients use it to retrieve result files.
 func (s *Service) OutputDirectory(topic, jobName string) (wsa.EndpointReference, bool) {
-	s.mu.Lock()
+	s.mu.RLock()
 	r := s.runs[topic]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if r == nil {
 		return wsa.EndpointReference{}, false
 	}

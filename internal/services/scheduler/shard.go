@@ -148,9 +148,9 @@ func (s *Service) shardOwner(shard int) (wsa.EndpointReference, bool) {
 	if rec, ok, err := s.sharding.Manager.OwnerOf(shard); err == nil && ok && rec.Owner != "" && rec.Owner != self {
 		return wsa.NewEPR(rec.Owner), true
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	cached := s.shardOwners[shard]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if cached != "" && cached != self {
 		return wsa.NewEPR(cached), true
 	}

@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
+	"uvacg/internal/soap/fastcodec"
 	"uvacg/internal/xmlutil"
 )
 
@@ -99,14 +101,105 @@ func (e *Envelope) Clone() *Envelope {
 	return out
 }
 
+// SetFastCodec enables or disables the hand-rolled fastcodec path under
+// Marshal, AppendTo, MarshalTo and Unmarshal (and the resourcedb blob
+// codec) process-wide. The fast path is semantically equivalent to the
+// encoding/xml path (enforced by FuzzCodecEquivalence in
+// internal/soap/fastcodec); the switch exists so a suspected codec bug
+// can be ruled out in production without a rebuild (-nofastcodec).
+func SetFastCodec(enabled bool) { fastcodec.SetEnabled(enabled) }
+
+// FastCodecEnabled reports whether the fast-path codec is active.
+func FastCodecEnabled() bool { return fastcodec.Enabled() }
+
+// maxEnvelopeBytes bounds how much soap.Read (and the transport request
+// readers that feed Unmarshal) will buffer for one envelope. A corrupt
+// or malicious peer otherwise drives io.ReadAll into unbounded
+// allocation. The default matches the soap.tcp frame cap.
+var maxEnvelopeBytes atomic.Int64
+
+const defaultMaxEnvelopeBytes = 64 << 20
+
+func init() { maxEnvelopeBytes.Store(defaultMaxEnvelopeBytes) }
+
+// SetMaxEnvelopeBytes sets the process-wide envelope size bound; zero or
+// negative restores the default.
+func SetMaxEnvelopeBytes(n int64) {
+	if n <= 0 {
+		n = defaultMaxEnvelopeBytes
+	}
+	maxEnvelopeBytes.Store(n)
+}
+
+// MaxEnvelopeBytes returns the current envelope size bound.
+func MaxEnvelopeBytes() int64 { return maxEnvelopeBytes.Load() }
+
+// ErrEnvelopeTooLarge is wrapped by the fault Read returns for an
+// oversized envelope, so transports can branch on it.
+var ErrEnvelopeTooLarge = fmt.Errorf("envelope exceeds size bound")
+
 // marshalBufPool recycles the scratch buffers envelopes are encoded
-// into: marshalling happens on every hop of every exchange, and the
-// buffer's growth is the only allocation the encoder cannot avoid.
+// into on the encoding/xml fallback path: the buffer's growth is the
+// only allocation that encoder cannot avoid.
 var marshalBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// marshalSizeHint tracks the previous marshal's output length so the
+// fast path usually right-sizes its single allocation.
+var marshalSizeHint atomic.Int64
 
 // Marshal serializes the envelope (XML only; attachments travel in the
 // binding's framing or are inlined beforehand) to wire form.
 func (e *Envelope) Marshal() ([]byte, error) {
+	if fastcodec.Enabled() {
+		hint := int(marshalSizeHint.Load())
+		if hint < 256 {
+			hint = 256
+		}
+		if out, ok := fastcodec.AppendEnvelope(make([]byte, 0, hint), NS, e.Headers, e.Body); ok {
+			marshalSizeHint.Store(int64(len(out)))
+			return out, nil
+		}
+	}
+	return e.marshalSlow(nil)
+}
+
+// AppendTo appends the envelope's wire form to dst (which may be nil)
+// and returns the extended slice, avoiding both the encoder's pooled
+// scratch buffer and the final copy when the fast path applies.
+func (e *Envelope) AppendTo(dst []byte) ([]byte, error) {
+	if fastcodec.Enabled() {
+		if out, ok := fastcodec.AppendEnvelope(dst, NS, e.Headers, e.Body); ok {
+			return out, nil
+		}
+	}
+	return e.marshalSlow(dst)
+}
+
+// MarshalTo writes the envelope's wire form to w through a pooled
+// scratch buffer, so steady-state serialization to a stream allocates
+// nothing at all.
+func (e *Envelope) MarshalTo(w io.Writer) error {
+	bp := marshalScratchPool.Get().(*[]byte)
+	buf, err := e.AppendTo((*bp)[:0])
+	if err != nil {
+		marshalScratchPool.Put(bp)
+		return err
+	}
+	_, werr := w.Write(buf)
+	*bp = buf[:0]
+	marshalScratchPool.Put(bp)
+	return werr
+}
+
+// marshalScratchPool recycles MarshalTo's staging buffers.
+var marshalScratchPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
+// marshalSlow is the encoding/xml reference path: it materializes the
+// wrapper tree and runs the token encoder, then appends to dst.
+func (e *Envelope) marshalSlow(dst []byte) ([]byte, error) {
 	buf := marshalBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer marshalBufPool.Put(buf)
@@ -129,14 +222,19 @@ func (e *Envelope) Marshal() ([]byte, error) {
 	if err := enc.Flush(); err != nil {
 		return nil, err
 	}
-	out := make([]byte, buf.Len())
-	copy(out, buf.Bytes())
-	return out, nil
+	return append(dst, buf.Bytes()...), nil
 }
 
 // Unmarshal parses wire bytes into an Envelope, validating the SOAP
-// structure (envelope/body element names, at most one body child).
+// structure (envelope/body element names, at most one body child). The
+// fast decoder handles recognized shapes; anything it refuses goes
+// through encoding/xml.
 func Unmarshal(data []byte) (*Envelope, error) {
+	if fastcodec.Enabled() {
+		if root, ok := fastcodec.Decode(data); ok {
+			return fromElement(root)
+		}
+	}
 	root, err := xmlutil.UnmarshalElement(data)
 	if err != nil {
 		return nil, fmt.Errorf("soap: parse: %w", err)
@@ -144,11 +242,17 @@ func Unmarshal(data []byte) (*Envelope, error) {
 	return fromElement(root)
 }
 
-// Read parses an envelope from a stream.
+// Read parses an envelope from a stream, refusing to buffer more than
+// MaxEnvelopeBytes with a Sender fault.
 func Read(r io.Reader) (*Envelope, error) {
-	data, err := io.ReadAll(r)
+	max := maxEnvelopeBytes.Load()
+	data, err := io.ReadAll(io.LimitReader(r, max+1))
 	if err != nil {
 		return nil, fmt.Errorf("soap: read: %w", err)
+	}
+	if int64(len(data)) > max {
+		return nil, fmt.Errorf("soap: read: %w: %w",
+			SenderFault("envelope exceeds %d byte limit", max), ErrEnvelopeTooLarge)
 	}
 	return Unmarshal(data)
 }

@@ -3,12 +3,29 @@ package transport
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"time"
+
+	"uvacg/internal/soap"
 )
+
+// readBounded buffers r up to soap.MaxEnvelopeBytes, failing instead of
+// allocating without limit on an oversized or malicious body.
+func readBounded(r io.Reader) ([]byte, error) {
+	max := soap.MaxEnvelopeBytes()
+	data, err := io.ReadAll(io.LimitReader(r, max+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > max {
+		return nil, fmt.Errorf("%w (limit %d bytes)", soap.ErrEnvelopeTooLarge, max)
+	}
+	return data, nil
+}
 
 // contentTypeSOAP is the SOAP 1.2 media type.
 const contentTypeSOAP = "application/soap+xml; charset=utf-8"
@@ -46,7 +63,7 @@ func (t *HTTPTransport) RoundTrip(ctx context.Context, addr string, request []by
 		return nil, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	body, err := readBounded(resp.Body)
 	if err != nil {
 		return nil, err
 	}
@@ -92,9 +109,13 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(r.Body)
+	body, err := readBounded(r.Body)
 	if err != nil {
-		http.Error(w, "read error", http.StatusBadRequest)
+		status := http.StatusBadRequest
+		if errors.Is(err, soap.ErrEnvelopeTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	if r.Header.Get(headerOneWay) == "1" {

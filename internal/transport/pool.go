@@ -15,6 +15,7 @@ type pooledConn struct {
 	conn      net.Conn
 	br        *bufio.Reader
 	bw        *bufio.Writer
+	fw        *frameWriter
 	idleSince time.Time
 	// reused marks a connection checked out of the pool (as opposed to
 	// freshly dialed): an I/O failure on a reused connection is assumed
@@ -23,7 +24,9 @@ type pooledConn struct {
 }
 
 func newPooledConn(conn net.Conn) *pooledConn {
-	return &pooledConn{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	pc := &pooledConn{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	pc.fw = newFrameWriter(pc.bw, conn)
+	return pc
 }
 
 func (pc *pooledConn) Close() error { return pc.conn.Close() }

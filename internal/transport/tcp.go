@@ -71,23 +71,13 @@ type frame struct {
 	atts []soap.Attachment
 }
 
-func writeFrame(w io.Writer, fr *frame) error {
+// checkFrame validates the size limits the wire format can carry.
+func checkFrame(fr *frame) error {
 	if len(fr.path) > 0xFFFF {
 		return fmt.Errorf("transport: service path too long (%d bytes)", len(fr.path))
 	}
 	if len(fr.body) > maxFrameSize {
 		return fmt.Errorf("transport: frame body %d exceeds limit %d", len(fr.body), maxFrameSize)
-	}
-	header := make([]byte, 0, 7+len(fr.path))
-	header = append(header, fr.kind)
-	header = binary.BigEndian.AppendUint16(header, uint16(len(fr.path)))
-	header = append(header, fr.path...)
-	header = binary.BigEndian.AppendUint32(header, uint32(len(fr.body)))
-	if _, err := w.Write(header); err != nil {
-		return err
-	}
-	if _, err := w.Write(fr.body); err != nil {
-		return err
 	}
 	if !kindHasAttachments(fr.kind) {
 		if len(fr.atts) > 0 {
@@ -98,11 +88,6 @@ func writeFrame(w io.Writer, fr *frame) error {
 	if len(fr.atts) > maxAttachments {
 		return fmt.Errorf("transport: %d attachments exceed limit %d", len(fr.atts), maxAttachments)
 	}
-	var hdr [6]byte
-	binary.BigEndian.PutUint16(hdr[:2], uint16(len(fr.atts)))
-	if _, err := w.Write(hdr[:2]); err != nil {
-		return err
-	}
 	total := 0
 	for _, a := range fr.atts {
 		if len(a.ID) > 0xFFFF {
@@ -111,20 +96,157 @@ func writeFrame(w io.Writer, fr *frame) error {
 		if total += len(a.Data); total > maxFrameSize {
 			return fmt.Errorf("transport: attachment section exceeds limit %d", maxFrameSize)
 		}
+	}
+	return nil
+}
+
+// vectoredThreshold is the payload size past which a frame bypasses the
+// bufio copy and goes out as one vectored (writev) syscall: below it the
+// 32 KiB write buffer coalesces better; above it copying through the
+// buffer costs more than the gather write saves.
+const vectoredThreshold = 16 << 10
+
+// frameWriter serializes frames onto one connection, reusing a header
+// scratch across frames (steady-state small-frame writes allocate
+// nothing) and gathering header + body + attachment sections into a
+// single vectored write for large frames.
+type frameWriter struct {
+	bw   *bufio.Writer
+	conn net.Conn // nil: no vectored path, everything goes through bw
+	hdr  []byte
+	vecs net.Buffers
+}
+
+func newFrameWriter(bw *bufio.Writer, conn net.Conn) *frameWriter {
+	return &frameWriter{bw: bw, conn: conn}
+}
+
+func (fw *frameWriter) reset(bw *bufio.Writer, conn net.Conn) {
+	fw.bw, fw.conn = bw, conn
+	fw.vecs = fw.vecs[:0]
+}
+
+// appendHeader appends the frame's fixed header to fw.hdr and returns
+// the appended slice region.
+func (fw *frameWriter) appendHeader(fr *frame) []byte {
+	h := fw.hdr[:0]
+	h = append(h, fr.kind)
+	h = binary.BigEndian.AppendUint16(h, uint16(len(fr.path)))
+	h = append(h, fr.path...)
+	h = binary.BigEndian.AppendUint32(h, uint32(len(fr.body)))
+	fw.hdr = h
+	return h
+}
+
+// payloadSize is the frame's total body+attachment byte count.
+func payloadSize(fr *frame) int {
+	n := len(fr.body)
+	for _, a := range fr.atts {
+		n += len(a.Data)
+	}
+	return n
+}
+
+// writeFrame writes one frame. Large frames flush the buffered writer
+// and go out with a gather write directly on the connection; small ones
+// coalesce in the buffer as before.
+func (fw *frameWriter) writeFrame(fr *frame) error {
+	if err := checkFrame(fr); err != nil {
+		return err
+	}
+	if fw.conn != nil && payloadSize(fr) >= vectoredThreshold {
+		return fw.writeVectored(fr)
+	}
+	if _, err := fw.bw.Write(fw.appendHeader(fr)); err != nil {
+		return err
+	}
+	if _, err := fw.bw.Write(fr.body); err != nil {
+		return err
+	}
+	if !kindHasAttachments(fr.kind) {
+		return nil
+	}
+	var hdr [6]byte
+	binary.BigEndian.PutUint16(hdr[:2], uint16(len(fr.atts)))
+	if _, err := fw.bw.Write(hdr[:2]); err != nil {
+		return err
+	}
+	for _, a := range fr.atts {
 		binary.BigEndian.PutUint16(hdr[:2], uint16(len(a.ID)))
-		if _, err := w.Write(hdr[:2]); err != nil {
+		if _, err := fw.bw.Write(hdr[:2]); err != nil {
 			return err
 		}
-		if _, err := io.WriteString(w, a.ID); err != nil {
+		if _, err := fw.bw.WriteString(a.ID); err != nil {
 			return err
 		}
 		binary.BigEndian.PutUint32(hdr[:4], uint32(len(a.Data)))
-		if _, err := w.Write(hdr[:4]); err != nil {
+		if _, err := fw.bw.Write(hdr[:4]); err != nil {
 			return err
 		}
-		if _, err := w.Write(a.Data); err != nil {
+		if _, err := fw.bw.Write(a.Data); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// writeVectored emits the frame as one net.Buffers gather write: frame
+// header, body and each attachment's header/id/data segments leave in a
+// single writev without being coalesced through the bufio copy.
+func (fw *frameWriter) writeVectored(fr *frame) error {
+	// Anything buffered ahead of this frame must hit the wire first.
+	if err := fw.bw.Flush(); err != nil {
+		return err
+	}
+	// All header segments live in one scratch slab; vecs alias into it,
+	// so the slab must be grown to its final size up front — a mid-build
+	// realloc would leave earlier segments pointing at the old array.
+	need := 7 + len(fr.path) + 2
+	for _, a := range fr.atts {
+		need += 6 + len(a.ID)
+	}
+	if cap(fw.hdr) < need {
+		fw.hdr = make([]byte, 0, need)
+	}
+	h := fw.appendHeader(fr)
+	vecs := append(fw.vecs[:0], h, fr.body)
+	if kindHasAttachments(fr.kind) {
+		mark := len(fw.hdr)
+		fw.hdr = binary.BigEndian.AppendUint16(fw.hdr, uint16(len(fr.atts)))
+		vecs = append(vecs, fw.hdr[mark:])
+		for _, a := range fr.atts {
+			mark = len(fw.hdr)
+			fw.hdr = binary.BigEndian.AppendUint16(fw.hdr, uint16(len(a.ID)))
+			fw.hdr = append(fw.hdr, a.ID...)
+			fw.hdr = binary.BigEndian.AppendUint32(fw.hdr, uint32(len(a.Data)))
+			vecs = append(vecs, fw.hdr[mark:], a.Data)
+		}
+	}
+	// WriteTo consumes vecs as segments drain; keep the backing array
+	// for reuse but drop the consumed view.
+	consumable := vecs
+	_, err := consumable.WriteTo(fw.conn)
+	fw.vecs = vecs[:0]
+	return err
+}
+
+// writeFrame is the plain-io.Writer form used by tests and one-shot
+// callers; connection-bound paths use a frameWriter for the scratch
+// reuse and the vectored large-frame path.
+func writeFrame(w io.Writer, fr *frame) error {
+	if err := checkFrame(fr); err != nil {
+		return err
+	}
+	bw, ok := w.(*bufio.Writer)
+	if !ok {
+		bw = bufio.NewWriter(w)
+	}
+	fw := frameWriter{bw: bw}
+	if err := fw.writeFrame(fr); err != nil {
+		return err
+	}
+	if !ok {
+		return bw.Flush()
 	}
 	return nil
 }
@@ -361,7 +483,7 @@ func (t *TCPTransport) exchangeOn(ctx context.Context, pc *pooledConn, fr *frame
 	}
 	stop := watchCancel(ctx, pc.conn)
 	defer stop()
-	if err := writeFrame(pc.bw, fr); err != nil {
+	if err := pc.fw.writeFrame(fr); err != nil {
 		return nil, ctxIOErr(ctx, err)
 	}
 	if err := pc.bw.Flush(); err != nil {
@@ -461,11 +583,13 @@ func (t *TCPTransport) Send(ctx context.Context, addr string, request []byte) er
 	return err
 }
 
-// Buffered reader/writer pools for server-side connections: one pair per
-// live connection, recycled across connections rather than reallocated.
+// Buffered reader/writer and frame-writer pools for server-side
+// connections: one trio per live connection, recycled across
+// connections rather than reallocated.
 var (
 	serveReaderPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 32<<10) }}
 	serveWriterPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, 32<<10) }}
+	serveFramePool  = sync.Pool{New: func() any { return &frameWriter{} }}
 )
 
 // TCPListener hosts a Server behind the soap.tcp binding.
@@ -578,13 +702,17 @@ func (tl *TCPListener) serveConn(conn net.Conn) {
 	defer conn.Close()
 	br := serveReaderPool.Get().(*bufio.Reader)
 	bw := serveWriterPool.Get().(*bufio.Writer)
+	fw := serveFramePool.Get().(*frameWriter)
 	br.Reset(conn)
 	bw.Reset(conn)
+	fw.reset(bw, conn)
 	defer func() {
 		br.Reset(nil)
 		bw.Reset(nil)
+		fw.reset(nil, nil)
 		serveReaderPool.Put(br)
 		serveWriterPool.Put(bw)
+		serveFramePool.Put(fw)
 	}()
 	ctx := context.Background()
 	for {
@@ -598,7 +726,7 @@ func (tl *TCPListener) serveConn(conn net.Conn) {
 		case frameRequest:
 			// v1 peer: the reply must inline any attachments.
 			resp := tl.srv.HandleRequest(ctx, fr.path, fr.body)
-			if err := writeFrame(bw, &frame{kind: frameReply, body: resp}); err != nil {
+			if err := fw.writeFrame(&frame{kind: frameReply, body: resp}); err != nil {
 				return
 			}
 			if err := bw.Flush(); err != nil {
@@ -606,7 +734,7 @@ func (tl *TCPListener) serveConn(conn net.Conn) {
 			}
 		case frameRequest2:
 			resp := tl.srv.HandleRequestMsg(ctx, fr.path, &Message{Envelope: fr.body, Attachments: fr.atts})
-			if err := writeFrame(bw, &frame{kind: frameReply2, body: resp.Envelope, atts: resp.Attachments}); err != nil {
+			if err := fw.writeFrame(&frame{kind: frameReply2, body: resp.Envelope, atts: resp.Attachments}); err != nil {
 				return
 			}
 			if err := bw.Flush(); err != nil {

@@ -1,0 +1,85 @@
+#!/bin/sh
+# bench_diff.sh OLD.json NEW.json [--strict]
+#
+# Compares the headline numbers of two wsrfbench -record snapshots and
+# reports any metric that regressed by more than 15%. By default a
+# regression prints a warning (GitHub ::warning annotation when running
+# in Actions) and the script exits 0; with --strict a regression fails
+# the script.
+#
+# Latency metrics regress upward, throughput metrics regress downward.
+# Metrics absent from either snapshot (schema growth across PRs) are
+# skipped. Both snapshots are flat-enough JSON that a small awk parser
+# suffices — no jq dependency.
+set -eu
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 OLD.json NEW.json [--strict]" >&2
+    exit 2
+fi
+old=$1
+new=$2
+strict=${3:-}
+
+# Regression threshold, percent.
+threshold=15
+
+# metric direction: lower = smaller-is-better, higher = bigger-is-better
+metrics='
+envelope_marshal_ns_per_op lower
+envelope_unmarshal_ns_per_op lower
+wal_commit_fsync_us lower
+wal_commit_nosync_us lower
+wal_commit_fsync_us_8w lower
+soap_tcp_mib_per_s higher
+dispatch_jobs_per_s higher
+'
+
+# extract KEY FILE: prints the numeric value of a top-level key, or
+# nothing when the key is absent.
+extract() {
+    awk -v key="\"$1\":" '
+        $1 == key {
+            v = $2
+            gsub(/[",]/, "", v)
+            print v
+            exit
+        }' "$2"
+}
+
+fail=0
+echo "bench diff: $old -> $new (threshold ${threshold}%)"
+for pair in $(echo "$metrics" | awk 'NF == 2 { print $1 "=" $2 }'); do
+    key=${pair%=*}
+    dir=${pair#*=}
+    a=$(extract "$key" "$old")
+    b=$(extract "$key" "$new")
+    if [ -z "$a" ] || [ -z "$b" ]; then
+        echo "  $key: skipped (absent from one snapshot)"
+        continue
+    fi
+    # Percent change in the "worse" direction; negative/zero = fine.
+    worse=$(awk -v a="$a" -v b="$b" -v dir="$dir" 'BEGIN {
+        if (a == 0) { print 0; exit }
+        if (dir == "lower") pct = (b - a) / a * 100
+        else pct = (a - b) / a * 100
+        printf "%.1f", pct
+    }')
+    over=$(awk -v w="$worse" -v t="$threshold" 'BEGIN { print (w > t) ? 1 : 0 }')
+    if [ "$over" = 1 ]; then
+        msg="$key regressed ${worse}%: $a -> $b"
+        if [ -n "${GITHUB_ACTIONS:-}" ]; then
+            echo "::warning::bench regression: $msg"
+        fi
+        echo "  REGRESSED $msg"
+        fail=1
+    else
+        echo "  ok $key: $a -> $b (${worse}% worse-direction change)"
+    fi
+done
+
+if [ "$fail" = 1 ] && [ "$strict" = "--strict" ]; then
+    echo "bench diff failed (--strict)" >&2
+    exit 1
+fi
+exit 0
