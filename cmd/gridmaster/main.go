@@ -13,6 +13,14 @@
 //
 //	gridmaster -addr :8700 -peers http://a:8700,http://b:8700 [-shards 8]
 //	           [-lease-ttl 5s]
+//
+// With -queue-depth the scheduler runs behind a durable multi-tenant
+// admission queue: submits are journaled Queued and acked immediately,
+// a weighted fair-share pump activates them, and past the bound (or a
+// -tenant-quota) clients get a QueueFullFault with a Retry-After hint.
+//
+//	gridmaster -addr :8700 -queue-depth 256 [-tenant-quota 16:4]
+//	           [-fair-share alice:4,bob:1] [-retry-after 2s]
 package main
 
 import (
@@ -23,10 +31,12 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"uvacg/internal/admission"
 	"uvacg/internal/core"
 	"uvacg/internal/lease"
 	"uvacg/internal/pipeline"
@@ -60,6 +70,11 @@ func main() {
 	trace := flag.Bool("trace", false, "log one line per call with its request ID")
 	noAttach := flag.Bool("noattach", false, "inline binary content as base64 instead of soap.tcp attachments")
 	tcpPool := flag.Int("tcp-pool", 8, "max idle pooled soap.tcp connections per host (0 dials per message)")
+	queueDepth := flag.Int("queue-depth", 0, "run an admission queue in front of the scheduler, bounding parked job sets grid-wide (-1 = queue without bound, 0 disables admission)")
+	tenantQuota := flag.String("tenant-quota", "", "per-tenant admission quota as queued[:running], e.g. 10:2 (with -queue-depth)")
+	fairShare := flag.String("fair-share", "", "comma-separated tenant:weight admission fair-share list, e.g. alice:4,bob:1 (with -queue-depth)")
+	anonTenant := flag.String("anonymous-tenant", "", "admission bucket for unauthenticated submissions (default anonymous)")
+	retryAfter := flag.Duration("retry-after", 0, "backoff hint attached to admission QueueFullFaults (default 1s)")
 	peersFlag := flag.String("peers", "", "comma-separated base URLs of every master replica, this one included; enables sharded multi-master mode")
 	shardsFlag := flag.Int("shards", 0, "shard-ring size in -peers mode (0 = 4 per replica)")
 	leaseTTL := flag.Duration("lease-ttl", 5*time.Second, "shard lease duration in -peers mode; bounds how long a crashed master's claims outlive it")
@@ -156,6 +171,15 @@ func main() {
 		}
 		ssCfg.Sharding = sharding
 	}
+	var admQueue *admission.Queue
+	if *queueDepth != 0 {
+		admCfg, err := buildAdmission(*queueDepth, *tenantQuota, *fairShare, *anonTenant, *retryAfter, metrics)
+		if err != nil {
+			log.Fatalf("gridmaster: %v", err)
+		}
+		admQueue = admission.New(admCfg)
+		ssCfg.Admission = admQueue
+	}
 	accounts := parseAccounts(*accountsFlag)
 	if accounts != nil {
 		// HTTP deployment note: credentials cross as UsernameToken
@@ -207,6 +231,12 @@ func main() {
 		}
 		cancel()
 	}
+	// Recover requeued any parked sets from the journal; only now may
+	// the fair-share pump start activating them.
+	if admQueue != nil {
+		ss.StartAdmission(shardCtx)
+		log.Printf("admission queue enabled (depth %d)", *queueDepth)
+	}
 	log.Printf("gridmaster up at %s (advertising %s)", base, address)
 	log.Printf("  broker:    %s", broker.EPR().Address)
 	log.Printf("  node info: %s", nis.EPR().Address)
@@ -238,7 +268,54 @@ func main() {
 	}
 	if metrics != nil {
 		metrics.Dump(os.Stderr)
+		if admQueue != nil {
+			admQueue.Dump(os.Stderr)
+		}
 	}
+}
+
+// buildAdmission translates the admission flags into a queue config.
+// depth < 0 queues without a global bound; per-tenant quotas and
+// weights still apply.
+func buildAdmission(depth int, quota, shares, anon string, retryAfter time.Duration, metrics *pipeline.Metrics) (admission.Config, error) {
+	cfg := admission.Config{
+		AnonymousTenant: anon,
+		RetryAfter:      retryAfter,
+		Metrics:         metrics,
+	}
+	if depth > 0 {
+		cfg.MaxQueued = depth
+	}
+	if quota != "" {
+		queued, running, _ := strings.Cut(quota, ":")
+		n, err := strconv.Atoi(queued)
+		if err != nil || n < 0 {
+			return cfg, fmt.Errorf("bad -tenant-quota %q (want queued[:running])", quota)
+		}
+		cfg.TenantQueued = n
+		if running != "" {
+			n, err := strconv.Atoi(running)
+			if err != nil || n < 0 {
+				return cfg, fmt.Errorf("bad -tenant-quota %q (want queued[:running])", quota)
+			}
+			cfg.TenantRunning = n
+		}
+	}
+	if shares != "" {
+		cfg.Weights = make(map[string]int)
+		for _, pair := range strings.Split(shares, ",") {
+			tenant, weight, ok := strings.Cut(strings.TrimSpace(pair), ":")
+			if !ok {
+				return cfg, fmt.Errorf("bad -fair-share entry %q (want tenant:weight)", pair)
+			}
+			w, err := strconv.Atoi(weight)
+			if err != nil || w < 1 {
+				return cfg, fmt.Errorf("bad -fair-share weight in %q (want a positive integer)", pair)
+			}
+			cfg.Weights[tenant] = w
+		}
+	}
+	return cfg, nil
 }
 
 // buildSharding wires the lease protocol for -peers mode. The roster

@@ -7,6 +7,13 @@
 //
 //	gridsub -master http://localhost:8700 -jobset analysis.jobset \
 //	        [-user scientist -pass secret] [-listen :0] [-out ./results]
+//	        [-class batch] [-max-retry-after 10s] [-v]
+//
+// Against an admission-queueing master (gridmaster -queue-depth) the
+// submit may come back with a QueueFullFault; gridsub honors its
+// Retry-After hint with capped, jittered backoff for a bounded number
+// of attempts. -v prints the admission queue position of an accepted
+// submit.
 package main
 
 import (
@@ -14,12 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
+	"uvacg/internal/admission"
 	"uvacg/internal/core"
 	"uvacg/internal/pipeline"
 	"uvacg/internal/resourcedb"
@@ -53,6 +62,9 @@ func main() {
 	compactBytes := flag.Int64("compact-bytes", 8<<20, "WAL bytes that trigger background snapshot compaction (with -data-dir); negative disables")
 	walFlushWindow := flag.Duration("wal-flush-window", 0, "adaptive WAL group-commit linger: how long a flush leader waits for concurrent committers before fsyncing a lone record (0 disables)")
 	noFastCodec := flag.Bool("nofastcodec", false, "disable the streaming SOAP fast-path codec; every envelope goes through encoding/xml")
+	class := flag.String("class", "", "admission priority class: interactive, batch or scavenger")
+	maxRetryAfter := flag.Duration("max-retry-after", 30*time.Second, "cap on the Retry-After hint honored between submit retries when the admission queue sheds")
+	verbose := flag.Bool("v", false, "verbose: print the admission queue position of an accepted submit")
 	flag.Parse()
 	if *jobsetPath == "" {
 		log.Fatal("gridsub: -jobset is required")
@@ -69,6 +81,12 @@ func main() {
 	f.Close()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *class != "" {
+		if !admission.ValidClass(*class) {
+			log.Fatalf("gridsub: unknown -class %q (want interactive, batch or scavenger)", *class)
+		}
+		desc.Spec.Class = *class
 	}
 
 	client := transport.NewClient()
@@ -195,9 +213,15 @@ func main() {
 	} else {
 		// A sharded grid may answer with a WrongShardFault naming the
 		// master that owns this set's shard; follow the redirect
-		// transparently, with a hop bound against routing loops.
+		// transparently, with a hop bound against routing loops. An
+		// admission-queueing master may shed with a QueueFullFault;
+		// honor its Retry-After hint — capped and jittered so a shed
+		// burst of clients does not retry in lockstep — for a bounded
+		// number of attempts.
+		const maxShedRetries = 10
 		var resp *soap.Envelope
-		for hop := 0; ; hop++ {
+		sheds := 0
+		for hop := 0; ; {
 			env := soap.New(scheduler.SubmitRequest(desc.Spec, filesEPR, listenerEPR))
 			if *user != "" {
 				creds := wssec.Credentials{Username: *user, Password: *pass}
@@ -209,10 +233,29 @@ func main() {
 			if err == nil {
 				break
 			}
+			if admission.IsQueueFull(err) {
+				sheds++
+				if sheds > maxShedRetries {
+					log.Fatalf("submit: admission queue still full after %d attempts: %v", maxShedRetries, err)
+				}
+				hint, ok := admission.RetryAfterHint(err)
+				if !ok || hint <= 0 || hint > *maxRetryAfter {
+					hint = *maxRetryAfter
+				}
+				wait := hint/2 + time.Duration(rand.Int63n(int64(hint)+1))
+				log.Printf("admission queue full; retrying in %v (attempt %d of %d)", wait.Round(time.Millisecond), sheds, maxShedRetries)
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					log.Fatalf("submit: %v", ctx.Err())
+				}
+				continue
+			}
 			owner, ok := scheduler.RedirectTarget(err)
 			if !ok || hop >= 3 {
 				log.Fatalf("submit: %v", err)
 			}
+			hop++
 			log.Printf("redirected to shard owner %s", owner.Address)
 			ssEPR = owner
 		}
@@ -221,6 +264,9 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("submitted %q as %s (topic %s)", desc.Spec.Name, setEPR, topic)
+		if pos, ok := scheduler.ParseQueuePosition(resp.Body); ok && *verbose {
+			log.Printf("admitted at queue position %d", pos)
+		}
 		saveSubmission(subs, desc.Spec.Name, setEPR, topic, "", dirs)
 	}
 

@@ -1,5 +1,5 @@
 // Command wsrfbench regenerates the experiment tables recorded in
-// EXPERIMENTS.md: one table per experiment id (F1, F3, E1-E13), driven
+// EXPERIMENTS.md: one table per experiment id (F1, F3, E1-E14), driven
 // by the same internal/benchkit harnesses as the testing.B benchmarks.
 //
 //	wsrfbench [-quick] [-only E4,E7]
@@ -67,6 +67,7 @@ func main() {
 		{"E10", "WS-Security request cost (§4.2)", expE10},
 		{"E11", "WAL durability: commit modes and recovery", expE11},
 		{"E13", "multi-master scaling and failover", expE13},
+		{"E14", "admission: multi-tenant submit storm (§4.2/§4.5)", expE14},
 		{"F3", "end-to-end job set execution (Fig. 3)", expF3},
 	}
 	for _, e := range experiments {
@@ -474,6 +475,36 @@ func expE13() error {
 	fmt.Printf("  failover (kill 1 of %d, TTL 300ms): claim %v, resume %v, %d/%d sets completed\n",
 		fo.Masters, fo.Claim.Round(time.Millisecond), fo.Resume.Round(time.Millisecond),
 		fo.Completed, fo.Sets)
+	return nil
+}
+
+func expE14() error {
+	// Sustained throughput: every ack pays the fsynced journal write, a
+	// concurrent pump drains, nothing sheds.
+	tenants := iters(10000, 1000)
+	res, err := benchkit.MeasureAdmissionStorm(tenants, 1, 0, 4, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  sustained, %5d tenants × 1 set  %6.0f acks/s   p50 %v  p99 %v\n",
+		res.Tenants, res.AcceptedPerSec(),
+		res.AckP50.Round(time.Microsecond), res.AckP99.Round(time.Microsecond))
+	// Saturation: bounded queue, no pump — past the bound every submit
+	// sheds with QueueFullFault instead of queueing without limit.
+	sat, err := benchkit.MeasureAdmissionStorm(iters(2000, 200), 5, iters(1000, 100), 4, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  saturation, bound %5d          accepted %d, shed %d of %d submitted\n",
+		iters(1000, 100), sat.Accepted, sat.Shed, sat.Submitted)
+	// Fairness: weighted tenants drain in proportion to their weights.
+	weights := map[string]int{"gold": 4, "silver": 2, "bronze": 1}
+	share, worst, err := benchkit.MeasureFairShare(weights, iters(200, 20))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  fair-share gold:4 silver:2 bronze:1  shares %d/%d/%d  worst ratio %.2f (tolerance 2.00)\n",
+		share["gold"], share["silver"], share["bronze"], worst)
 	return nil
 }
 

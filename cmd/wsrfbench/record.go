@@ -49,6 +49,17 @@ type BenchRecord struct {
 	FailoverResumeMs      float64            `json:"failover_resume_ms"`
 	FailoverSetsCompleted int                `json:"failover_sets_completed"`
 	FailoverSets          int                `json:"failover_sets"`
+
+	// E14: admission front door. A 10k-tenant submit storm where every
+	// ack pays the fsynced journal write, the shed count of a bounded
+	// queue under 2× overload, and the worst weight-normalized DRR
+	// fair-share ratio (must stay under 2).
+	AdmissionTenants            int     `json:"admission_tenants"`
+	AdmissionAcceptedPerSec     float64 `json:"admission_accepted_per_s"`
+	AdmissionAckP50Us           float64 `json:"admission_ack_p50_us"`
+	AdmissionAckP99Us           float64 `json:"admission_ack_p99_us"`
+	AdmissionShed               int     `json:"admission_shed"`
+	AdmissionFairnessWorstRatio float64 `json:"admission_fairness_worst_ratio"`
 }
 
 // recordEnvelope mirrors internal/soap's benchmark message: WS-A
@@ -157,6 +168,27 @@ func recordBench(path string) error {
 	rec.FailoverResumeMs = float64(fo.Resume.Microseconds()) / 1e3
 	rec.FailoverSetsCompleted = fo.Completed
 	rec.FailoverSets = fo.Sets
+
+	fmt.Println("  admission storm (E14) ...")
+	tenants := iters(10000, 1000)
+	storm, err := benchkit.MeasureAdmissionStorm(tenants, 1, 0, 4, true)
+	if err != nil {
+		return err
+	}
+	rec.AdmissionTenants = storm.Tenants
+	rec.AdmissionAcceptedPerSec = storm.AcceptedPerSec()
+	rec.AdmissionAckP50Us = float64(storm.AckP50.Nanoseconds()) / 1e3
+	rec.AdmissionAckP99Us = float64(storm.AckP99.Nanoseconds()) / 1e3
+	sat, err := benchkit.MeasureAdmissionStorm(iters(2000, 200), 5, iters(1000, 100), 4, false)
+	if err != nil {
+		return err
+	}
+	rec.AdmissionShed = sat.Shed
+	_, worst, err := benchkit.MeasureFairShare(map[string]int{"gold": 4, "silver": 2, "bronze": 1}, iters(200, 20))
+	if err != nil {
+		return err
+	}
+	rec.AdmissionFairnessWorstRatio = worst
 
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -1,0 +1,342 @@
+package admission
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"uvacg/internal/pipeline"
+)
+
+func mustNext(t *testing.T, q *Queue) Entry {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	e, err := q.Next(ctx)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	return e
+}
+
+func enqueue(t *testing.T, q *Queue, tenant, class, name string) Entry {
+	t.Helper()
+	r, err := q.Reserve(tenant, class)
+	if err != nil {
+		t.Fatalf("Reserve(%s): %v", tenant, err)
+	}
+	e, _ := r.Commit(Entry{ID: name, Name: name})
+	return e
+}
+
+func TestClassValidation(t *testing.T) {
+	for _, c := range []string{"", ClassInteractive, ClassBatch, ClassScavenger} {
+		if !ValidClass(c) {
+			t.Errorf("ValidClass(%q) = false", c)
+		}
+	}
+	if ValidClass("platinum") {
+		t.Error("ValidClass(platinum) = true")
+	}
+	if _, err := New(Config{}).Reserve("a", "platinum"); err == nil {
+		t.Error("Reserve with unknown class succeeded")
+	}
+}
+
+func TestFIFOWithinTenant(t *testing.T) {
+	q := New(Config{})
+	for i := 0; i < 4; i++ {
+		enqueue(t, q, "alice", "", fmt.Sprintf("set-%d", i))
+	}
+	for i := 0; i < 4; i++ {
+		if e := mustNext(t, q); e.Name != fmt.Sprintf("set-%d", i) {
+			t.Fatalf("dequeue %d = %s", i, e.Name)
+		}
+	}
+}
+
+func TestClassPriorityWithinTenant(t *testing.T) {
+	q := New(Config{})
+	enqueue(t, q, "alice", ClassScavenger, "scav")
+	enqueue(t, q, "alice", ClassBatch, "batch")
+	enqueue(t, q, "alice", ClassInteractive, "inter")
+	want := []string{"inter", "batch", "scav"}
+	for _, w := range want {
+		if e := mustNext(t, q); e.Name != w {
+			t.Fatalf("got %s, want %s", e.Name, w)
+		}
+	}
+}
+
+func TestGlobalDepthShedsWithRetryAfter(t *testing.T) {
+	q := New(Config{MaxQueued: 2, RetryAfter: 250 * time.Millisecond})
+	enqueue(t, q, "a", "", "s1")
+	enqueue(t, q, "b", "", "s2")
+	_, err := q.Reserve("c", "")
+	if err == nil {
+		t.Fatal("Reserve over depth bound succeeded")
+	}
+	if !IsQueueFull(err) {
+		t.Fatalf("not a QueueFullFault: %v", err)
+	}
+	d, ok := RetryAfterHint(err)
+	if !ok || d != 250*time.Millisecond {
+		t.Fatalf("RetryAfterHint = %v, %v", d, ok)
+	}
+	if st := q.Stats(); st.Shed != 1 {
+		t.Fatalf("shed = %d", st.Shed)
+	}
+}
+
+func TestTenantQuotaShedsOnlyThatTenant(t *testing.T) {
+	q := New(Config{TenantQueued: 1})
+	enqueue(t, q, "a", "", "a1")
+	if _, err := q.Reserve("a", ""); !IsQueueFull(err) {
+		t.Fatalf("tenant-quota shed missing: %v", err)
+	}
+	enqueue(t, q, "b", "", "b1") // other tenants unaffected
+}
+
+func TestReservationHoldsQuotaAndAbortReleases(t *testing.T) {
+	q := New(Config{MaxQueued: 1})
+	r, err := q.Reserve("a", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Reserve("a", ""); !IsQueueFull(err) {
+		t.Fatalf("reservation did not hold quota: %v", err)
+	}
+	r.Abort()
+	enqueue(t, q, "a", "", "s1")
+}
+
+func TestWeightedFairShare(t *testing.T) {
+	q := New(Config{Weights: map[string]int{"heavy": 3}})
+	for i := 0; i < 6; i++ {
+		enqueue(t, q, "heavy", "", fmt.Sprintf("h%d", i))
+	}
+	for i := 0; i < 2; i++ {
+		enqueue(t, q, "light", "", fmt.Sprintf("l%d", i))
+	}
+	var order []string
+	for i := 0; i < 8; i++ {
+		order = append(order, mustNext(t, q).Tenant)
+	}
+	// DRR with unit cost: heavy gets up to 3 per visit, light 1.
+	want := []string{"heavy", "heavy", "heavy", "light", "heavy", "heavy", "heavy", "light"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunningCapSkipsTenantUntilDone(t *testing.T) {
+	q := New(Config{TenantRunning: 1})
+	enqueue(t, q, "a", "", "a1")
+	enqueue(t, q, "a", "", "a2")
+	enqueue(t, q, "b", "", "b1")
+	if e := mustNext(t, q); e.Name != "a1" {
+		t.Fatalf("first = %s", e.Name)
+	}
+	// a is at its running cap; b drains past it.
+	if e := mustNext(t, q); e.Name != "b1" {
+		t.Fatalf("second = %s", e.Name)
+	}
+	// a2 stays parked until a1 completes.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	if _, err := q.Next(ctx); err == nil {
+		t.Fatal("capped tenant dequeued")
+	}
+	cancel()
+	q.Done("a")
+	if e := mustNext(t, q); e.Name != "a2" {
+		t.Fatal("a2 not released after Done")
+	}
+}
+
+func TestAdoptRunningCountsTowardCap(t *testing.T) {
+	q := New(Config{TenantRunning: 1})
+	q.AdoptRunning("a")
+	enqueue(t, q, "a", "", "a1")
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := q.Next(ctx); err == nil {
+		t.Fatal("adopted running set did not hold the cap")
+	}
+	q.Done("a")
+	if e := mustNext(t, q); e.Name != "a1" {
+		t.Fatal("a1 not released")
+	}
+}
+
+func TestRequeueRestoresSeqOrderAndBumpsCounter(t *testing.T) {
+	q := New(Config{})
+	q.Requeue(Entry{Name: "late", Tenant: "a", Seq: 7})
+	q.Requeue(Entry{Name: "early", Tenant: "a", Seq: 3})
+	if e := mustNext(t, q); e.Name != "early" {
+		t.Fatalf("first = %s", e.Name)
+	}
+	if e := mustNext(t, q); e.Name != "late" {
+		t.Fatal("late lost")
+	}
+	// New reservations continue above the replayed maximum.
+	e := enqueue(t, q, "a", "", "new")
+	if e.Seq <= 7 {
+		t.Fatalf("seq %d not bumped past replayed 7", e.Seq)
+	}
+}
+
+func TestRemoveAndPosition(t *testing.T) {
+	q := New(Config{})
+	e1 := enqueue(t, q, "a", "", "s1")
+	e2 := enqueue(t, q, "a", "", "s2")
+	if p := q.Position("a", e2.Seq); p != 2 {
+		t.Fatalf("position = %d", p)
+	}
+	if !q.Remove("a", e1.Seq) {
+		t.Fatal("Remove failed")
+	}
+	if q.Remove("a", e1.Seq) {
+		t.Fatal("double Remove succeeded")
+	}
+	if p := q.Position("a", e2.Seq); p != 1 {
+		t.Fatalf("position after remove = %d", p)
+	}
+	if e := mustNext(t, q); e.Name != "s2" {
+		t.Fatalf("dequeued %s", e.Name)
+	}
+	if p := q.Position("a", e2.Seq); p != 0 {
+		t.Fatalf("position after dequeue = %d", p)
+	}
+}
+
+func TestNextBlocksUntilCommit(t *testing.T) {
+	q := New(Config{})
+	got := make(chan Entry, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		e, err := q.Next(ctx)
+		if err == nil {
+			got <- e
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	enqueue(t, q, "a", "", "s1")
+	select {
+	case e := <-got:
+		if e.Name != "s1" {
+			t.Fatalf("got %s", e.Name)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next never woke")
+	}
+}
+
+func TestTenantOfFallsBackToAnonymous(t *testing.T) {
+	q := New(Config{AnonymousTenant: "guest"})
+	if got := q.TenantOf(""); got != "guest" {
+		t.Fatalf("TenantOf(\"\") = %s", got)
+	}
+	if got := q.TenantOf("alice"); got != "alice" {
+		t.Fatalf("TenantOf(alice) = %s", got)
+	}
+}
+
+func TestMetricsAndObserverLedger(t *testing.T) {
+	m := pipeline.NewMetrics()
+	var mu sync.Mutex
+	var events []Event
+	q := New(Config{MaxQueued: 1, Metrics: m, Observer: func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}})
+	enqueue(t, q, "a", "", "s1")
+	q.Reserve("a", "") // shed
+	mustNext(t, q)
+	snap := m.Snapshot()
+	if s := snap[pipeline.Key{Path: MetricsPath, Action: ActionEnqueue}]; s.Calls != 1 {
+		t.Fatalf("enqueue metric calls = %d", s.Calls)
+	}
+	if s := snap[pipeline.Key{Path: MetricsPath, Action: ActionShed}]; s.Calls != 1 || s.Faults != 1 {
+		t.Fatalf("shed metric = %+v", s)
+	}
+	if s := snap[pipeline.Key{Path: MetricsPath, Action: ActionDequeue}]; s.Calls != 1 {
+		t.Fatalf("dequeue metric calls = %d", s.Calls)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	kinds := []EventKind{EventEnqueue, EventShed, EventDequeue}
+	if len(events) != len(kinds) {
+		t.Fatalf("events = %+v", events)
+	}
+	for i, k := range kinds {
+		if events[i].Kind != k {
+			t.Fatalf("event %d kind = %v, want %v", i, events[i].Kind, k)
+		}
+	}
+}
+
+// TestConcurrentStormDrainsCompletely hammers the queue from many
+// tenants while a consumer drains it; every committed entry must come
+// out exactly once.
+func TestConcurrentStormDrainsCompletely(t *testing.T) {
+	q := New(Config{TenantRunning: 4})
+	const tenants, perTenant = 8, 25
+	var wg sync.WaitGroup
+	var committed sync.Map
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tn := fmt.Sprintf("t%d", i)
+			for j := 0; j < perTenant; j++ {
+				r, err := q.Reserve(tn, "")
+				if err != nil {
+					t.Errorf("Reserve: %v", err)
+					return
+				}
+				e, _ := r.Commit(Entry{Name: fmt.Sprintf("%s/%d", tn, j)})
+				committed.Store(e.Seq, e.Name)
+			}
+		}(i)
+	}
+	var dequeued sync.Map
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for n := 0; n < tenants*perTenant; n++ {
+			e, err := q.Next(ctx)
+			if err != nil {
+				t.Errorf("Next: %v", err)
+				return
+			}
+			if _, dup := dequeued.LoadOrStore(e.Seq, e.Name); dup {
+				t.Errorf("seq %d dequeued twice", e.Seq)
+				return
+			}
+			q.Done(e.Tenant)
+		}
+	}()
+	wg.Wait()
+	<-done
+	missing := 0
+	committed.Range(func(seq, _ any) bool {
+		if _, ok := dequeued.Load(seq); !ok {
+			missing++
+		}
+		return true
+	})
+	if missing != 0 {
+		t.Fatalf("%d committed entries never dequeued", missing)
+	}
+	if st := q.Stats(); st.Depth != 0 || st.Reserved != 0 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+}

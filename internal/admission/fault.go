@@ -1,0 +1,64 @@
+package admission
+
+import (
+	"errors"
+	"time"
+
+	"uvacg/internal/wsrf"
+)
+
+// QueueFullFaultCode is the WS-BaseFaults ErrorCode Submit returns when
+// admission sheds a request: the depth bound or the tenant's queued
+// quota is exhausted. The fault chains a RetryAfter cause whose
+// description is a Go duration — the server's backoff hint.
+const QueueFullFaultCode = "QueueFullFault"
+
+// retryAfterCode tags the cause fault carrying the backoff hint.
+const retryAfterCode = "RetryAfter"
+
+// queueFullFault builds the typed shed fault.
+func queueFullFault(reason string, retryAfter time.Duration) *wsrf.BaseFault {
+	f := wsrf.NewBaseFault(QueueFullFaultCode, "submission shed: %s", reason)
+	if retryAfter > 0 {
+		f.Cause = wsrf.NewBaseFault(retryAfterCode, "%s", retryAfter)
+	}
+	return f
+}
+
+// faultFrom digs the BaseFault out of err, whether err is the fault
+// itself (server side) or a SOAP fault carrying one (client side).
+func faultFrom(err error) *wsrf.BaseFault {
+	var bf *wsrf.BaseFault
+	if errors.As(err, &bf) {
+		return bf
+	}
+	if bf, ok := wsrf.BaseFaultFromError(err); ok {
+		return bf
+	}
+	return nil
+}
+
+// IsQueueFull reports whether err is (or carries) a QueueFullFault.
+func IsQueueFull(err error) bool {
+	bf := faultFrom(err)
+	return bf != nil && bf.ErrorCode == QueueFullFaultCode
+}
+
+// RetryAfterHint extracts the server's backoff hint from a
+// QueueFullFault's cause chain. ok is false when err is not a queue
+// fault or carries no parseable hint.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	bf := faultFrom(err)
+	if bf == nil || bf.ErrorCode != QueueFullFaultCode {
+		return 0, false
+	}
+	for c := bf.Cause; c != nil; c = c.Cause {
+		if c.ErrorCode != retryAfterCode {
+			continue
+		}
+		if d, err := time.ParseDuration(c.Description); err == nil && d > 0 {
+			return d, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,220 @@
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uvacg/internal/admission"
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/simgrid"
+	"uvacg/internal/xmlutil"
+)
+
+// AdmissionResult is one E14 storm run: many tenants hammer the
+// admission front door, every accepted submission paying the real
+// durable journal write before its ack.
+type AdmissionResult struct {
+	Tenants   int
+	Workers   int
+	Submitted int
+	Accepted  int
+	Shed      int
+	Drained   int
+	Elapsed   time.Duration
+	AckP50    time.Duration
+	AckP99    time.Duration
+}
+
+// AcceptedPerSec is the sustained admitted-submission throughput.
+func (r AdmissionResult) AcceptedPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Accepted) / r.Elapsed.Seconds()
+}
+
+// MeasureAdmissionStorm floods an admission queue from `workers`
+// concurrent submitters spread over `tenants` tenants, setsPerTenant
+// submissions each. Every accepted submission performs the journal
+// write the scheduler's admission path performs (one durable Put of the
+// job-set document) before Commit, so the measured ack latency is the
+// real enqueue cost. With drain=true a consumer pumps the queue
+// concurrently and the run reports sustained throughput (no sheds);
+// with drain=false the queue saturates against maxQueued and the run
+// reports the saturation-vs-shed split.
+func MeasureAdmissionStorm(tenants, setsPerTenant, maxQueued, workers int, drain bool) (AdmissionResult, error) {
+	if tenants < 1 || setsPerTenant < 1 {
+		return AdmissionResult{}, fmt.Errorf("benchkit: bad admission storm shape %d×%d", tenants, setsPerTenant)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	dir, err := os.MkdirTemp("", "uvacg-admission-*")
+	if err != nil {
+		return AdmissionResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	ds, err := resourcedb.OpenDurable(dir, resourcedb.DurableOptions{Sync: true, CompactBytes: -1})
+	if err != nil {
+		return AdmissionResult{}, err
+	}
+	defer ds.Close()
+	table := ds.MustTable("jobsets", resourcedb.BlobCodec{})
+
+	q := admission.New(admission.Config{MaxQueued: maxQueued})
+	res := AdmissionResult{Tenants: tenants, Workers: workers, Submitted: tenants * setsPerTenant}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var drained atomic.Int64
+	var consumer sync.WaitGroup
+	if drain {
+		consumer.Add(1)
+		go func() {
+			defer consumer.Done()
+			for {
+				e, err := q.Next(ctx)
+				if err != nil {
+					return
+				}
+				q.Done(e.Tenant)
+				drained.Add(1)
+			}
+		}()
+	}
+
+	doc := xmlutil.NewElement(qRow, "queued job set document")
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant-%d", i)
+	}
+	lats := make([][]time.Duration, workers)
+	sheds := make([]int, workers)
+	errs := make(chan error, workers)
+	total := res.Submitted
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*total/workers, (w+1)*total/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				t0 := time.Now()
+				rsv, err := q.Reserve(names[i%tenants], "")
+				if err != nil {
+					if admission.IsQueueFull(err) {
+						sheds[w]++
+						continue
+					}
+					errs <- err
+					return
+				}
+				id := fmt.Sprintf("set-%d", i)
+				if err := table.Put(id, doc); err != nil {
+					rsv.Abort()
+					errs <- err
+					return
+				}
+				rsv.Commit(admission.Entry{ID: id, Name: id, Topic: "jobset-" + id})
+				lats[w] = append(lats[w], time.Since(t0))
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+
+	var all []time.Duration
+	for w := range lats {
+		all = append(all, lats[w]...)
+		res.Shed += sheds[w]
+	}
+	res.Accepted = len(all)
+	if drain {
+		for deadline := time.Now().Add(time.Minute); int(drained.Load()) < res.Accepted; {
+			if time.Now().After(deadline) {
+				return res, fmt.Errorf("benchkit: consumer drained %d of %d", drained.Load(), res.Accepted)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	consumer.Wait()
+	res.Drained = int(drained.Load())
+
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		res.AckP50 = all[len(all)/2]
+		res.AckP99 = all[len(all)*99/100]
+	}
+	return res, nil
+}
+
+// MeasureFairShare prefills one backlog per weighted tenant (rounds ×
+// weight entries each, so every backlog drains on the same rotation),
+// drains the queue, and reports each tenant's dequeue share inside the
+// contention window plus the worst pairwise weight-normalized ratio —
+// the E14 fairness figure (must stay under 2×).
+func MeasureFairShare(weights map[string]int, rounds int) (map[string]int, float64, error) {
+	if len(weights) < 2 || rounds < 1 {
+		return nil, 0, fmt.Errorf("benchkit: fair-share needs ≥2 tenants and ≥1 round")
+	}
+	var events []admission.Event
+	var evMu sync.Mutex
+	q := admission.New(admission.Config{
+		Weights: weights,
+		Observer: func(ev admission.Event) {
+			evMu.Lock()
+			events = append(events, ev)
+			evMu.Unlock()
+		},
+	})
+	names := make([]string, 0, len(weights))
+	for name := range weights {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	seq, total := uint64(0), 0
+	for _, name := range names {
+		for k := 0; k < rounds*weights[name]; k++ {
+			seq++
+			total++
+			q.Requeue(admission.Entry{
+				ID: fmt.Sprintf("%s-%d", name, k), Name: name, Topic: "t", Tenant: name, Seq: seq,
+			})
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for i := 0; i < total; i++ {
+		e, err := q.Next(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
+		q.Done(e.Tenant)
+	}
+	share := simgrid.DequeueShare(events, names...)
+	worst := 0.0
+	for _, a := range names {
+		for _, b := range names {
+			if share[b] == 0 {
+				continue
+			}
+			r := (float64(share[a]) / float64(weights[a])) / (float64(share[b]) / float64(weights[b]))
+			if r > worst {
+				worst = r
+			}
+		}
+	}
+	return share, worst, nil
+}

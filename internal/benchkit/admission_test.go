@@ -1,0 +1,48 @@
+package benchkit
+
+import "testing"
+
+func TestMeasureAdmissionStormDrains(t *testing.T) {
+	res, err := MeasureAdmissionStorm(50, 4, 0, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != res.Submitted || res.Shed != 0 {
+		t.Fatalf("unlimited drained storm shed work: %+v", res)
+	}
+	if res.Drained != res.Accepted {
+		t.Fatalf("drained %d of %d accepted", res.Drained, res.Accepted)
+	}
+	if res.AckP99 < res.AckP50 || res.AckP50 <= 0 {
+		t.Fatalf("nonsense latency quantiles: p50=%v p99=%v", res.AckP50, res.AckP99)
+	}
+}
+
+func TestMeasureAdmissionStormSheds(t *testing.T) {
+	res, err := MeasureAdmissionStorm(20, 10, 25, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted+res.Shed != res.Submitted {
+		t.Fatalf("accepted %d + shed %d != submitted %d", res.Accepted, res.Shed, res.Submitted)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("bounded undrained queue never shed: %+v", res)
+	}
+	if res.Accepted < 25 {
+		t.Fatalf("accepted %d, want at least the queue bound 25", res.Accepted)
+	}
+}
+
+func TestMeasureFairShareTracksWeights(t *testing.T) {
+	share, worst, err := MeasureFairShare(map[string]int{"a": 4, "b": 2, "c": 1}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst >= 2 {
+		t.Fatalf("fair-share ratio %.2f out of tolerance (shares %v)", worst, share)
+	}
+	if share["a"] <= share["b"] || share["b"] <= share["c"] {
+		t.Fatalf("shares do not respect weight order: %v", share)
+	}
+}

@@ -1,0 +1,356 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"time"
+
+	"uvacg/internal/admission"
+	"uvacg/internal/soap"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsn"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/wssec"
+	"uvacg/internal/xmlutil"
+)
+
+// Admission-control document attributes. The job-set WS-Resource
+// doubles as the enqueue journal: a Submit accepted by admission is
+// persisted with status Queued plus these coordinates before the ack,
+// and a restarted master rebuilds its queues by replaying them (the
+// PR 3 durability invariant I3, extended to parked submissions as I6).
+var (
+	qTenantAttr = xmlutil.Q("", "tenant")
+	qClassAttr  = xmlutil.Q("", "class")
+	qAdmitSeq   = xmlutil.Q("", "admitSeq")
+
+	qQueuePos = xmlutil.Q(NS, "QueuePosition")
+)
+
+// admissionRetryDelay paces activation retries after a transient
+// failure (broker unreachable, journal write refused). Retries are
+// unbounded by design — the enqueue was acked, so dropping the set
+// would lose it; the delay only keeps a dead broker from spinning the
+// pump.
+const admissionRetryDelay = 500 * time.Millisecond
+
+// queuedSet is the in-memory side of a parked submission: the queue
+// entry for cancel/park bookkeeping plus the submitting principal's
+// credentials, which are deliberately never persisted.
+type queuedSet struct {
+	entry admission.Entry
+	creds wssec.Credentials
+}
+
+// ParseQueuePosition extracts the admission queue position from a
+// SubmitJobSetResponse; ok is false when the master ran no admission
+// queue (the set started immediately).
+func ParseQueuePosition(body *xmlutil.Element) (int, bool) {
+	if body == nil || body.Name != qSubmitResp {
+		return 0, false
+	}
+	n, err := strconv.Atoi(body.ChildText(qQueuePos))
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// admitSubmit is handleSubmit's admission path: reserve a quota slot,
+// journal the set as a Queued document (the durable Put is the enqueue
+// record), park it, and ack with the queue position. The broker
+// subscriptions the legacy path establishes here are deferred to
+// activation, so an accepted Submit costs exactly one journaled write.
+func (s *Service) admitSubmit(ctx context.Context, spec *JobSetSpec, clientFiles, clientListener wsa.EndpointReference, principal wssec.Principal) (*xmlutil.Element, error) {
+	tenant := s.adm.TenantOf(principal.Username)
+	res, err := s.adm.Reserve(tenant, spec.Class)
+	if err != nil {
+		var bf *wsrf.BaseFault
+		if errors.As(err, &bf) {
+			// QueueFullFault is backpressure, not breakage: Receiver code,
+			// and the Retry-After cause rides in the fault detail.
+			return nil, bf.SOAPFault(soap.CodeReceiver)
+		}
+		return nil, soap.SenderFault("%v", err)
+	}
+
+	doc := jobSetDocument(spec, clientFiles, clientListener, principal, SetQueued)
+	doc.SetAttr(qTenantAttr, tenant)
+	doc.SetAttr(qClassAttr, admission.NormalizeClass(spec.Class))
+	doc.SetAttr(qAdmitSeq, strconv.FormatUint(res.Seq, 10))
+	setEPR, err := s.svc.CreateResource("", doc)
+	if err != nil {
+		res.Abort()
+		return nil, soap.ReceiverFault("scheduler: create job set resource: %v", err)
+	}
+	id := setEPR.Property(wsrf.QResourceID)
+	topic := "jobset-" + id
+	if err := s.svc.UpdateResource(id, func(doc *xmlutil.Element) error {
+		doc.Append(xmlutil.NewElement(QTopic, topic))
+		return nil
+	}); err != nil {
+		res.Abort()
+		_ = s.svc.DestroyResource(id)
+		return nil, soap.ReceiverFault("scheduler: %v", err)
+	}
+
+	qs := &queuedSet{creds: wssec.Credentials{Username: principal.Username, Password: principal.Password}}
+	s.mu.Lock()
+	s.wireConsumerLocked()
+	s.queued[topic] = qs
+	s.runIDs[id] = topic
+	s.mu.Unlock()
+	e, pos := res.Commit(admission.Entry{ID: id, Name: spec.Name, Topic: topic})
+	s.mu.Lock()
+	if s.queued[topic] == qs {
+		qs.entry = e
+	}
+	s.mu.Unlock()
+
+	return xmlutil.NewContainer(qSubmitResp,
+		setEPR.ElementNamed(qJobSetEPR),
+		xmlutil.NewElement(qTopicOut, topic),
+		xmlutil.NewElement(qQueuePos, strconv.Itoa(pos)),
+	), nil
+}
+
+// StartAdmission launches the dequeue pump: a loop that draws entries
+// from the admission queue in fair-share order and activates each in
+// its own goroutine. Call it once, alongside Recover, after the
+// consumer is mounted; it exits when ctx ends. A nil admission queue
+// makes it a no-op.
+func (s *Service) StartAdmission(ctx context.Context) {
+	if s.adm == nil {
+		return
+	}
+	go func() {
+		for {
+			e, err := s.adm.Next(ctx)
+			if err != nil {
+				return
+			}
+			go s.activate(context.WithoutCancel(ctx), e)
+		}
+	}()
+}
+
+// activate promotes one dequeued set into a live run: fence against
+// shard moves, re-load the journaled document, establish the broker
+// subscriptions deferred at enqueue, flip the status to Running and
+// hand the DAG to scheduleReady. Every path that does not produce a
+// live run either releases the tenant's running slot (charged by Next)
+// or re-parks the entry.
+func (s *Service) activate(ctx context.Context, e admission.Entry) {
+	s.mu.Lock()
+	qs := s.queued[e.Topic]
+	delete(s.queued, e.Topic)
+	s.mu.Unlock()
+
+	if !s.ownsSet(e.Name) {
+		// The shard moved while the set was parked. The new owner's
+		// RecoverShard re-queues it from the journaled document; this
+		// master just forgets it.
+		s.mu.Lock()
+		if s.runIDs[e.ID] == e.Topic {
+			delete(s.runIDs, e.ID)
+		}
+		s.mu.Unlock()
+		s.adm.Done(e.Tenant)
+		return
+	}
+	doc, err := s.svc.Home().Load(e.ID)
+	if err != nil || doc.ChildText(QStatus) != SetQueued {
+		// Destroyed, cancelled or already activated while parked.
+		s.adm.Done(e.Tenant)
+		return
+	}
+	var spec *JobSetSpec
+	snap := doc.Child(qSpecSnapshot)
+	if snap != nil {
+		spec, err = parseSpec(snap)
+	}
+	if snap == nil || err != nil || len(spec.Jobs) == 0 || spec.Validate() != nil {
+		s.failUnrecoverable(ctx, e.ID, e.Topic, "queued job set has no valid spec snapshot")
+		s.adm.Done(e.Tenant)
+		return
+	}
+	secured := doc.Attr(qSecured) == "true"
+	var creds wssec.Credentials
+	if qs != nil {
+		creds = qs.creds
+	}
+	if secured && creds.Username == "" {
+		// The credentials died with the process that accepted the
+		// submission — fail explicitly, as Recover does for secured runs.
+		s.failUnrecoverable(ctx, e.ID, e.Topic, "scheduler restarted; credentials are not persisted, resubmit the job set")
+		s.adm.Done(e.Tenant)
+		return
+	}
+	var clientFiles, clientListener wsa.EndpointReference
+	if el := doc.Child(qClientFiles); el != nil {
+		if epr, perr := wsa.ParseEPR(el); perr == nil {
+			clientFiles = epr
+		}
+	}
+	if el := doc.Child(qClientListener); el != nil {
+		if epr, perr := wsa.ParseEPR(el); perr == nil {
+			clientListener = epr
+		}
+	}
+
+	// Subscriptions were deferred at enqueue so the ack cost no broker
+	// round trips; establish them now, before any event can be
+	// published. The SS's own subscription is load-bearing, the client
+	// listener's best-effort (mirroring Recover).
+	if _, err := wsn.SubscribeVia(ctx, s.client, s.broker, s.ConsumerEPR(), wsn.Simple(e.Topic)); err != nil {
+		s.requeueLater(e, qs)
+		return
+	}
+	if !clientListener.IsZero() {
+		_, _ = wsn.SubscribeVia(ctx, s.client, s.broker, clientListener, wsn.Simple(e.Topic))
+	}
+	s.ensureCatalogSubscription(ctx)
+
+	if err := s.svc.UpdateResource(e.ID, func(doc *xmlutil.Element) error {
+		if c := doc.Child(QStatus); c != nil {
+			c.Text = SetRunning
+		}
+		return nil
+	}); err != nil {
+		s.requeueLater(e, qs)
+		return
+	}
+
+	r := &run{
+		id:          e.ID,
+		topic:       e.Topic,
+		spec:        spec,
+		clientFiles: clientFiles,
+		creds:       creds,
+		jobs:        make(map[string]*jobRun, len(spec.Jobs)),
+		status:      SetRunning,
+		tenant:      e.Tenant,
+	}
+	for i := range spec.Jobs {
+		j := &spec.Jobs[i]
+		r.jobs[j.Name] = &jobRun{spec: j, state: JobPending}
+	}
+	s.mu.Lock()
+	if s.runs[e.Topic] != nil {
+		s.mu.Unlock()
+		s.adm.Done(e.Tenant)
+		return
+	}
+	s.runs[e.Topic] = r
+	s.runIDs[e.ID] = e.Topic
+	s.mu.Unlock()
+	go s.scheduleReady(ctx, r)
+}
+
+// requeueLater re-parks an entry whose activation hit a transient
+// failure, after a delay.
+func (s *Service) requeueLater(e admission.Entry, qs *queuedSet) {
+	time.AfterFunc(admissionRetryDelay, func() {
+		if qs == nil {
+			qs = &queuedSet{}
+		}
+		qs.entry = e
+		s.mu.Lock()
+		s.queued[e.Topic] = qs
+		s.runIDs[e.ID] = e.Topic
+		s.mu.Unlock()
+		s.adm.Requeue(e)
+		s.adm.Done(e.Tenant)
+	})
+}
+
+// cancelQueued aborts a still-parked set: unpark it, mark the
+// invocation's own document Cancelled (the wrapper pipeline holds this
+// resource's lock, so UpdateResource would self-deadlock — same rule as
+// handleCancel), and publish the terminal event. ok is false when the
+// set was activated or removed concurrently; the caller falls back to
+// the live-run path.
+func (s *Service) cancelQueued(ctx context.Context, inv *wsrf.Invocation, topic string) (*xmlutil.Element, bool) {
+	s.mu.Lock()
+	qs := s.queued[topic]
+	if qs == nil || qs.entry.Topic == "" {
+		s.mu.Unlock()
+		return nil, false
+	}
+	e := qs.entry
+	delete(s.queued, topic)
+	delete(s.runIDs, e.ID)
+	s.mu.Unlock()
+	if !s.adm.Remove(e.Tenant, e.Seq) {
+		return nil, false
+	}
+	inv.SetProperty(QStatus, SetCancelled)
+	for _, st := range inv.Doc.ChildrenNamed(QJobState) {
+		st.SetAttr(qStatusAttr, JobCancelled)
+	}
+	if s.publishSetEventRaw(ctx, inv.ResourceID, topic, SetCancelled, "cancelled while queued") == nil {
+		inv.Doc.SetAttr(qNotifiedAttr, "true")
+	}
+	return &xmlutil.Element{Name: qCancelResp}, true
+}
+
+// releaseAdmission frees the tenant's running slot exactly once, on
+// whichever terminal transition (complete, fail, cancel, destroy, park)
+// reaches the run first. No-op for runs that never went through
+// admission.
+func (s *Service) releaseAdmission(r *run) {
+	if s.adm == nil || r.tenant == "" {
+		return
+	}
+	r.mu.Lock()
+	released := r.released
+	r.released = true
+	r.mu.Unlock()
+	if !released {
+		s.adm.Done(r.tenant)
+	}
+}
+
+// requeueRecovered re-parks a journaled Queued document found during a
+// recovery sweep; idempotent against overlapping sweeps and live state.
+func (s *Service) requeueRecovered(e admission.Entry) bool {
+	s.mu.Lock()
+	if s.queued[e.Topic] != nil || s.runs[e.Topic] != nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.wireConsumerLocked()
+	s.queued[e.Topic] = &queuedSet{entry: e}
+	s.runIDs[e.ID] = e.Topic
+	s.mu.Unlock()
+	s.adm.Requeue(e)
+	return true
+}
+
+// queuedEntry reads a parked document's admission coordinates back into
+// an Entry — the recovery half of the journal.
+func queuedEntry(id string, doc *xmlutil.Element) (admission.Entry, bool) {
+	e := admission.Entry{
+		ID:     id,
+		Name:   doc.ChildText(QName),
+		Topic:  doc.ChildText(QTopic),
+		Tenant: doc.Attr(qTenantAttr),
+		Class:  doc.Attr(qClassAttr),
+	}
+	seq, err := strconv.ParseUint(doc.Attr(qAdmitSeq), 10, 64)
+	if err != nil || e.Topic == "" || e.Tenant == "" {
+		return admission.Entry{}, false
+	}
+	e.Seq = seq
+	return e, true
+}
+
+// AdmissionStats snapshots the admission queue; zero when the master
+// runs none.
+func (s *Service) AdmissionStats() (admission.QueueStats, bool) {
+	if s.adm == nil {
+		return admission.QueueStats{}, false
+	}
+	return s.adm.Stats(), true
+}

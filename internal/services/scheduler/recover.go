@@ -70,7 +70,22 @@ func (s *Service) recoverFiltered(ctx context.Context, accept func(name string) 
 		if active {
 			continue
 		}
-		if status := doc.ChildText(QStatus); status != SetRunning {
+		status := doc.ChildText(QStatus)
+		if status == SetQueued && s.adm != nil {
+			// An acked enqueue the crash interrupted before activation: the
+			// Queued document is the journal record, so re-park it
+			// (invariant I6 — no acked enqueue lost). Requeue inserts in
+			// admission-sequence order, so replay rebuilds the old queue.
+			if e, ok := queuedEntry(id, doc); ok {
+				if s.requeueRecovered(e) {
+					resumed++
+				}
+			} else {
+				errs = append(errs, fmt.Errorf("scheduler: job set %q is queued but has no admission coordinates", id))
+			}
+			continue
+		}
+		if status != SetRunning && status != SetQueued {
 			// Terminal set whose completion event may never have left the
 			// building: the status write and the broker publish are not
 			// atomic, so a crash between them silently eats the client's
@@ -86,6 +101,8 @@ func (s *Service) recoverFiltered(ctx context.Context, accept func(name string) 
 			}
 			continue
 		}
+		// A Queued document on a master with admission turned off falls
+		// through: the parked set is promoted straight into a run.
 		if topic == "" {
 			continue
 		}
@@ -114,6 +131,14 @@ func (s *Service) recoverFiltered(ctx context.Context, accept func(name string) 
 			spec:   spec,
 			jobs:   make(map[string]*jobRun, len(spec.Jobs)),
 			status: SetRunning,
+		}
+		if s.adm != nil {
+			// The recovered set holds one of its tenant's running slots
+			// until it goes terminal, so post-crash dispatch still honors
+			// the per-tenant running cap.
+			if r.tenant = doc.Attr(qTenantAttr); r.tenant == "" {
+				r.tenant = s.adm.TenantOf("")
+			}
 		}
 		if el := doc.Child(qClientFiles); el != nil {
 			if epr, err := wsa.ParseEPR(el); err == nil {
@@ -150,6 +175,9 @@ func (s *Service) recoverFiltered(ctx context.Context, accept func(name string) 
 		s.runs[topic] = r
 		s.runIDs[id] = topic
 		s.mu.Unlock()
+		if s.adm != nil {
+			s.adm.AdoptRunning(r.tenant)
+		}
 
 		if doc.Attr(qSecured) == "true" && incomplete {
 			// Credentials died with the old process: be explicit.
@@ -163,6 +191,7 @@ func (s *Service) recoverFiltered(ctx context.Context, accept func(name string) 
 		if _, err := wsn.SubscribeVia(ctx, s.client, s.broker, s.ConsumerEPR(), wsn.Simple(topic)); err != nil {
 			// Unregister the half-recovered run so a later Recover retry
 			// starts clean, and move on to the next set.
+			s.releaseAdmission(r)
 			s.mu.Lock()
 			delete(s.runs, topic)
 			delete(s.runIDs, id)

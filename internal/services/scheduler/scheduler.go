@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"uvacg/internal/admission"
 	"uvacg/internal/services/execution"
 	"uvacg/internal/services/filesystem"
 	"uvacg/internal/services/nodeinfo"
@@ -27,8 +28,11 @@ const (
 	ActionCancel = NS + "/Cancel"
 )
 
-// Job set status values.
+// Job set status values. Queued exists only on masters running
+// admission control: the set is journaled and acked but not yet handed
+// to the dispatch engine.
 const (
+	SetQueued    = "Queued"
 	SetRunning   = "Running"
 	SetCompleted = "Completed"
 	SetFailed    = "Failed"
@@ -113,6 +117,11 @@ type Config struct {
 	// lease protocol: it only accepts and schedules job sets whose
 	// shard it holds, redirecting the rest (see shard.go).
 	Sharding *Sharding
+	// Admission, when non-nil, puts the multi-tenant admission queue in
+	// front of the dispatch engine: Submit journals the set as Queued
+	// and acks, and the StartAdmission pump activates sets in weighted
+	// fair-share order (see admission.go).
+	Admission *admission.Queue
 	// OnDispatch, when set, observes every committed job dispatch —
 	// the simulator's single-writer ledger.
 	OnDispatch func(rec DispatchRecord)
@@ -139,18 +148,20 @@ type Service struct {
 	dispatchSem  chan struct{} // bounds concurrent dispatches
 	sharding     *Sharding
 	onDispatch   func(rec DispatchRecord)
+	adm          *admission.Queue
 
 	// mu guards the maps below. Reader-heavy paths — the notification
 	// fan-in's run lookups, cancel/output queries, shard-owner routing —
 	// take the read side so they no longer serialize against each other
 	// behind Submit's writes.
 	mu            sync.RWMutex
-	runs          map[string]*run   // topic → run
-	runIDs        map[string]string // resource id → topic (for destroy eviction)
-	wired         bool              // consumer handler installed (at most once)
-	catSubscribed bool              // catalog-changed subscription established
-	shardOwners   map[int]string    // pushed shard-map routing view
-	shardEpochs   map[int]uint64    // highest epoch seen per shard
+	runs          map[string]*run       // topic → run
+	queued        map[string]*queuedSet // topic → parked submission
+	runIDs        map[string]string     // resource id → topic (for destroy eviction)
+	wired         bool                  // consumer handler installed (at most once)
+	catSubscribed bool                  // catalog-changed subscription established
+	shardOwners   map[int]string        // pushed shard-map routing view
+	shardEpochs   map[int]uint64        // highest epoch seen per shard
 
 	cat catalogCache
 }
@@ -190,6 +201,11 @@ type run struct {
 	// lost marks a run parked by a shard lease loss: another master
 	// owns the set now, and every write path drops the run on sight.
 	lost bool
+	// tenant is the admission bucket whose running slot this run holds;
+	// empty for runs that never went through the queue. released guards
+	// the slot's one-time return (see releaseAdmission).
+	tenant   string
+	released bool
 }
 
 type jobRun struct {
@@ -246,7 +262,9 @@ func New(cfg Config) (*Service, error) {
 		dispatchSem:  make(chan struct{}, cfg.MaxInflightDispatch),
 		sharding:     cfg.Sharding,
 		onDispatch:   cfg.OnDispatch,
+		adm:          cfg.Admission,
 		runs:         make(map[string]*run),
+		queued:       make(map[string]*queuedSet),
 		runIDs:       make(map[string]string),
 		shardOwners:  make(map[int]string),
 		shardEpochs:  make(map[int]uint64),
@@ -349,32 +367,13 @@ func (s *Service) handleSubmit(ctx context.Context, inv *wsrf.Invocation, body *
 
 	principal, _ := wssec.PrincipalFrom(ctx)
 
-	// The job-set WS-Resource. Everything a restarted scheduler needs
-	// to resume the run is persisted here: the spec, the client's
-	// endpoints and per-job progress (credentials excepted — they stay
-	// in memory, so secured runs cannot survive a restart).
-	doc := xmlutil.NewContainer(xmlutil.Q(NS, "JobSetState"),
-		xmlutil.NewElement(QName, spec.Name),
-		xmlutil.NewElement(QStatus, SetRunning),
-	)
-	if principal.Username != "" {
-		doc.SetAttr(qSecured, "true")
+	if s.adm != nil {
+		// Admission control is on: journal the set as Queued and ack; the
+		// fair-share pump activates it later.
+		return s.admitSubmit(ctx, spec, clientFiles, clientListener, principal)
 	}
-	snapshot := &xmlutil.Element{Name: qSpecSnapshot}
-	snapshot.Append(specElement(spec)...)
-	doc.Append(snapshot)
-	if !clientFiles.IsZero() {
-		doc.Append(clientFiles.ElementNamed(qClientFiles))
-	}
-	if !clientListener.IsZero() {
-		doc.Append(clientListener.ElementNamed(qClientListener))
-	}
-	for _, j := range spec.Jobs {
-		st := xmlutil.NewElement(QJobState, "")
-		st.SetAttr(qNameAttr, j.Name)
-		st.SetAttr(qStatusAttr, JobPending)
-		doc.Append(st)
-	}
+
+	doc := jobSetDocument(spec, clientFiles, clientListener, principal, SetRunning)
 	setEPR, err := s.svc.CreateResource("", doc)
 	if err != nil {
 		return nil, soap.ReceiverFault("scheduler: create job set resource: %v", err)
@@ -442,6 +441,36 @@ func (s *Service) handleSubmit(ctx context.Context, inv *wsrf.Invocation, body *
 		setEPR.ElementNamed(qJobSetEPR),
 		xmlutil.NewElement(qTopicOut, topic),
 	), nil
+}
+
+// jobSetDocument builds the job-set WS-Resource. Everything a restarted
+// scheduler needs to resume the run is persisted here: the spec, the
+// client's endpoints and per-job progress (credentials excepted — they
+// stay in memory, so secured runs cannot survive a restart).
+func jobSetDocument(spec *JobSetSpec, clientFiles, clientListener wsa.EndpointReference, principal wssec.Principal, status string) *xmlutil.Element {
+	doc := xmlutil.NewContainer(xmlutil.Q(NS, "JobSetState"),
+		xmlutil.NewElement(QName, spec.Name),
+		xmlutil.NewElement(QStatus, status),
+	)
+	if principal.Username != "" {
+		doc.SetAttr(qSecured, "true")
+	}
+	snapshot := &xmlutil.Element{Name: qSpecSnapshot}
+	snapshot.Append(specElement(spec)...)
+	doc.Append(snapshot)
+	if !clientFiles.IsZero() {
+		doc.Append(clientFiles.ElementNamed(qClientFiles))
+	}
+	if !clientListener.IsZero() {
+		doc.Append(clientListener.ElementNamed(qClientListener))
+	}
+	for _, j := range spec.Jobs {
+		st := xmlutil.NewElement(QJobState, "")
+		st.SetAttr(qNameAttr, j.Name)
+		st.SetAttr(qStatusAttr, JobPending)
+		doc.Append(st)
+	}
+	return doc
 }
 
 func needsClientFiles(spec *JobSetSpec) bool {
@@ -854,6 +883,7 @@ func (s *Service) maybeComplete(ctx context.Context, r *run) {
 	}
 	r.status = SetCompleted
 	r.mu.Unlock()
+	s.releaseAdmission(r)
 	s.setStatus(r, SetCompleted)
 	// Stamp notified only when the broker actually took the event: a
 	// failed publish must leave the marker off so Recover republishes
@@ -893,6 +923,7 @@ func (s *Service) failJob(ctx context.Context, r *run, jobName, reason string) {
 	if alreadyDone {
 		return
 	}
+	s.releaseAdmission(r)
 	for _, epr := range toKill {
 		_, _ = s.client.Call(ctx, epr, execution.ActionKill, execution.KillRequest())
 	}
@@ -909,7 +940,18 @@ func (s *Service) handleCancel(ctx context.Context, inv *wsrf.Invocation, body *
 	topic := inv.Property(QTopic)
 	s.mu.RLock()
 	r := s.runs[topic]
+	parked := r == nil && s.queued[topic] != nil
 	s.mu.RUnlock()
+	if parked {
+		if resp, ok := s.cancelQueued(ctx, inv, topic); ok {
+			return resp, nil
+		}
+		// Lost the race with activation: the run registers shortly;
+		// the client can cancel again.
+		s.mu.RLock()
+		r = s.runs[topic]
+		s.mu.RUnlock()
+	}
 	if r == nil {
 		return nil, wsrf.NewBaseFault("NoSuchJobSetFault", "job set %q has no active run", inv.ResourceID).SOAPFault(soap.CodeSender)
 	}
@@ -932,6 +974,7 @@ func (s *Service) handleCancel(ctx context.Context, inv *wsrf.Invocation, body *
 		states[name] = j.state
 	}
 	r.mu.Unlock()
+	s.releaseAdmission(r)
 	for _, epr := range toKill {
 		_, _ = s.client.Call(ctx, epr, execution.ActionKill, execution.KillRequest())
 	}
@@ -1064,10 +1107,17 @@ func (s *Service) onSetDestroyed(id string) {
 	delete(s.runIDs, id)
 	r := s.runs[topic]
 	delete(s.runs, topic)
+	qs := s.queued[topic]
+	delete(s.queued, topic)
 	s.mu.Unlock()
+	if qs != nil && s.adm != nil && qs.entry.Topic != "" {
+		// Destroyed while parked: unpark, no running slot to release.
+		s.adm.Remove(qs.entry.Tenant, qs.entry.Seq)
+	}
 	if r == nil {
 		return
 	}
+	s.releaseAdmission(r)
 	r.mu.Lock()
 	wasRunning := r.status == SetRunning
 	if wasRunning {

@@ -32,6 +32,12 @@ type ssHarness struct {
 }
 
 func newSSHarness(t *testing.T, policy Policy, accounts wssec.StaticAccounts, nodeNames ...string) *ssHarness {
+	return newSSHarnessCfg(t, policy, accounts, nil, nodeNames...)
+}
+
+// newSSHarnessCfg is newSSHarness with a Config hook, for tests that
+// need extra scheduler knobs (admission control).
+func newSSHarnessCfg(t *testing.T, policy Policy, accounts wssec.StaticAccounts, mutate func(*Config), nodeNames ...string) *ssHarness {
 	t.Helper()
 	network := transport.NewNetwork()
 	client := transport.NewClient().WithNetwork(network)
@@ -67,6 +73,9 @@ func newSSHarness(t *testing.T, policy Policy, accounts wssec.StaticAccounts, no
 			cert, ok := esCerts[es.Address]
 			return cert, ok
 		}
+	}
+	if mutate != nil {
+		mutate(&ssCfg)
 	}
 	ss, err := New(ssCfg)
 	if err != nil {

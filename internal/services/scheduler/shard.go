@@ -234,6 +234,18 @@ func (s *Service) parkShard(shard int) {
 		delete(s.runIDs, r.id)
 		parked = append(parked, r)
 	}
+	// Queued sets of the lost shard leave the admission queue too: their
+	// journaled documents still say Queued, so the new owner's recovery
+	// sweep re-parks them on its own queue.
+	var evicted []queuedSet
+	for topic, qs := range s.queued {
+		if qs.entry.Topic == "" || s.shardOf(qs.entry.Name) != shard {
+			continue
+		}
+		delete(s.queued, topic)
+		delete(s.runIDs, qs.entry.ID)
+		evicted = append(evicted, *qs)
+	}
 	s.mu.Unlock()
 	for _, r := range parked {
 		r.mu.Lock()
@@ -242,6 +254,14 @@ func (s *Service) parkShard(shard int) {
 			stopWatchdog(j)
 		}
 		r.mu.Unlock()
+		// The run now belongs to another master; give its tenant's
+		// running slot back to this one's queue.
+		s.releaseAdmission(r)
+	}
+	if s.adm != nil {
+		for _, qs := range evicted {
+			s.adm.Remove(qs.entry.Tenant, qs.entry.Seq)
+		}
 	}
 }
 

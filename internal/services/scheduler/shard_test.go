@@ -56,6 +56,11 @@ func (c *testClock) Advance(d time.Duration) {
 }
 
 func newMultiHarness(t *testing.T, shards int, nodeNames ...string) *multiHarness {
+	return newMultiHarnessCfg(t, shards, nil, nodeNames...)
+}
+
+// newMultiHarnessCfg is newMultiHarness with a per-master Config hook.
+func newMultiHarnessCfg(t *testing.T, shards int, mutate func(i int, cfg *Config), nodeNames ...string) *multiHarness {
 	t.Helper()
 	network := transport.NewNetwork()
 	client := transport.NewClient().WithNetwork(network)
@@ -108,7 +113,7 @@ func newMultiHarness(t *testing.T, shards int, nodeNames ...string) *multiHarnes
 		peer := func(shard int) (wsa.EndpointReference, bool) {
 			return wsa.NewEPR(addrFor(shard%2) + "/SchedulerService"), true
 		}
-		ss, err := New(Config{
+		cfg := Config{
 			Address:  addr,
 			Home:     wsrf.NewStateHome(jobsets),
 			Client:   client,
@@ -116,7 +121,11 @@ func newMultiHarness(t *testing.T, shards int, nodeNames ...string) *multiHarnes
 			Broker:   broker.EPR(),
 			Policy:   Greedy{},
 			Sharding: &Sharding{Manager: mgr, PeerForShard: peer, RenewInterval: time.Hour},
-		})
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		ss, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"uvacg/internal/admission"
 	"uvacg/internal/xmlutil"
 )
 
@@ -42,10 +43,13 @@ type JobSpec struct {
 	Outputs []string
 }
 
-// JobSetSpec is a whole job set.
+// JobSetSpec is a whole job set. Class is the admission priority class
+// (admission.ClassInteractive/Batch/Scavenger; empty means batch) —
+// masters without admission control ignore it.
 type JobSetSpec struct {
-	Name string
-	Jobs []JobSpec
+	Name  string
+	Class string
+	Jobs  []JobSpec
 }
 
 // sourceParts splits "scheme://name" source URIs.
@@ -72,6 +76,9 @@ func DependencyOf(source string) (job string, ok bool) {
 func (js *JobSetSpec) Validate() error {
 	if len(js.Jobs) == 0 {
 		return fmt.Errorf("scheduler: job set %q has no jobs", js.Name)
+	}
+	if !admission.ValidClass(js.Class) {
+		return fmt.Errorf("scheduler: job set %q has unknown priority class %q", js.Name, js.Class)
 	}
 	byName := make(map[string]*JobSpec, len(js.Jobs))
 	for i := range js.Jobs {
@@ -193,6 +200,7 @@ var (
 	qSubmit         = xmlutil.Q(NS, "SubmitJobSet")
 	qSubmitResp     = xmlutil.Q(NS, "SubmitJobSetResponse")
 	qSetName        = xmlutil.Q(NS, "Name")
+	qSetClass       = xmlutil.Q(NS, "Class")
 	qJobSpec        = xmlutil.Q(NS, "Job")
 	qJobName        = xmlutil.Q(NS, "JobName")
 	qExecutable     = xmlutil.Q(NS, "Executable")
@@ -209,6 +217,9 @@ var (
 // specElement renders the job set portion of a Submit body.
 func specElement(js *JobSetSpec) []*xmlutil.Element {
 	out := []*xmlutil.Element{xmlutil.NewElement(qSetName, js.Name)}
+	if js.Class != "" {
+		out = append(out, xmlutil.NewElement(qSetClass, js.Class))
+	}
 	for _, j := range js.Jobs {
 		jobEl := xmlutil.NewContainer(qJobSpec,
 			xmlutil.NewElement(qJobName, j.Name),
@@ -229,7 +240,7 @@ func specElement(js *JobSetSpec) []*xmlutil.Element {
 
 // parseSpec decodes the job set portion of a Submit body.
 func parseSpec(body *xmlutil.Element) (*JobSetSpec, error) {
-	js := &JobSetSpec{Name: body.ChildText(qSetName)}
+	js := &JobSetSpec{Name: body.ChildText(qSetName), Class: body.ChildText(qSetClass)}
 	for _, jobEl := range body.ChildrenNamed(qJobSpec) {
 		j := JobSpec{Name: jobEl.ChildText(qJobName)}
 		if exe := jobEl.Child(qExecutable); exe != nil {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"uvacg/internal/admission"
 	"uvacg/internal/core"
 	"uvacg/internal/node"
 	"uvacg/internal/pipeline"
@@ -21,6 +22,7 @@ import (
 	"uvacg/internal/wsa"
 	"uvacg/internal/wsn"
 	"uvacg/internal/wsrf"
+	"uvacg/internal/wssec"
 )
 
 // Cluster hosts: the master machine and the observer/client machine are
@@ -68,6 +70,10 @@ type ClusterConfig struct {
 	// master's dispatch capacity — the resource multi-master replicates
 	// — is a controlled variable.
 	MaxInflight int
+	// Admission, when non-nil, fronts every scheduler with a durable
+	// multi-tenant admission queue (quotas, fair share, QueueFullFault
+	// backpressure). See AdmissionConfig.
+	Admission *AdmissionConfig
 }
 
 // Ack records one acknowledged submission: the scheduler accepted the
@@ -89,6 +95,7 @@ type masterServices struct {
 	broker *wsn.Broker
 	nis    *nodeinfo.Service
 	ss     *scheduler.Service
+	cancel context.CancelFunc // stops the incarnation's admission pump
 }
 
 // nodeHost is one incarnation of an execution machine.
@@ -123,6 +130,9 @@ type Cluster struct {
 	// committed dispatch, in commit order.
 	shardEvents []scheduler.ShardEvent
 	dispatches  []scheduler.DispatchRecord
+	// Ledger for invariant I6: every admission-queue transition across
+	// all master incarnations, in commit order.
+	admEvents []admission.Event
 }
 
 // NewCluster builds and starts a cluster with chaos disabled; call
@@ -282,7 +292,7 @@ func (c *Cluster) startMaster() error {
 	if err != nil {
 		return err
 	}
-	ss, err := scheduler.New(scheduler.Config{
+	ssCfg := scheduler.Config{
 		Address:             addr,
 		Home:                wsrf.NewStateHome(store.MustTable("jobsets", resourcedb.BlobCodec{})),
 		Client:              client,
@@ -291,7 +301,12 @@ func (c *Cluster) startMaster() error {
 		JobTimeout:          c.cfg.JobTimeout,
 		CatalogTTL:          c.cfg.CatalogTTL,
 		MaxInflightDispatch: c.cfg.MaxInflight,
-	})
+	}
+	if c.cfg.Admission != nil {
+		ssCfg.Admission = c.newAdmissionQueue()
+		ssCfg.Security = c.admissionVerifier()
+	}
+	ss, err := scheduler.New(ssCfg)
 	if err != nil {
 		return err
 	}
@@ -306,8 +321,11 @@ func (c *Cluster) startMaster() error {
 	srv.Use(serverInterceptors()...)
 	c.Network.Register(MasterHost, srv)
 
+	mctx, cancel := context.WithCancel(context.Background())
+	ss.StartAdmission(mctx)
+
 	c.mu.Lock()
-	c.master = &masterServices{store: store, client: client, broker: broker, nis: nis, ss: ss}
+	c.master = &masterServices{store: store, client: client, broker: broker, nis: nis, ss: ss, cancel: cancel}
 	c.mu.Unlock()
 	return nil
 }
@@ -428,6 +446,7 @@ func (c *Cluster) NodeNames() []string {
 func (c *Cluster) CrashMaster() {
 	m := c.Master()
 	c.Network.Deregister(MasterHost)
+	m.cancel()
 	_ = m.store.Close()
 }
 
@@ -468,14 +487,33 @@ func (c *Cluster) RestartNode(ctx context.Context, name string) error {
 // redirects the way a sharded gridsub does.
 func (c *Cluster) Submit(ctx context.Context, spec *scheduler.JobSetSpec) (Ack, error) {
 	if c.MultiMaster() {
-		return c.submitMulti(ctx, spec)
+		return c.submitMulti(ctx, spec, nil)
 	}
+	return c.submitSingle(ctx, spec, nil)
+}
+
+// submitEnvelope builds the Submit envelope, tagged with the tenant's
+// UsernameToken when creds are given (the SubmitAs path).
+func (c *Cluster) submitEnvelope(spec *scheduler.JobSetSpec, creds *wssec.Credentials) (*soap.Envelope, error) {
+	env := soap.New(scheduler.SubmitRequest(spec, c.Observer.FilesEPR(), c.Observer.ListenerEPR()))
+	if creds != nil {
+		if err := wssec.AttachUsernameToken(env, *creds, false, time.Now()); err != nil {
+			return nil, err
+		}
+	}
+	return env, nil
+}
+
+func (c *Cluster) submitSingle(ctx context.Context, spec *scheduler.JobSetSpec, creds *wssec.Credentials) (Ack, error) {
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
-		resp, err := c.Observer.client.Call(ctx, c.Scheduler().EPR(), scheduler.ActionSubmit,
-			scheduler.SubmitRequest(spec, c.Observer.FilesEPR(), c.Observer.ListenerEPR()))
+		env, err := c.submitEnvelope(spec, creds)
+		if err != nil {
+			return Ack{}, err
+		}
+		resp, err := c.Observer.client.Invoke(ctx, c.Scheduler().EPR(), scheduler.ActionSubmit, env)
 		if err == nil {
-			set, topic, perr := scheduler.ParseSubmitResponse(resp)
+			set, topic, perr := scheduler.ParseSubmitResponse(resp.Body)
 			if perr != nil {
 				return Ack{}, perr
 			}
@@ -486,6 +524,11 @@ func (c *Cluster) Submit(ctx context.Context, spec *scheduler.JobSetSpec) (Ack, 
 			return ack, nil
 		}
 		lastErr = err
+		// Backpressure is a verdict, not an outage: propagate the typed
+		// QueueFullFault so the caller can honor its Retry-After hint.
+		if admission.IsQueueFull(err) {
+			return Ack{}, err
+		}
 		select {
 		case <-ctx.Done():
 			return Ack{}, ctx.Err()
@@ -589,6 +632,7 @@ func (c *Cluster) Close() {
 		_ = h.store.Close()
 	}
 	if m != nil {
+		m.cancel()
 		_ = m.store.Close()
 	}
 	if core != nil {

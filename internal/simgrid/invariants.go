@@ -3,6 +3,7 @@ package simgrid
 import (
 	"fmt"
 
+	"uvacg/internal/admission"
 	"uvacg/internal/services/scheduler"
 )
 
@@ -30,6 +31,12 @@ import (
 //	    epoch must never regress along the dispatch ledger and one
 //	    epoch must never be shared by two owners. At quiescence at
 //	    most one live master still holds each shard.
+//	I6  Admitted means activated (admission only): no document is still
+//	    Queued at quiescence and every live master's queue is empty —
+//	    a parked submission always ends up dispatched, cancelled or
+//	    re-queued onto the shard's new owner, never stranded. The
+//	    admission ledger must be internally consistent: every dequeue
+//	    or remove names a (tenant, seq) that a prior enqueue admitted.
 func CheckInvariants(c *Cluster, sc *Scenario) []string {
 	var violations []string
 	docs := c.JobSetDocs()
@@ -158,6 +165,43 @@ func CheckInvariants(c *Cluster, sc *Scenario) []string {
 			if holders := c.LiveHolders(shard); len(holders) > 1 {
 				violations = append(violations,
 					fmt.Sprintf("I5: shard %d held by %d live masters at quiescence: %v", shard, len(holders), holders))
+			}
+		}
+	}
+
+	// I6: admission conservation. Queued is a transit state — at
+	// quiescence the journal must hold none, the live queues must be
+	// drained, and the ledger must account for every exit.
+	if c.AdmissionEnabled() {
+		for _, v := range docs {
+			if v.Status == scheduler.SetQueued {
+				violations = append(violations,
+					fmt.Sprintf("I6: set %s (topic %s) still Queued at quiescence", v.Name, v.Topic))
+			}
+		}
+		for host, st := range c.liveAdmissionStats() {
+			if st.Depth != 0 || st.Reserved != 0 {
+				violations = append(violations,
+					fmt.Sprintf("I6: %s admission queue not drained: depth=%d reserved=%d", host, st.Depth, st.Reserved))
+			}
+		}
+		type tenantSeq struct {
+			tenant string
+			seq    uint64
+		}
+		admitted := make(map[tenantSeq]int)
+		for _, ev := range c.AdmissionEvents() {
+			k := tenantSeq{ev.Tenant, ev.Seq}
+			switch ev.Kind {
+			case admission.EventEnqueue:
+				admitted[k]++
+			case admission.EventDequeue, admission.EventRemove:
+				if admitted[k] == 0 {
+					violations = append(violations,
+						fmt.Sprintf("I6: tenant %s seq %d left the queue without a matching enqueue", ev.Tenant, ev.Seq))
+					continue
+				}
+				admitted[k]--
 			}
 		}
 	}

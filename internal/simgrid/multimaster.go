@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uvacg/internal/admission"
 	"uvacg/internal/lease"
 	"uvacg/internal/pipeline"
 	"uvacg/internal/resourcedb"
@@ -18,6 +19,7 @@ import (
 	"uvacg/internal/wsa"
 	"uvacg/internal/wsn"
 	"uvacg/internal/wsrf"
+	"uvacg/internal/wssec"
 	"uvacg/internal/xmlutil"
 )
 
@@ -249,7 +251,7 @@ func (c *Cluster) startMasterN(i int) error {
 	if err != nil {
 		return err
 	}
-	ss, err := scheduler.New(scheduler.Config{
+	ssCfg := scheduler.Config{
 		Address:             addr,
 		Home:                &fencedHome{inner: wsrf.NewStateHome(c.core.jobsets), f: f},
 		Client:              client,
@@ -266,7 +268,12 @@ func (c *Cluster) startMasterN(i int) error {
 			Observer: c.noteShardEvent,
 		},
 		OnDispatch: c.noteDispatch,
-	})
+	}
+	if c.cfg.Admission != nil {
+		ssCfg.Admission = c.newAdmissionQueue()
+		ssCfg.Security = c.admissionVerifier()
+	}
+	ss, err := scheduler.New(ssCfg)
 	if err != nil {
 		return err
 	}
@@ -280,6 +287,7 @@ func (c *Cluster) startMasterN(i int) error {
 
 	mctx, cancel := context.WithCancel(context.Background())
 	ss.StartSharding(mctx)
+	ss.StartAdmission(mctx)
 
 	c.mu.Lock()
 	for len(c.masters) <= i {
@@ -398,7 +406,7 @@ func (c *Cluster) LiveHolders(shard int) []string {
 // gridsub does, and retrying across failover windows — a shard can be
 // ownerless for a full lease TTL plus grace after a master death, and
 // the submission must land once a survivor claims it.
-func (c *Cluster) submitMulti(ctx context.Context, spec *scheduler.JobSetSpec) (Ack, error) {
+func (c *Cluster) submitMulti(ctx context.Context, spec *scheduler.JobSetSpec, creds *wssec.Credentials) (Ack, error) {
 	deadline := time.Now().Add(8 * time.Second)
 	c.mu.Lock()
 	at := c.rr % c.cfg.Masters
@@ -408,10 +416,13 @@ func (c *Cluster) submitMulti(ctx context.Context, spec *scheduler.JobSetSpec) (
 	hops := 0
 	var lastErr error
 	for {
-		resp, err := c.Observer.client.Call(ctx, target, scheduler.ActionSubmit,
-			scheduler.SubmitRequest(spec, c.Observer.FilesEPR(), c.Observer.ListenerEPR()))
+		env, err := c.submitEnvelope(spec, creds)
+		if err != nil {
+			return Ack{}, err
+		}
+		resp, err := c.Observer.client.Invoke(ctx, target, scheduler.ActionSubmit, env)
 		if err == nil {
-			set, topic, perr := scheduler.ParseSubmitResponse(resp)
+			set, topic, perr := scheduler.ParseSubmitResponse(resp.Body)
 			if perr != nil {
 				return Ack{}, perr
 			}
@@ -422,6 +433,9 @@ func (c *Cluster) submitMulti(ctx context.Context, spec *scheduler.JobSetSpec) (
 			return ack, nil
 		}
 		lastErr = err
+		if admission.IsQueueFull(err) {
+			return Ack{}, err
+		}
 		// A redirect is a routing hop, not a failure; but the owner the
 		// fault names can itself be stale (a dead master's unexpired
 		// lease), so bound the hop chain and fall back to rotation.

@@ -33,6 +33,9 @@ wal_commit_nosync_us lower
 wal_commit_fsync_us_8w lower
 soap_tcp_mib_per_s higher
 dispatch_jobs_per_s higher
+admission_accepted_per_s higher
+admission_ack_p50_us lower
+admission_ack_p99_us lower
 '
 
 # extract KEY FILE: prints the numeric value of a top-level key, or
