@@ -41,6 +41,7 @@ import (
 	"uvacg/internal/lease"
 	"uvacg/internal/pipeline"
 	"uvacg/internal/resourcedb"
+	"uvacg/internal/services/filesystem"
 	"uvacg/internal/services/nodeinfo"
 	"uvacg/internal/services/scheduler"
 	"uvacg/internal/soap"
@@ -54,7 +55,9 @@ import (
 func main() {
 	addr := flag.String("addr", ":8700", "listen address (host:port)")
 	host := flag.String("host", "localhost", "public host name services advertise in EPRs")
-	policyName := flag.String("policy", "greedy", "scheduling policy: greedy, round-robin or random")
+	policyName := flag.String("policy", "greedy", "scheduling policy: greedy, round-robin, random or data-aware")
+	dataAware := flag.Bool("data-aware", false, "shorthand for -policy data-aware: weigh where staged inputs already live into placement")
+	replicas := flag.Int("replicas", 0, "run the replication layer: fan staged job-set inputs out to this many FSS nodes, journaling acked holder sets (0 disables)")
 	accountsFlag := flag.String("accounts", "", "comma-separated user:password accounts; empty disables WS-Security")
 	snapshot := flag.String("snapshot", "", "path for resource database snapshots: loaded at startup if present, written on shutdown")
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshot): every state change is journaled and survives a crash; overrides -snapshot")
@@ -152,6 +155,9 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *dataAware {
+		*policyName = "data-aware"
+	}
 	ssCfg := scheduler.Config{
 		Address:    address,
 		Home:       wsrf.NewStateHome(store.MustTable("jobsets", resourcedb.BlobCodec{})),
@@ -198,6 +204,19 @@ func main() {
 	mux.Handle(nis.WSRF().Path(), nis.WSRF().Dispatcher())
 	mux.Handle(ss.WSRF().Path(), ss.WSRF().Dispatcher())
 	ss.Consumer().Mount(mux, ss.ConsumerPath())
+	var replicator *filesystem.Replicator
+	if *replicas > 0 {
+		replicator = filesystem.NewReplicator(filesystem.ReplicatorConfig{
+			Address:  address,
+			Client:   client,
+			Broker:   broker.EPR(),
+			NIS:      nis.EPR(),
+			Replicas: *replicas,
+			Journal:  store.MustTable("replicas", resourcedb.BlobCodec{}),
+			Metrics:  metrics,
+		})
+		replicator.Consumer().Mount(mux, replicator.ConsumerPath())
+	}
 
 	srv := transport.NewServer(mux)
 	srv.Use(pipeline.ServerRequestID(), pipeline.ServerDeadline())
@@ -236,6 +255,16 @@ func main() {
 	if admQueue != nil {
 		ss.StartAdmission(shardCtx)
 		log.Printf("admission queue enabled (depth %d)", *queueDepth)
+	}
+	if replicator != nil {
+		rctx, rcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := replicator.Start(rctx); err != nil {
+			log.Printf("replicator subscription: %v (staged inputs will not be fanned out)", err)
+		} else {
+			st := replicator.Stats()
+			log.Printf("replication enabled (K=%d, %d journaled holder set(s) recovered)", *replicas, st.Tracked)
+		}
+		rcancel()
 	}
 	log.Printf("gridmaster up at %s (advertising %s)", base, address)
 	log.Printf("  broker:    %s", broker.EPR().Address)
@@ -390,6 +419,8 @@ func pickPolicy(name string) scheduler.Policy {
 		return scheduler.RoundRobin{}
 	case "random":
 		return scheduler.NewRandom(1)
+	case "data-aware":
+		return scheduler.DataAware{}
 	default:
 		return scheduler.Greedy{}
 	}

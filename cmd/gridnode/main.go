@@ -53,6 +53,7 @@ func main() {
 	trace := flag.Bool("trace", false, "log one line per call with its request ID")
 	noAttach := flag.Bool("noattach", false, "inline binary content as base64 instead of soap.tcp attachments")
 	tcpPool := flag.Int("tcp-pool", 8, "max idle pooled soap.tcp connections per host (0 dials per message)")
+	replicaEvents := flag.Bool("replica-events", false, "publish replica-manifest stored events for staged files (pair with gridmaster -replicas / -data-aware)")
 	flag.Parse()
 	if *name == "" {
 		log.Fatal("gridnode: -name is required")
@@ -109,12 +110,17 @@ func main() {
 	brokerEPR := wsa.NewEPR(*master + "/NotificationBroker")
 	nisEPR := wsa.NewEPR(*master + "/NodeInfoService")
 
-	fss, err := filesystem.New(filesystem.Config{
+	fssCfg := filesystem.Config{
 		Address: address,
 		FS:      fs,
 		Client:  client,
 		Home:    wsrf.NewStateHome(store.MustTable("directories", resourcedb.StructuredCodec{})),
-	})
+		Host:    *name,
+	}
+	if *replicaEvents {
+		fssCfg.Broker = brokerEPR
+	}
+	fss, err := filesystem.New(fssCfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -63,6 +63,7 @@ func main() {
 	walFlushWindow := flag.Duration("wal-flush-window", 0, "adaptive WAL group-commit linger: how long a flush leader waits for concurrent committers before fsyncing a lone record (0 disables)")
 	noFastCodec := flag.Bool("nofastcodec", false, "disable the streaming SOAP fast-path codec; every envelope goes through encoding/xml")
 	class := flag.String("class", "", "admission priority class: interactive, batch or scavenger")
+	replicas := flag.Int("replicas", 0, "ask the master's replication layer to keep this set's staged inputs on at least this many FSS nodes (0 leaves the master default)")
 	maxRetryAfter := flag.Duration("max-retry-after", 30*time.Second, "cap on the Retry-After hint honored between submit retries when the admission queue sheds")
 	verbose := flag.Bool("v", false, "verbose: print the admission queue position of an accepted submit")
 	flag.Parse()
@@ -87,6 +88,12 @@ func main() {
 			log.Fatalf("gridsub: unknown -class %q (want interactive, batch or scavenger)", *class)
 		}
 		desc.Spec.Class = *class
+	}
+	if *replicas < 0 {
+		log.Fatalf("gridsub: -replicas must be non-negative")
+	}
+	if *replicas > 0 {
+		desc.Spec.Replicas = *replicas
 	}
 
 	client := transport.NewClient()

@@ -1,5 +1,5 @@
 // Command wsrfbench regenerates the experiment tables recorded in
-// EXPERIMENTS.md: one table per experiment id (F1, F3, E1-E14), driven
+// EXPERIMENTS.md: one table per experiment id (F1, F3, E1-E15), driven
 // by the same internal/benchkit harnesses as the testing.B benchmarks.
 //
 //	wsrfbench [-quick] [-only E4,E7]
@@ -68,6 +68,7 @@ func main() {
 		{"E11", "WAL durability: commit modes and recovery", expE11},
 		{"E13", "multi-master scaling and failover", expE13},
 		{"E14", "admission: multi-tenant submit storm (§4.2/§4.5)", expE14},
+		{"E15", "data-aware placement on data-bound sets (§4.5/§4.6)", expE15},
 		{"F3", "end-to-end job set execution (Fig. 3)", expF3},
 	}
 	for _, e := range experiments {
@@ -505,6 +506,31 @@ func expE14() error {
 	}
 	fmt.Printf("  fair-share gold:4 silver:2 bronze:1  shares %d/%d/%d  worst ratio %.2f (tolerance 2.00)\n",
 		share["gold"], share["silver"], share["bronze"], worst)
+	return nil
+}
+
+func expE15() error {
+	// Same data-bound workload under each policy: equal machines, fresh
+	// input parts per set, two replicas per blob. The locality column is
+	// the mechanism; the jobs/s column is what it buys.
+	sets, jobs := iters(6, 2), iters(12, 6)
+	for _, policy := range []scheduler.Policy{scheduler.RoundRobin{}, scheduler.Greedy{}, scheduler.DataAware{}} {
+		res, err := benchkit.MeasureDataPlacement(ctx, policy, sets, jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s %3d jobs in %10v  %6.1f jobs/s  local bytes %3.0f%%  (blob %d local %d pull %d wire %d)\n",
+			res.Policy, res.Jobs, res.Elapsed.Round(time.Millisecond), res.JobsPerSec,
+			100*res.LocalFrac(), res.BlobHits, res.LocalCopies, res.PullThroughs, res.WireFetches)
+	}
+	// The raw content-addressed transfer path the pull-throughs ride.
+	for _, size := range []int{256 << 10, 4 << 20} {
+		mibs, err := benchkit.MeasureStagingThroughput(ctx, size, iters(40, 5))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  pull-through size %8d  %8.1f MiB/s\n", size, mibs)
+	}
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"uvacg/internal/benchkit"
+	"uvacg/internal/services/scheduler"
 	"uvacg/internal/soap"
 	"uvacg/internal/xmlutil"
 )
@@ -60,6 +61,16 @@ type BenchRecord struct {
 	AdmissionAckP99Us           float64 `json:"admission_ack_p99_us"`
 	AdmissionShed               int     `json:"admission_shed"`
 	AdmissionFairnessWorstRatio float64 `json:"admission_fairness_worst_ratio"`
+
+	// E15: content-addressed staging and data-aware placement. The raw
+	// blob pull-through bandwidth (4 MiB payloads, no injected wire
+	// delay), then the data-bound job-set throughput under the
+	// data-aware policy versus the round-robin baseline, with the
+	// local-byte fraction that explains the gap.
+	StagingMiBPerSec        float64 `json:"staging_mib_per_s"`
+	E15DataAwareJobsPerSec  float64 `json:"e15_data_aware_jobs_per_s"`
+	E15RoundRobinJobsPerSec float64 `json:"e15_round_robin_jobs_per_s"`
+	E15DataAwareLocalFrac   float64 `json:"e15_data_aware_local_frac"`
 }
 
 // recordEnvelope mirrors internal/soap's benchmark message: WS-A
@@ -189,6 +200,26 @@ func recordBench(path string) error {
 		return err
 	}
 	rec.AdmissionFairnessWorstRatio = worst
+
+	fmt.Println("  staging pull-through ...")
+	rec.StagingMiBPerSec, err = benchkit.MeasureStagingThroughput(ctx, 4<<20, iters(20, 3))
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("  data placement (E15) ...")
+	sets, jobs := iters(6, 2), iters(12, 6)
+	aware, err := benchkit.MeasureDataPlacement(ctx, scheduler.DataAware{}, sets, jobs)
+	if err != nil {
+		return err
+	}
+	rec.E15DataAwareJobsPerSec = aware.JobsPerSec
+	rec.E15DataAwareLocalFrac = aware.LocalFrac()
+	rr, err := benchkit.MeasureDataPlacement(ctx, scheduler.RoundRobin{}, sets, jobs)
+	if err != nil {
+		return err
+	}
+	rec.E15RoundRobinJobsPerSec = rr.JobsPerSec
 
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

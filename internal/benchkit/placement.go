@@ -1,0 +1,251 @@
+package benchkit
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"uvacg/internal/core"
+	"uvacg/internal/procspawn"
+	"uvacg/internal/resourcedb"
+	"uvacg/internal/services/filesystem"
+	"uvacg/internal/services/scheduler"
+	"uvacg/internal/soap"
+	"uvacg/internal/transport"
+	"uvacg/internal/vfs"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/wssec"
+)
+
+// placementParts is how many input files each data-bound job stages:
+// more parts means more staging RPCs per remote placement, which is the
+// cost a data-aware policy avoids.
+const placementParts = 3
+
+// PlacementResult is one E15 measurement: data-bound job sets run to
+// completion under one scheduling policy, with the staging-route
+// breakdown that explains the throughput.
+type PlacementResult struct {
+	Policy     string
+	Jobs       int
+	Elapsed    time.Duration
+	JobsPerSec float64
+	// Byte totals by staging locality, summed over every node's FSS.
+	// Local covers blob-cache hits and same-machine copies; Remote
+	// covers replica pull-throughs and origin wire fetches.
+	LocalBytes  int64
+	RemoteBytes int64
+	// Route counts behind the byte totals.
+	BlobHits, LocalCopies, PullThroughs, WireFetches int
+}
+
+// LocalFrac is the fraction of staged bytes that never left their
+// machine.
+func (r PlacementResult) LocalFrac() float64 {
+	total := r.LocalBytes + r.RemoteBytes
+	if total == 0 {
+		return 0
+	}
+	return float64(r.LocalBytes) / float64(total)
+}
+
+// MeasureDataPlacement is the E15 rig: a four-node grid of equal
+// machines (so placement is decided by data, not speed) runs several
+// sequential job sets, each a dependency chain whose every stage reads
+// the same few freshly published reference parts plus its
+// predecessor's output, and does almost no compute. Chains put staging
+// on the critical path — a stage cannot dispatch until its predecessor
+// exits, so the time its inputs spend in flight is paid in full, every
+// stage. Dispatch is serial with a fresh NIS poll per job, the
+// replication layer keeps two holders per blob, and every outbound
+// message pays a LAN round trip. A data-blind policy scatters the
+// stages and every machine re-fetches the reference parts (and the
+// predecessor output) over the wire; a data-aware policy steers stages
+// to the machines the first staging and the replicator already filled,
+// turning those fetches into local blob hits and same-machine copies.
+func MeasureDataPlacement(ctx context.Context, policy scheduler.Policy, sets, jobsPerSet int) (PlacementResult, error) {
+	var mu sync.Mutex
+	var recs []filesystem.StageRecord
+	grid, err := core.NewGrid(core.GridConfig{
+		Nodes: []core.NodeSpec{
+			{Name: "n1", Cores: 2, SpeedMHz: 2000, RAMMB: 2048},
+			{Name: "n2", Cores: 2, SpeedMHz: 2000, RAMMB: 2048},
+			{Name: "n3", Cores: 2, SpeedMHz: 2000, RAMMB: 2048},
+			{Name: "n4", Cores: 2, SpeedMHz: 2000, RAMMB: 2048},
+		},
+		Policy:    policy,
+		UnitTime:  5 * time.Microsecond,
+		WireDelay: dispatchWireDelay,
+		// Serial dispatch over fresh NIS polls, as in E7: concurrent
+		// dispatches would blur the per-policy placement decisions this
+		// experiment compares.
+		MaxInflightDispatch: 1,
+		CatalogTTL:          -1,
+		Replicas:            2,
+		OnStage: func(rec filesystem.StageRecord) {
+			mu.Lock()
+			recs = append(recs, rec)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return PlacementResult{}, err
+	}
+	defer grid.Close()
+	client, err := grid.NewClient(wssec.Credentials{}, false)
+	if err != nil {
+		return PlacementResult{}, err
+	}
+	defer client.Close()
+
+	// Chain head and chain link: both read every reference part and
+	// emit the output the next stage consumes; links also read their
+	// predecessor's output.
+	script := make([]string, 0, placementParts+3)
+	for p := 0; p < placementParts; p++ {
+		script = append(script, fmt.Sprintf("read part%d.dat", p))
+	}
+	head := append(append([]string{}, script...), "write out.dat head", "exit 0")
+	link := append(append([]string{}, script...), "read prev.dat", "write out.dat link", "exit 0")
+	client.AddFile("head.app", procspawn.BuildScript(head...))
+	client.AddFile("link.app", procspawn.BuildScript(link...))
+
+	start := time.Now()
+	for s := 0; s < sets; s++ {
+		// Fresh input parts per set: the working set changes between
+		// sets, so locality must be re-earned each time — a policy only
+		// keeps stagings local by following where the data landed.
+		for p := 0; p < placementParts; p++ {
+			name := fmt.Sprintf("s%02d-part%d.dat", s, p)
+			client.AddFile(name, bytes.Repeat([]byte(name+" "), 4096))
+		}
+		set := core.NewJobSet(fmt.Sprintf("data-%02d", s))
+		for j := 0; j < jobsPerSet; j++ {
+			app, name := "link.app", fmt.Sprintf("j%03d", j)
+			if j == 0 {
+				app = "head.app"
+			}
+			jb := set.Add(name, core.Local(app))
+			for p := 0; p < placementParts; p++ {
+				jb.Input(fmt.Sprintf("part%d.dat", p), core.Local(fmt.Sprintf("s%02d-part%d.dat", s, p)))
+			}
+			if j > 0 {
+				jb.Input("prev.dat", core.Output(fmt.Sprintf("j%03d", j-1), "out.dat"))
+			}
+			jb.Outputs("out.dat")
+		}
+		sub, err := client.Submit(ctx, set.Spec())
+		if err != nil {
+			return PlacementResult{}, err
+		}
+		status, err := sub.Wait(ctx)
+		if err != nil {
+			return PlacementResult{}, err
+		}
+		if status != scheduler.SetCompleted {
+			_, detail := sub.Status()
+			return PlacementResult{}, fmt.Errorf("benchkit: job set %s: %s", status, detail)
+		}
+	}
+	elapsed := time.Since(start)
+
+	res := PlacementResult{
+		Policy:     policy.Name(),
+		Jobs:       sets * jobsPerSet,
+		Elapsed:    elapsed,
+		JobsPerSec: float64(sets*jobsPerSet) / elapsed.Seconds(),
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, rec := range recs {
+		switch rec.Route {
+		case filesystem.RouteBlob:
+			res.BlobHits++
+			res.LocalBytes += rec.Size
+		case filesystem.RouteLocal:
+			res.LocalCopies++
+			res.LocalBytes += rec.Size
+		case filesystem.RoutePull:
+			res.PullThroughs++
+			res.RemoteBytes += rec.Size
+		case filesystem.RouteWire:
+			res.WireFetches++
+			res.RemoteBytes += rec.Size
+		}
+	}
+	return res, nil
+}
+
+// MeasureStagingThroughput times the blob pull-through path in
+// isolation: a holder FSS is seeded with fresh payloads and a second
+// machine stages each one by content hash, pulling the blob from the
+// replica. No wire delay is injected — the number is the raw
+// content-addressed transfer bandwidth in MiB/s.
+func MeasureStagingThroughput(ctx context.Context, payloadSize, iters int) (float64, error) {
+	network := transport.NewNetwork()
+	client := transport.NewClient().WithNetwork(network)
+	mkFSS := func(host string) (*filesystem.Service, error) {
+		store := resourcedb.NewStore()
+		svc, err := filesystem.New(filesystem.Config{
+			Address: "inproc://" + host,
+			FS:      vfs.New(),
+			Client:  client,
+			Home:    wsrf.NewStateHome(store.MustTable("dirs", resourcedb.StructuredCodec{})),
+			Host:    host,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mux := soap.NewMux()
+		mux.Handle(svc.WSRF().Path(), svc.WSRF().Dispatcher())
+		network.Register(host, transport.NewServer(mux))
+		return svc, nil
+	}
+	holder, err := mkFSS("holder")
+	if err != nil {
+		return 0, err
+	}
+	stager, err := mkFSS("stager")
+	if err != nil {
+		return 0, err
+	}
+	srcDir, err := filesystem.CreateDirectoryVia(ctx, client, holder.EPR(), "seed")
+	if err != nil {
+		return 0, err
+	}
+	dstDir, err := filesystem.CreateDirectoryVia(ctx, client, stager.EPR(), "work")
+	if err != nil {
+		return 0, err
+	}
+
+	var elapsed time.Duration
+	for i := 0; i < iters; i++ {
+		// Fresh content per iteration, so every staging is a genuine
+		// pull-through instead of a cache hit.
+		payload := bytes.Repeat([]byte{byte(i), byte(i >> 8), 'u', 'v'}, (payloadSize+3)/4)[:payloadSize]
+		name := fmt.Sprintf("payload-%03d.bin", i)
+		if err := filesystem.WriteFile(ctx, client, srcDir, name, payload); err != nil {
+			return 0, err
+		}
+		refs := []filesystem.FileRef{{
+			Source:     wsa.NewEPR("inproc://nowhere/files"),
+			RemoteName: name,
+			Hash:       filesystem.HashBytes(payload),
+			Size:       int64(len(payload)),
+			Replicas:   []wsa.EndpointReference{holder.EPR()},
+		}}
+		start := time.Now()
+		if _, err := client.Call(ctx, dstDir, filesystem.ActionUploadSync,
+			filesystem.UploadRequest(wsa.EndpointReference{}, "", refs)); err != nil {
+			return 0, err
+		}
+		elapsed += time.Since(start)
+	}
+	if st := stager.StageStats(); st.PullThroughs != int64(iters) {
+		return 0, fmt.Errorf("benchkit: %d of %d stagings were pull-throughs: %+v", st.PullThroughs, iters, st)
+	}
+	return float64(payloadSize) * float64(iters) / elapsed.Seconds() / (1 << 20), nil
+}

@@ -40,6 +40,7 @@ func IdempotentActions() func(string) bool {
 		wsn.ActionGetCurrentMessage,
 		filesystem.ActionRead,
 		filesystem.ActionList,
+		filesystem.ActionReadBlob,
 	)
 }
 
@@ -93,17 +94,25 @@ type GridConfig struct {
 	// much — a crude stand-in for a real campus network, used by the
 	// dispatch-throughput benchmarks to make RPC latency visible.
 	WireDelay time.Duration
+	// Replicas, when positive, runs the replication layer on the
+	// master: staged inputs are fanned out to this many FSS nodes and
+	// the acked holder sets journaled.
+	Replicas int
+	// OnStage, when set, observes every file staged by any node's FSS
+	// (route taken, bytes moved) — the placement benchmarks' counters.
+	OnStage func(rec filesystem.StageRecord)
 }
 
 // Grid is a running campus grid.
 type Grid struct {
-	Network   *transport.Network
-	Client    *transport.Client
-	Master    *transport.Server
-	Nodes     []*node.Node
-	Broker    *wsn.Broker
-	NIS       *nodeinfo.Service
-	Scheduler *scheduler.Service
+	Network    *transport.Network
+	Client     *transport.Client
+	Master     *transport.Server
+	Nodes      []*node.Node
+	Broker     *wsn.Broker
+	NIS        *nodeinfo.Service
+	Scheduler  *scheduler.Service
+	Replicator *filesystem.Replicator
 
 	cfg        GridConfig
 	ssIdentity *wssec.Identity
@@ -214,9 +223,29 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 	masterMux.Handle(nis.WSRF().Path(), nis.WSRF().Dispatcher())
 	masterMux.Handle(ss.WSRF().Path(), ss.WSRF().Dispatcher())
 	ss.Consumer().Mount(masterMux, ss.ConsumerPath())
+	if cfg.Replicas > 0 {
+		g.Replicator = filesystem.NewReplicator(filesystem.ReplicatorConfig{
+			Address:  masterAddr,
+			Client:   client,
+			Broker:   broker.EPR(),
+			NIS:      nis.EPR(),
+			Replicas: cfg.Replicas,
+			Journal:  masterStore.MustTable("replicas", resourcedb.BlobCodec{}),
+			Metrics:  cfg.Metrics,
+		})
+		g.Replicator.Consumer().Mount(masterMux, g.Replicator.ConsumerPath())
+	}
 	g.Master = transport.NewServer(masterMux)
 	g.Master.Use(serverInterceptors()...)
 	network.Register(cfg.MasterHost, g.Master)
+	if g.Replicator != nil {
+		rctx, rcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := g.Replicator.Start(rctx); err != nil {
+			rcancel()
+			return nil, fmt.Errorf("core: replicator subscription: %w", err)
+		}
+		rcancel()
+	}
 
 	for _, spec := range cfg.Nodes {
 		n, err := node.New(node.Config{
@@ -233,6 +262,8 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 			NIS:                  nis.EPR(),
 			UtilizationThreshold: cfg.UtilizationThreshold,
 			Background:           spec.Background,
+			OnStage:              cfg.OnStage,
+			ReplicaEvents:        cfg.Replicas > 0,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: node %s: %w", spec.Name, err)

@@ -66,6 +66,14 @@ type Config struct {
 	// (deadline re-establishment, request correlation), shared by the
 	// FSS and ES it hosts.
 	Interceptors []soap.Interceptor
+	// OnStage, when set, observes every file the machine's FSS stages —
+	// the simulator's I7 ledger and the bench rigs' byte counters.
+	OnStage func(rec filesystem.StageRecord)
+	// ReplicaEvents opts the FSS into publishing replica-manifest
+	// "stored" events to the broker. Off by default: without a
+	// replicator or a data-aware scheduler listening, the publish per
+	// staged file would be pure overhead.
+	ReplicaEvents bool
 }
 
 // Node is a running grid machine.
@@ -142,12 +150,18 @@ func New(cfg Config) (*Node, error) {
 		return nil, err
 	}
 
-	n.FSS, err = filesystem.New(filesystem.Config{
+	fssCfg := filesystem.Config{
 		Address: address,
 		FS:      n.FS,
 		Client:  cfg.Client,
 		Home:    wsrf.NewStateHome(n.Store.MustTable("directories", cfg.Codec)),
-	})
+		Host:    cfg.Name,
+		OnStage: cfg.OnStage,
+	}
+	if cfg.ReplicaEvents {
+		fssCfg.Broker = cfg.Broker
+	}
+	n.FSS, err = filesystem.New(fssCfg)
 	if err != nil {
 		return nil, err
 	}

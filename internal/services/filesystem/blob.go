@@ -1,0 +1,212 @@
+package filesystem
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"uvacg/internal/soap"
+	"uvacg/internal/wsa"
+	"uvacg/internal/wsrf"
+	"uvacg/internal/xmlutil"
+)
+
+// The blob store is the FSS's content-addressed cache: every staged or
+// written file's bytes, keyed by their SHA-256. Blobs are immutable —
+// a hash names exactly one byte string — which is what makes serving a
+// stored slice without copying safe, and what makes the pull-through
+// and replication installs verifiable: fetched bytes are hashed and
+// checked before anything is installed, and the install into the
+// working directory is a single atomic vfs.Write, so a concurrent Read
+// sees either the complete old or the complete new content, never a
+// torn mix.
+
+// Blob-layer action URIs.
+const (
+	// ActionReadBlob serves a locally held blob by hash (idempotent).
+	ActionReadBlob = NS + "/ReadBlob"
+	// ActionReplicate asks an FSS to acquire blobs from peer holders.
+	ActionReplicate = NS + "/Replicate"
+)
+
+// Blob message QNames.
+var (
+	qReadBlob         = xmlutil.Q(NS, "ReadBlob")
+	qReadBlobResponse = xmlutil.Q(NS, "ReadBlobResponse")
+	qHash             = xmlutil.Q(NS, "Hash")
+	qBlob             = xmlutil.Q(NS, "Blob")
+	qBlobSource       = xmlutil.Q(NS, "Source")
+	qReplicate        = xmlutil.Q(NS, "Replicate")
+	qReplicateResp    = xmlutil.Q(NS, "ReplicateResponse")
+	qHeld             = xmlutil.Q(NS, "Held")
+)
+
+// BlobRef names one blob to replicate: its content address, expected
+// size and the FSS service addresses known to hold it.
+type BlobRef struct {
+	Hash    string
+	Size    int64
+	Sources []string
+}
+
+// putBlob stores data under its content address and returns the hash.
+// Same-hash stores are idempotent: content addressing makes the second
+// write a no-op, so concurrent stagings of one file cannot conflict.
+func (s *Service) putBlob(data []byte) string {
+	hash := HashBytes(data)
+	s.blobMu.Lock()
+	if _, ok := s.blobs[hash]; !ok {
+		s.blobs[hash] = append([]byte(nil), data...)
+	}
+	s.blobMu.Unlock()
+	return hash
+}
+
+// blob returns the bytes held under hash. The returned slice is the
+// immutable stored blob — callers must not mutate it.
+func (s *Service) blob(hash string) ([]byte, bool) {
+	s.blobMu.RLock()
+	data, ok := s.blobs[hash]
+	s.blobMu.RUnlock()
+	return data, ok
+}
+
+// HasBlob reports whether this FSS holds a blob.
+func (s *Service) HasBlob(hash string) bool {
+	_, ok := s.blob(hash)
+	return ok
+}
+
+// BlobCount reports how many distinct blobs this FSS holds.
+func (s *Service) BlobCount() int {
+	s.blobMu.RLock()
+	defer s.blobMu.RUnlock()
+	return len(s.blobs)
+}
+
+// handleReadBlob serves a local blob by hash — the peer-to-peer read
+// the pull-through and replication paths ride on.
+func (s *Service) handleReadBlob(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	if body == nil {
+		return nil, soap.SenderFault("fss: ReadBlob requires a body")
+	}
+	hash := body.ChildText(qHash)
+	if hash == "" {
+		hash = body.Text
+	}
+	if !ValidHash(hash) {
+		return nil, soap.SenderFault("fss: ReadBlob hash %q is malformed", hash)
+	}
+	data, ok := s.blob(hash)
+	if !ok {
+		return nil, wsrf.NewBaseFault("NoSuchBlobFault", "fss: no blob %s on %s", hash, s.host).SOAPFault(soap.CodeSender)
+	}
+	return xmlutil.NewContainer(qReadBlobResponse,
+		xmlutil.NewElement(qHash, hash),
+		xmlutil.NewContainer(qContent, inv.Attach(data)),
+	), nil
+}
+
+// handleReplicate acquires the listed blobs from their holders: fetch,
+// verify the hash, store. Blobs already held are acked without a fetch;
+// blobs no listed source could serve are simply absent from the reply —
+// the replicator treats them as unacked and retries on the next event.
+func (s *Service) handleReplicate(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {
+	if body == nil {
+		return nil, soap.SenderFault("fss: Replicate requires a body")
+	}
+	resp := &xmlutil.Element{Name: qReplicateResp}
+	for _, be := range body.ChildrenNamed(qBlob) {
+		hash := be.Attr(qHashAttr)
+		if !ValidHash(hash) {
+			return nil, soap.SenderFault("fss: Replicate entry with malformed hash %q", hash)
+		}
+		if s.HasBlob(hash) {
+			resp.Append(xmlutil.NewElement(qHeld, hash))
+			continue
+		}
+		for _, src := range be.ChildrenNamed(qBlobSource) {
+			if src.Text == "" || src.Text == s.svc.EPR().Address {
+				continue
+			}
+			data, err := FetchBlob(ctx, s.client, wsa.NewEPR(src.Text), hash)
+			if err != nil {
+				continue
+			}
+			s.blobMu.Lock()
+			if _, ok := s.blobs[hash]; !ok {
+				s.blobs[hash] = data
+			}
+			s.blobMu.Unlock()
+			s.replicasHeld.Add(1)
+			resp.Append(xmlutil.NewElement(qHeld, hash))
+			break
+		}
+	}
+	return resp, nil
+}
+
+// FetchBlob reads one blob from a peer FSS and verifies its content
+// address before returning — a corrupt or wrong reply is an error, not
+// data.
+func FetchBlob(ctx context.Context, c Caller, fss wsa.EndpointReference, hash string) ([]byte, error) {
+	req := soap.New(xmlutil.NewContainer(qReadBlob, xmlutil.NewElement(qHash, hash)))
+	resp, err := c.Invoke(ctx, fss, ActionReadBlob, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil || resp.Body == nil {
+		return nil, fmt.Errorf("fss: empty ReadBlob response")
+	}
+	data, err := resp.ContentBytes(resp.Body.Child(qContent))
+	if err != nil {
+		return nil, err
+	}
+	if got := HashBytes(data); got != hash {
+		return nil, fmt.Errorf("fss: blob %s from %s hashed to %s (corrupt or wrong content)", hash, fss.Address, got)
+	}
+	return data, nil
+}
+
+// ReplicateVia asks an FSS to acquire blobs from their holders,
+// returning the hashes it now holds.
+func ReplicateVia(ctx context.Context, c Caller, fss wsa.EndpointReference, refs []BlobRef) ([]string, error) {
+	req := &xmlutil.Element{Name: qReplicate}
+	for _, ref := range refs {
+		be := xmlutil.NewElement(qBlob, "")
+		be.SetAttr(qHashAttr, ref.Hash)
+		be.SetAttr(qSize, strconv.FormatInt(ref.Size, 10))
+		for _, src := range ref.Sources {
+			be.Append(xmlutil.NewElement(qBlobSource, src))
+		}
+		req.Append(be)
+	}
+	body, err := c.Call(ctx, fss, ActionReplicate, req)
+	if err != nil {
+		return nil, err
+	}
+	var held []string
+	for _, h := range body.ChildrenNamed(qHeld) {
+		held = append(held, h.Text)
+	}
+	return held, nil
+}
+
+// ServiceAddressFor derives a machine's FSS service address from any
+// co-located service address ("inproc://node-1/ExecutionService" →
+// "inproc://node-1/FileSystemService"). Both the replicator and the
+// scheduler's locality signal use it, so a holder journaled by one is
+// recognizable by the other.
+func ServiceAddressFor(addr string) string {
+	if addr == "" {
+		return ""
+	}
+	base := addr
+	if i := strings.Index(addr, "://"); i >= 0 {
+		if j := strings.Index(addr[i+3:], "/"); j >= 0 {
+			base = addr[:i+3+j]
+		}
+	}
+	return base + "/FileSystemService"
+}

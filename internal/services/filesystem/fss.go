@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"uvacg/internal/soap"
 	"uvacg/internal/transport"
 	"uvacg/internal/vfs"
 	"uvacg/internal/wsa"
+	"uvacg/internal/wsn"
 	"uvacg/internal/wsrf"
 	"uvacg/internal/xmlutil"
 )
@@ -61,6 +63,7 @@ var (
 	qSourceEPR       = xmlutil.Q(NS, "SourceEPR")
 	qRemoteName      = xmlutil.Q(NS, "RemoteName")
 	qLocalName       = xmlutil.Q(NS, "LocalName")
+	qReplicaEPR      = xmlutil.Q(NS, "ReplicaEPR")
 	qSuccess         = xmlutil.Q(NS, "Success")
 	qError           = xmlutil.Q(NS, "Error")
 	qDirectory       = xmlutil.Q(NS, "Directory")
@@ -70,11 +73,54 @@ var (
 // FileRef names one file to stage: where it lives (the EPR of the
 // directory resource or file server holding it), its name there, and
 // the name the job expects — the {EPR, filename, jobname} tuples of
-// paper §4.1.
+// paper §4.1. Hash, Size and Replicas are the scheduler's optional
+// data-placement annotations: when the content address is known, the
+// staging FSS can serve the file from its local blob cache or pull it
+// through from a listed replica instead of fetching the origin.
 type FileRef struct {
 	Source     wsa.EndpointReference
 	RemoteName string
 	LocalName  string
+	Hash       string
+	Size       int64
+	Replicas   []wsa.EndpointReference
+}
+
+// StageRecord describes one completed staging, for observers (the
+// simulator's byte-identity ledger, benchkit's locality accounting).
+type StageRecord struct {
+	// Host is the staging machine; Dir its working-directory path.
+	Host string
+	Dir  string
+	// LocalName is the installed file name; Source the SourceKey it was
+	// staged from; Hash and Size describe the installed bytes.
+	LocalName string
+	Source    string
+	Hash      string
+	Size      int64
+	// Route says how the bytes arrived: "blob" (local cache hit),
+	// "local" (same-machine directory copy), "pull" (blob pulled from a
+	// replica) or "wire" (origin fetch).
+	Route string
+}
+
+// Staging routes.
+const (
+	RouteBlob  = "blob"
+	RouteLocal = "local"
+	RoutePull  = "pull"
+	RouteWire  = "wire"
+)
+
+// StageStats aggregates a machine's staging traffic by route.
+type StageStats struct {
+	BlobHits     int64
+	LocalCopies  int64
+	PullThroughs int64
+	WireFetches  int64
+	LocalBytes   int64 // bytes served without leaving the machine
+	RemoteBytes  int64 // bytes fetched over the wire (pull + origin)
+	Publishes    int64 // stored events accepted by the broker
 }
 
 // Service is one machine's FSS.
@@ -88,6 +134,30 @@ type Service struct {
 	// paths maps directory resource ids to their vfs paths so the
 	// destroy hook can remove the directory itself.
 	paths sync.Map
+
+	// broker and host enable best-effort "stored" publications on the
+	// replica topic; onStage observes completed stagings.
+	broker  wsa.EndpointReference
+	host    string
+	onStage func(StageRecord)
+
+	// blobs is the content-addressed cache (hash → immutable bytes).
+	blobMu sync.RWMutex
+	blobs  map[string][]byte
+
+	// manifests records what was staged into each working directory.
+	manMu     sync.Mutex
+	manifests map[string]map[string]ManifestEntry // dir path → name → entry
+
+	// Staging counters, by route.
+	blobHits     atomic.Int64
+	localCopies  atomic.Int64
+	pullThroughs atomic.Int64
+	wireFetches  atomic.Int64
+	localBytes   atomic.Int64
+	remoteBytes  atomic.Int64
+	publishes    atomic.Int64
+	replicasHeld atomic.Int64
 }
 
 // Config assembles an FSS.
@@ -104,6 +174,14 @@ type Config struct {
 	Home wsrf.ResourceHome
 	// GridRoot defaults to "/grid".
 	GridRoot string
+	// Broker, when set, makes the FSS publish a best-effort "stored"
+	// event on the replica topic after each successful staging, feeding
+	// the replicator and the scheduler's locality cache.
+	Broker wsa.EndpointReference
+	// Host names this machine in stage records and replica events.
+	Host string
+	// OnStage, when set, observes every completed staging.
+	OnStage func(StageRecord)
 }
 
 // New builds the FSS.
@@ -121,7 +199,17 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Service{svc: svc, fs: cfg.FS, client: cfg.Client, gridRoot: cfg.GridRoot}
+	s := &Service{
+		svc:       svc,
+		fs:        cfg.FS,
+		client:    cfg.Client,
+		gridRoot:  cfg.GridRoot,
+		broker:    cfg.Broker,
+		host:      cfg.Host,
+		onStage:   cfg.OnStage,
+		blobs:     make(map[string][]byte),
+		manifests: make(map[string]map[string]ManifestEntry),
+	}
 	svc.Enable(wsrf.ResourcePropertiesPortType{})
 	svc.Enable(wsrf.LifetimePortType{})
 	svc.OnDestroy(s.removeDirectory)
@@ -154,6 +242,8 @@ func New(cfg Config) (*Service, error) {
 	svc.RegisterMethod(ActionList, s.handleList)
 	svc.RegisterMethod(ActionUpload, s.handleUpload)
 	svc.RegisterMethod(ActionUploadSync, s.handleUploadSync)
+	svc.RegisterServiceMethod(ActionReadBlob, s.handleReadBlob)
+	svc.RegisterServiceMethod(ActionReplicate, s.handleReplicate)
 	return s, nil
 }
 
@@ -259,10 +349,103 @@ func (s *Service) handleWrite(ctx context.Context, inv *wsrf.Invocation, body *x
 	if err != nil {
 		return nil, soap.SenderFault("fss: Write content: %v", err)
 	}
+	// Content-address first, then install in one atomic vfs.Write: a
+	// concurrent Read sees complete old or complete new bytes, and the
+	// manifest entry always describes bytes the blob store holds.
+	hash := s.putBlob(data)
 	if err := s.fs.Write(path, name, data); err != nil {
 		return nil, soap.ReceiverFault("fss: %v", err)
 	}
+	s.recordManifest(path, ManifestEntry{Name: name, Size: int64(len(data)), Hash: hash})
 	return nil, nil
+}
+
+// recordManifest upserts one entry in a directory's staging manifest.
+func (s *Service) recordManifest(dir string, e ManifestEntry) {
+	s.manMu.Lock()
+	m := s.manifests[dir]
+	if m == nil {
+		m = make(map[string]ManifestEntry)
+		s.manifests[dir] = m
+	}
+	m[e.Name] = e
+	s.manMu.Unlock()
+}
+
+// DirManifest snapshots a directory's staging manifest, sorted by name.
+func (s *Service) DirManifest(dir string) Manifest {
+	s.manMu.Lock()
+	defer s.manMu.Unlock()
+	var out Manifest
+	for _, e := range s.manifests[dir] {
+		out.Entries = append(out.Entries, e)
+	}
+	sortManifest(&out)
+	return out
+}
+
+// noteStage bumps the route counters and notifies the observer.
+func (s *Service) noteStage(dir string, e ManifestEntry, route string) {
+	switch route {
+	case RouteBlob:
+		s.blobHits.Add(1)
+		s.localBytes.Add(e.Size)
+	case RouteLocal:
+		s.localCopies.Add(1)
+		s.localBytes.Add(e.Size)
+	case RoutePull:
+		s.pullThroughs.Add(1)
+		s.remoteBytes.Add(e.Size)
+	case RouteWire:
+		s.wireFetches.Add(1)
+		s.remoteBytes.Add(e.Size)
+	}
+	if s.onStage != nil {
+		s.onStage(StageRecord{
+			Host: s.host, Dir: dir, LocalName: e.Name,
+			Source: e.Source, Hash: e.Hash, Size: e.Size, Route: route,
+		})
+	}
+}
+
+// StageStats reports the machine's staging traffic so far.
+func (s *Service) StageStats() StageStats {
+	return StageStats{
+		BlobHits:     s.blobHits.Load(),
+		LocalCopies:  s.localCopies.Load(),
+		PullThroughs: s.pullThroughs.Load(),
+		WireFetches:  s.wireFetches.Load(),
+		LocalBytes:   s.localBytes.Load(),
+		RemoteBytes:  s.remoteBytes.Load(),
+		Publishes:    s.publishes.Load(),
+	}
+}
+
+// publishStored announces freshly staged content on the replica topic.
+// Best-effort, like the NIS catalog push: a dropped publish only means
+// the replicator and the locality cache learn about this content from
+// a later staging instead.
+func (s *Service) publishStored(ctx context.Context, entries []ManifestEntry) {
+	if s.client == nil || s.broker.IsZero() || len(entries) == 0 {
+		return
+	}
+	msg, err := ReplicaChangedMessage(ReplicaChanged{
+		Kind:     ReplicaStored,
+		Host:     s.host,
+		FSS:      s.EPR(),
+		Manifest: Manifest{Entries: entries},
+	})
+	if err != nil {
+		return
+	}
+	n := wsn.Notification{
+		Topic:    replicaChangedTopic,
+		Producer: s.EPR(),
+		Message:  msg,
+	}
+	if wsn.PublishViaBroker(context.WithoutCancel(ctx), s.client, s.broker, n) == nil {
+		s.publishes.Add(1)
+	}
 }
 
 func (s *Service) handleList(ctx context.Context, inv *wsrf.Invocation, body *xmlutil.Element) (*xmlutil.Element, error) {

@@ -3,6 +3,8 @@ package filesystem
 import (
 	"bytes"
 	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -327,6 +329,95 @@ func TestUploadRequestValidation(t *testing.T) {
 	bad2.Append(xmlutil.NewContainer(qFile, dir.ElementNamed(qSourceEPR)))
 	if _, err := h.client.Call(ctx, dir, ActionUploadSync, bad2); err == nil {
 		t.Fatal("entry without remote name accepted")
+	}
+}
+
+// TestConcurrentReadDuringRestagingNeverTorn is the torn-read
+// regression: while one file is re-staged over and over (alternating
+// between two versions of different lengths, as a replication round
+// re-installing content does), concurrent reads must always see one
+// complete version — never a mix, never a truncation. The staging path
+// guarantees this by verifying the hash first and installing with a
+// single atomic vfs.Write. Run with -race.
+func TestConcurrentReadDuringRestagingNeverTorn(t *testing.T) {
+	h := newFSSHarness(t)
+	ctx := context.Background()
+
+	v1 := bytes.Repeat([]byte("version-one "), 4096)
+	v2 := bytes.Repeat([]byte("v2 "), 16384)
+	srcDir, err := CreateDirectoryVia(ctx, h.client, h.fssA.EPR(), "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(ctx, h.client, srcDir, "v1", v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(ctx, h.client, srcDir, "v2", v2); err != nil {
+		t.Fatal(err)
+	}
+	dstDir, err := CreateDirectoryVia(ctx, h.client, h.fssB.EPR(), "work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := func(remote string) error {
+		req := UploadRequest(wsa.EndpointReference{}, "", []FileRef{
+			{Source: srcDir, RemoteName: remote, LocalName: "data"},
+		})
+		_, err := h.client.Call(ctx, dstDir, ActionUploadSync, req)
+		return err
+	}
+	if err := stage("v1"); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 40
+	done := make(chan struct{})
+	errs := make(chan error, 8)
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				got, err := FetchFile(ctx, h.client, dstDir, "data")
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+				if !bytes.Equal(got, v1) && !bytes.Equal(got, v2) {
+					torn.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		name := "v2"
+		if i%2 == 1 {
+			name = "v1"
+		}
+		if err := stage(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatalf("concurrent read failed: %v", err)
+	default:
+	}
+	if n := torn.Load(); n > 0 {
+		t.Fatalf("%d torn read(s): a reader saw bytes that are neither complete version", n)
 	}
 }
 

@@ -1,0 +1,211 @@
+package filesystem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"uvacg/internal/wsa"
+	"uvacg/internal/xmlutil"
+)
+
+func testHash(b byte) string { return strings.Repeat(string([]byte{b}), HashLen) }
+
+func TestManifestEncodeDecodeRoundTrip(t *testing.T) {
+	m := Manifest{Entries: []ManifestEntry{
+		{Name: "z.dat", Size: 12, Hash: HashBytes([]byte("z")), Source: "inproc://client/files|z.dat"},
+		{Name: "a.dat", Size: 0, Hash: HashBytes([]byte("a")), Source: ""},
+		{Name: "m.exe", Size: 1 << 40, Hash: HashBytes([]byte("m")), Source: "inproc://node-1/FileSystemService|m.exe"},
+	}}
+	enc, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeManifest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Entries) != 3 || dec.Entries[0].Name != "a.dat" || dec.Entries[2].Name != "z.dat" {
+		t.Fatalf("decoded entries out of canonical order: %+v", dec.Entries)
+	}
+	re, err := EncodeManifest(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, re) {
+		t.Fatalf("re-encode diverged:\n%q\n%q", enc, re)
+	}
+}
+
+func TestEncodeManifestRejections(t *testing.T) {
+	ok := ManifestEntry{Name: "f", Size: 1, Hash: testHash('a')}
+	cases := map[string]Manifest{
+		"empty name":     {Entries: []ManifestEntry{{Size: 1, Hash: testHash('a')}}},
+		"tab in name":    {Entries: []ManifestEntry{{Name: "a\tb", Size: 1, Hash: testHash('a')}}},
+		"slash in name":  {Entries: []ManifestEntry{{Name: "a/b", Size: 1, Hash: testHash('a')}}},
+		"newline source": {Entries: []ManifestEntry{{Name: "f", Size: 1, Hash: testHash('a'), Source: "x\ny"}}},
+		"negative size":  {Entries: []ManifestEntry{{Name: "f", Size: -1, Hash: testHash('a')}}},
+		"short hash":     {Entries: []ManifestEntry{{Name: "f", Size: 1, Hash: "abc"}}},
+		"upper hash":     {Entries: []ManifestEntry{{Name: "f", Size: 1, Hash: strings.ToUpper(testHash('a'))}}},
+		"duplicate name": {Entries: []ManifestEntry{ok, ok}},
+	}
+	for name, m := range cases {
+		if _, err := EncodeManifest(m); err == nil {
+			t.Errorf("%s: encoded without error", name)
+		}
+	}
+}
+
+func TestDecodeManifestRejections(t *testing.T) {
+	line := "f\t1\t" + testHash('a') + "\t\n"
+	cases := map[string]string{
+		"empty":               "",
+		"no trailing newline": manifestHeader + "\nf\t1\t" + testHash('a') + "\t",
+		"bad header":          "uvacg-manifest/9\n" + line,
+		"three fields":        manifestHeader + "\nf\t1\t" + testHash('a') + "\n",
+		"five fields":         manifestHeader + "\nf\t1\t" + testHash('a') + "\t\textra\n",
+		"padded size":         manifestHeader + "\nf\t01\t" + testHash('a') + "\t\n",
+		"signed size":         manifestHeader + "\nf\t+1\t" + testHash('a') + "\t\n",
+		"bad hash":            manifestHeader + "\nf\t1\tzz\t\n",
+		"out of order":        manifestHeader + "\nb\t1\t" + testHash('a') + "\t\na\t1\t" + testHash('b') + "\t\n",
+		"duplicate":           manifestHeader + "\na\t1\t" + testHash('a') + "\t\na\t1\t" + testHash('b') + "\t\n",
+	}
+	for name, data := range cases {
+		if _, err := DecodeManifest([]byte(data)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestReplicaChangedRoundTrip(t *testing.T) {
+	hash := HashBytes([]byte("payload"))
+	rc := ReplicaChanged{
+		Kind: ReplicaStored,
+		Host: "node-1",
+		FSS:  wsa.NewEPR("inproc://node-1/FileSystemService"),
+		Manifest: Manifest{Entries: []ManifestEntry{
+			{Name: "in.dat", Size: 7, Hash: hash, Source: "inproc://client/files|in.dat"},
+		}},
+	}
+	msg, err := ReplicaChangedMessage(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReplicaChanged(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != ReplicaStored || got.Host != "node-1" || got.FSS.Address != rc.FSS.Address {
+		t.Fatalf("round trip lost envelope fields: %+v", got)
+	}
+	if len(got.Manifest.Entries) != 1 || got.Manifest.Entries[0] != rc.Manifest.Entries[0] {
+		t.Fatalf("round trip lost manifest: %+v", got.Manifest)
+	}
+	// A stored event without explicit holder lists defaults to the
+	// publishing FSS.
+	if h := got.Holders[hash]; len(h) != 1 || h[0] != rc.FSS.Address {
+		t.Fatalf("stored-event holders = %v", got.Holders)
+	}
+
+	// A replicated event has no FSS EPR and explicit holder sets.
+	rep := ReplicaChanged{
+		Kind:     ReplicaReplicated,
+		Host:     "master",
+		Manifest: rc.Manifest,
+		Holders:  map[string][]string{hash: {"inproc://node-1/FileSystemService", "inproc://node-2/FileSystemService"}},
+	}
+	msg, err = ReplicaChangedMessage(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ParseReplicaChanged(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.FSS.IsZero() {
+		t.Fatalf("replicated event grew an FSS EPR: %v", got.FSS)
+	}
+	if h := got.Holders[hash]; len(h) != 2 {
+		t.Fatalf("replicated holders = %v", got.Holders)
+	}
+}
+
+func TestParseReplicaChangedRejectsMalformed(t *testing.T) {
+	if _, err := ParseReplicaChanged(nil); err == nil {
+		t.Fatal("nil message accepted")
+	}
+	msg, err := ReplicaChangedMessage(ReplicaChanged{Kind: ReplicaStored, Host: "n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	he := xmlutil.NewElement(qHolders, "")
+	he.SetAttr(qHashAttr, "not-a-hash")
+	he.Append(xmlutil.NewElement(qHolder, "inproc://node-1/FileSystemService"))
+	msg.Append(he)
+	if _, err := ParseReplicaChanged(msg); err == nil {
+		t.Fatal("holder list with malformed hash accepted")
+	}
+}
+
+func TestReplicaWantRoundTrip(t *testing.T) {
+	got, err := ParseReplicaWant(ReplicaWantMessage(3))
+	if err != nil || got != 3 {
+		t.Fatalf("want round trip: %d %v", got, err)
+	}
+	if _, err := ParseReplicaWant(ReplicaWantMessage(0)); err == nil {
+		t.Fatal("zero want accepted")
+	}
+	if _, err := ParseReplicaWant(nil); err == nil {
+		t.Fatal("nil message accepted")
+	}
+}
+
+// FuzzManifestRoundTrip is the differential oracle over the canonical
+// codec: any input DecodeManifest accepts must re-encode to the exact
+// same bytes, and re-decode to the same manifest. One valid manifest has
+// exactly one encoding — anything else (truncation, padded sizes,
+// duplicate or unsorted entries, malformed hashes) must be rejected, not
+// normalized.
+func FuzzManifestRoundTrip(f *testing.F) {
+	seed := func(m Manifest) {
+		if enc, err := EncodeManifest(m); err == nil {
+			f.Add(enc)
+		}
+	}
+	seed(Manifest{})
+	seed(Manifest{Entries: []ManifestEntry{
+		{Name: "in.dat", Size: 42, Hash: HashBytes([]byte("x")), Source: "inproc://client/files|in.dat"},
+	}})
+	seed(Manifest{Entries: []ManifestEntry{
+		{Name: "a", Size: 0, Hash: testHash('0')},
+		{Name: "b", Size: 9223372036854775807, Hash: testHash('f'), Source: "s"},
+	}})
+	f.Add([]byte(manifestHeader + "\n"))
+	f.Add([]byte(manifestHeader + "\nf\t01\t" + testHash('a') + "\t\n"))
+	f.Add([]byte("uvacg-manifest/1\nb\t1\t" + testHash('a') + "\t\na\t1\t" + testHash('b') + "\t\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeManifest(m)
+		if err != nil {
+			t.Fatalf("decoded manifest does not re-encode: %v (input %q)", err, data)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decode∘encode is not the identity:\nin:  %q\nout: %q", data, enc)
+		}
+		m2, err := DecodeManifest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded manifest does not decode: %v", err)
+		}
+		if len(m2.Entries) != len(m.Entries) {
+			t.Fatalf("entry count changed: %d -> %d", len(m.Entries), len(m2.Entries))
+		}
+		for i := range m.Entries {
+			if m.Entries[i] != m2.Entries[i] {
+				t.Fatalf("entry %d changed: %+v -> %+v", i, m.Entries[i], m2.Entries[i])
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package filesystem
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"uvacg/internal/soap"
 	"uvacg/internal/wsa"
@@ -37,15 +38,24 @@ func UploadRequest(notifyTo wsa.EndpointReference, token string, files []FileRef
 
 // FileRefElements renders file references as <fss:File> elements, for
 // embedding in Upload messages and in the Execution Service's RunJob
-// request.
+// request. The Hash/Size/Replicas placement annotations travel as
+// optional children — receivers that predate them simply ignore them.
 func FileRefElements(files []FileRef) []*xmlutil.Element {
 	out := make([]*xmlutil.Element, 0, len(files))
 	for _, f := range files {
-		out = append(out, xmlutil.NewContainer(qFile,
+		el := xmlutil.NewContainer(qFile,
 			f.Source.ElementNamed(qSourceEPR),
 			xmlutil.NewElement(qRemoteName, f.RemoteName),
 			xmlutil.NewElement(qLocalName, f.LocalName),
-		))
+		)
+		if f.Hash != "" {
+			el.Append(xmlutil.NewElement(qHash, f.Hash))
+			el.SetAttr(qSize, strconv.FormatInt(f.Size, 10))
+		}
+		for _, rep := range f.Replicas {
+			el.Append(rep.ElementNamed(qReplicaEPR))
+		}
+		out = append(out, el)
 	}
 	return out
 }
@@ -72,6 +82,20 @@ func ParseFileRefElements(parent *xmlutil.Element) ([]FileRef, error) {
 		}
 		if ref.LocalName == "" {
 			ref.LocalName = ref.RemoteName
+		}
+		if h := f.ChildText(qHash); h != "" {
+			if !ValidHash(h) {
+				return nil, fmt.Errorf("fss: file entry %q has malformed hash %q", ref.RemoteName, h)
+			}
+			ref.Hash = h
+			ref.Size, _ = strconv.ParseInt(f.Attr(qSize), 10, 64)
+		}
+		for _, rel := range f.ChildrenNamed(qReplicaEPR) {
+			rep, err := wsa.ParseEPR(rel)
+			if err != nil {
+				return nil, fmt.Errorf("fss: bad replica EPR: %w", err)
+			}
+			ref.Replicas = append(ref.Replicas, rep)
 		}
 		files = append(files, ref)
 	}
@@ -149,22 +173,68 @@ func (s *Service) handleUploadSync(ctx context.Context, inv *wsrf.Invocation, bo
 	return nil, nil
 }
 
-// stageFiles retrieves every file into the working directory.
+// stageFiles retrieves every file into the working directory, then
+// announces the freshly staged content on the replica topic.
 func (s *Service) stageFiles(ctx context.Context, path string, files []FileRef) error {
+	entries := make([]ManifestEntry, 0, len(files))
 	for _, f := range files {
-		if err := s.stageOne(ctx, path, f); err != nil {
+		e, err := s.stageOne(ctx, path, f)
+		if err != nil {
 			return fmt.Errorf("stage %q as %q: %w", f.RemoteName, f.LocalName, err)
 		}
+		entries = append(entries, e)
 	}
+	// Deduplicate by installed name (last wins — it is the file that
+	// survived) so the published manifest stays canonical.
+	byName := make(map[string]int, len(entries))
+	dedup := entries[:0]
+	for _, e := range entries {
+		if i, ok := byName[e.Name]; ok {
+			dedup[i] = e
+			continue
+		}
+		byName[e.Name] = len(dedup)
+		dedup = append(dedup, e)
+	}
+	s.publishStored(ctx, dedup)
 	return nil
 }
 
-// stageOne fetches one file. Three routes, per paper §4.6: the local
-// fast path when the source directory is on this machine; WSE TCP
-// messaging when the source uses the soap.tcp scheme (the client's file
-// server); an FSS Read request otherwise.
-func (s *Service) stageOne(ctx context.Context, destPath string, f FileRef) error {
-	if f.Source.Address == s.svc.EPR().Address+s.svc.Path() {
+// stageOne fetches one file. Routes, cheapest first: the local blob
+// cache when the scheduler annotated a content address this machine
+// already holds; the local fast path when the source directory is on
+// this machine; a blob pull-through from a listed replica; and finally
+// the origin fetch — an FSS Read on the source endpoint (peer FSS
+// directory or the client's TCP file server, paper §4.6). Whatever the
+// route, the bytes are verified against the expected hash before a
+// single atomic vfs.Write installs them, so a concurrent Read serves
+// the complete old or the complete new file, never a torn view.
+func (s *Service) stageOne(ctx context.Context, destPath string, f FileRef) (ManifestEntry, error) {
+	install := func(data []byte, route string) (ManifestEntry, error) {
+		if f.Hash != "" && HashBytes(data) != f.Hash {
+			return ManifestEntry{}, fmt.Errorf("fss: staged bytes for %q do not match content hash %s (route %s)", f.RemoteName, f.Hash, route)
+		}
+		hash := s.putBlob(data)
+		if err := s.fs.Write(destPath, f.LocalName, data); err != nil {
+			return ManifestEntry{}, err
+		}
+		e := ManifestEntry{
+			Name:   f.LocalName,
+			Size:   int64(len(data)),
+			Hash:   hash,
+			Source: SourceKey(f.Source, f.RemoteName),
+		}
+		s.recordManifest(destPath, e)
+		s.noteStage(destPath, e, route)
+		return e, nil
+	}
+
+	if f.Hash != "" {
+		if data, ok := s.blob(f.Hash); ok {
+			return install(data, RouteBlob)
+		}
+	}
+	if f.Source.Address == s.svc.EPR().Address {
 		// Local fast path: resolve the source directory resource and
 		// copy within the controlled file system — no network I/O. (The
 		// paper "moves" the file; we copy so an output consumed by two
@@ -172,23 +242,32 @@ func (s *Service) stageOne(ctx context.Context, destPath string, f FileRef) erro
 		srcID := f.Source.Property(wsrf.QResourceID)
 		doc, err := s.svc.LoadResource(srcID)
 		if err != nil {
-			return err
+			return ManifestEntry{}, err
 		}
 		srcPath := doc.ChildText(QPath)
 		data, err := s.fs.Read(srcPath, f.RemoteName)
 		if err != nil {
-			return err
+			return ManifestEntry{}, err
 		}
-		return s.fs.Write(destPath, f.LocalName, data)
+		return install(data, RouteLocal)
 	}
-	// Remote: Read on the source endpoint. The same Read action is
-	// understood by peer FSS directory resources and by the client's
-	// TCP file server.
+	if f.Hash != "" {
+		for _, rep := range f.Replicas {
+			if rep.Address == s.svc.EPR().Address {
+				continue // we just checked the local cache
+			}
+			data, err := FetchBlob(ctx, s.client, rep, f.Hash)
+			if err != nil {
+				continue // next replica, then the origin
+			}
+			return install(data, RoutePull)
+		}
+	}
 	data, err := FetchFile(ctx, s.client, f.Source, f.RemoteName)
 	if err != nil {
-		return err
+		return ManifestEntry{}, err
 	}
-	return s.fs.Write(destPath, f.LocalName, data)
+	return install(data, RouteWire)
 }
 
 // FetchFile reads one file from any endpoint implementing the FSS Read

@@ -211,6 +211,8 @@ func (s *Service) activate(ctx context.Context, e admission.Entry) {
 		_, _ = wsn.SubscribeVia(ctx, s.client, s.broker, clientListener, wsn.Simple(e.Topic))
 	}
 	s.ensureCatalogSubscription(ctx)
+	s.ensureReplicaSubscription(ctx)
+	s.publishReplicaWant(ctx, spec.Replicas)
 
 	if err := s.svc.UpdateResource(e.ID, func(doc *xmlutil.Element) error {
 		if c := doc.Child(QStatus); c != nil {

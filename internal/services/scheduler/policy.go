@@ -9,15 +9,38 @@ import (
 	"uvacg/internal/services/nodeinfo"
 )
 
+// Locality is the data-placement signal handed to a Policy: how many
+// of the next job's input bytes each candidate host already holds
+// (through its co-located FSS), out of TotalBytes known input bytes.
+// A zero Locality — no manifest known for any input — carries no
+// signal, and data-aware policies must fall back to load-only scoring.
+type Locality struct {
+	// LocalBytes maps host name → input bytes already on that host.
+	LocalBytes map[string]int64
+	// TotalBytes is the summed size of all inputs with known hashes.
+	TotalBytes int64
+}
+
+// LocalFrac returns the fraction of known input bytes already local to
+// host, in [0, 1].
+func (l Locality) LocalFrac(host string) float64 {
+	if l.TotalBytes <= 0 {
+		return 0
+	}
+	return float64(l.LocalBytes[host]) / float64(l.TotalBytes)
+}
+
 // Policy selects the machine for the next job. The paper's scheduler
 // uses "a straightforward algorithm [that] chooses the fastest, most
 // available machine" (§4.6); RoundRobin and Random are the baselines
-// experiment E7 compares it against.
+// experiment E7 compares it against, and DataAware folds in where the
+// job's inputs already live (experiment E15).
 type Policy interface {
 	Name() string
-	// Pick chooses among the NIS-reported processors; seq counts
+	// Pick chooses among the NIS-reported processors; loc carries the
+	// data-locality signal (zero when unknown) and seq counts
 	// dispatches within the job set.
-	Pick(procs []nodeinfo.Processor, seq int) (nodeinfo.Processor, error)
+	Pick(procs []nodeinfo.Processor, loc Locality, seq int) (nodeinfo.Processor, error)
 }
 
 // Greedy is the paper's policy: maximize effective speed, i.e. clock
@@ -28,7 +51,7 @@ type Greedy struct{}
 func (Greedy) Name() string { return "greedy" }
 
 // Pick implements Policy.
-func (Greedy) Pick(procs []nodeinfo.Processor, _ int) (nodeinfo.Processor, error) {
+func (Greedy) Pick(procs []nodeinfo.Processor, _ Locality, _ int) (nodeinfo.Processor, error) {
 	if len(procs) == 0 {
 		return nodeinfo.Processor{}, fmt.Errorf("scheduler: no processors available")
 	}
@@ -60,7 +83,7 @@ type RoundRobin struct{}
 func (RoundRobin) Name() string { return "round-robin" }
 
 // Pick implements Policy.
-func (RoundRobin) Pick(procs []nodeinfo.Processor, seq int) (nodeinfo.Processor, error) {
+func (RoundRobin) Pick(procs []nodeinfo.Processor, _ Locality, seq int) (nodeinfo.Processor, error) {
 	if len(procs) == 0 {
 		return nodeinfo.Processor{}, fmt.Errorf("scheduler: no processors available")
 	}
@@ -85,11 +108,49 @@ func NewRandom(seed int64) *Random {
 func (*Random) Name() string { return "random" }
 
 // Pick implements Policy.
-func (r *Random) Pick(procs []nodeinfo.Processor, _ int) (nodeinfo.Processor, error) {
+func (r *Random) Pick(procs []nodeinfo.Processor, _ Locality, _ int) (nodeinfo.Processor, error) {
 	if len(procs) == 0 {
 		return nodeinfo.Processor{}, fmt.Errorf("scheduler: no processors available")
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return procs[r.rng.Intn(len(procs))], nil
+}
+
+// DataAware weighs bytes-already-local against effective speed: it
+// maximizes score · (1 + localFrac), so a fully-local host beats an
+// equally fast host with nothing local, while a host twice as fast
+// still wins over a slightly-local slow one. With no locality signal
+// it degrades to exactly Greedy.
+type DataAware struct{}
+
+// Name implements Policy.
+func (DataAware) Name() string { return "data-aware" }
+
+// Pick implements Policy.
+func (DataAware) Pick(procs []nodeinfo.Processor, loc Locality, seq int) (nodeinfo.Processor, error) {
+	if loc.TotalBytes <= 0 {
+		return Greedy{}.Pick(procs, loc, seq)
+	}
+	if len(procs) == 0 {
+		return nodeinfo.Processor{}, fmt.Errorf("scheduler: no processors available")
+	}
+	best := procs[0]
+	bestScore := score(best) * (1 + loc.LocalFrac(best.Host))
+	bestFrac := loc.LocalFrac(best.Host)
+	for _, p := range procs[1:] {
+		frac := loc.LocalFrac(p.Host)
+		s := score(p) * (1 + frac)
+		switch {
+		case s > bestScore:
+			best, bestScore, bestFrac = p, s, frac
+		case s == bestScore && frac > bestFrac:
+			best, bestFrac = p, frac
+		case s == bestScore && frac == bestFrac && p.RAMMB > best.RAMMB:
+			best = p
+		case s == bestScore && frac == bestFrac && p.RAMMB == best.RAMMB && p.Host < best.Host:
+			best = p
+		}
+	}
+	return best, nil
 }

@@ -55,6 +55,7 @@ func (s *Service) recoverFiltered(ctx context.Context, accept func(name string) 
 	s.wireConsumerLocked()
 	s.mu.Unlock()
 	s.ensureCatalogSubscription(ctx)
+	s.ensureReplicaSubscription(ctx)
 	for _, id := range home.IDs() {
 		doc, err := home.Load(id)
 		if err != nil {

@@ -125,6 +125,10 @@ type Config struct {
 	// OnDispatch, when set, observes every committed job dispatch —
 	// the simulator's single-writer ledger.
 	OnDispatch func(rec DispatchRecord)
+	// TrackReplicas forces the replica cache on even for policies that
+	// ignore locality, so dispatched FileRefs carry content hashes and
+	// replica EPRs. A DataAware policy enables tracking implicitly.
+	TrackReplicas bool
 }
 
 // Dispatch-path defaults.
@@ -160,8 +164,12 @@ type Service struct {
 	runIDs        map[string]string     // resource id → topic (for destroy eviction)
 	wired         bool                  // consumer handler installed (at most once)
 	catSubscribed bool                  // catalog-changed subscription established
+	repSubscribed bool                  // replica-topic subscription established
 	shardOwners   map[int]string        // pushed shard-map routing view
 	shardEpochs   map[int]uint64        // highest epoch seen per shard
+
+	trackReplicas bool
+	rep           replicaCache // guarded by mu
 
 	cat catalogCache
 }
@@ -268,6 +276,9 @@ func New(cfg Config) (*Service, error) {
 		runIDs:       make(map[string]string),
 		shardOwners:  make(map[int]string),
 		shardEpochs:  make(map[int]uint64),
+	}
+	if _, ok := cfg.Policy.(DataAware); ok || cfg.TrackReplicas {
+		s.trackReplicas = true
 	}
 	if cfg.Sharding != nil && cfg.Sharding.Manager == nil {
 		return nil, fmt.Errorf("scheduler: Sharding requires a lease Manager")
@@ -433,6 +444,8 @@ func (s *Service) handleSubmit(ctx context.Context, inv *wsrf.Invocation, body *
 		}
 	}
 	s.ensureCatalogSubscription(bg)
+	s.ensureReplicaSubscription(bg)
+	s.publishReplicaWant(bg, spec.Replicas)
 
 	// Kick scheduling off the request path.
 	go s.scheduleReady(bg, r)
@@ -577,12 +590,15 @@ func (s *Service) dispatch(ctx context.Context, r *run, j *jobRun, seq int) erro
 	if err != nil {
 		return err
 	}
-	node, err := s.policy.Pick(procs, seq)
+	files, executable, err := s.resolveFiles(r, j.spec)
 	if err != nil {
 		return err
 	}
-
-	files, executable, err := s.resolveFiles(r, j.spec)
+	// Annotate the refs with content hashes and replica EPRs (so the
+	// staging FSS can pull from the nearest holder) and weigh where the
+	// bytes already live into the placement decision.
+	loc := s.annotateReplicas(files, procs)
+	node, err := s.policy.Pick(procs, loc, seq)
 	if err != nil {
 		return err
 	}
@@ -805,6 +821,11 @@ func (s *Service) onNotification(ctx context.Context, n wsn.Notification) {
 	} else if root == ShardMapTopic {
 		if shard, epoch, owner, err := parseShardOwner(n.Message); err == nil {
 			s.noteShardOwner(shard, epoch, owner)
+		}
+		return
+	} else if root == filesystem.ReplicaTopic {
+		if rc, err := filesystem.ParseReplicaChanged(n.Message); err == nil {
+			s.storeReplica(rc)
 		}
 		return
 	}

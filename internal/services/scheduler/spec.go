@@ -9,6 +9,7 @@ package scheduler
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"uvacg/internal/admission"
@@ -50,6 +51,10 @@ type JobSetSpec struct {
 	Name  string
 	Class string
 	Jobs  []JobSpec
+	// Replicas, when positive, asks the replication layer to keep the
+	// set's staged inputs on at least this many FSS nodes. Masters
+	// without a replicator ignore it.
+	Replicas int
 }
 
 // sourceParts splits "scheme://name" source URIs.
@@ -79,6 +84,9 @@ func (js *JobSetSpec) Validate() error {
 	}
 	if !admission.ValidClass(js.Class) {
 		return fmt.Errorf("scheduler: job set %q has unknown priority class %q", js.Name, js.Class)
+	}
+	if js.Replicas < 0 {
+		return fmt.Errorf("scheduler: job set %q asks for negative replicas", js.Name)
 	}
 	byName := make(map[string]*JobSpec, len(js.Jobs))
 	for i := range js.Jobs {
@@ -212,6 +220,7 @@ var (
 	qClientListener = xmlutil.Q(NS, "ClientListener")
 	qJobSetEPR      = xmlutil.Q(NS, "JobSet")
 	qTopicOut       = xmlutil.Q(NS, "Topic")
+	qSetReplicas    = xmlutil.Q(NS, "Replicas")
 )
 
 // specElement renders the job set portion of a Submit body.
@@ -219,6 +228,9 @@ func specElement(js *JobSetSpec) []*xmlutil.Element {
 	out := []*xmlutil.Element{xmlutil.NewElement(qSetName, js.Name)}
 	if js.Class != "" {
 		out = append(out, xmlutil.NewElement(qSetClass, js.Class))
+	}
+	if js.Replicas > 0 {
+		out = append(out, xmlutil.NewElement(qSetReplicas, strconv.Itoa(js.Replicas)))
 	}
 	for _, j := range js.Jobs {
 		jobEl := xmlutil.NewContainer(qJobSpec,
@@ -241,6 +253,13 @@ func specElement(js *JobSetSpec) []*xmlutil.Element {
 // parseSpec decodes the job set portion of a Submit body.
 func parseSpec(body *xmlutil.Element) (*JobSetSpec, error) {
 	js := &JobSetSpec{Name: body.ChildText(qSetName), Class: body.ChildText(qSetClass)}
+	if txt := body.ChildText(qSetReplicas); txt != "" {
+		n, err := strconv.Atoi(txt)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("scheduler: bad replica count %q", txt)
+		}
+		js.Replicas = n
+	}
 	for _, jobEl := range body.ChildrenNamed(qJobSpec) {
 		j := JobSpec{Name: jobEl.ChildText(qJobName)}
 		if exe := jobEl.Child(qExecutable); exe != nil {

@@ -74,6 +74,15 @@ type ClusterConfig struct {
 	// multi-tenant admission queue (quotas, fair share, QueueFullFault
 	// backpressure). See AdmissionConfig.
 	Admission *AdmissionConfig
+	// Replicas, when positive, runs the replication layer
+	// (single-master layout only): FSS nodes publish replica manifests
+	// for staged files and a replicator on the master fans them out to
+	// this many holders, journaling acked holder sets in the master's
+	// WAL. Invariant I7 reads the resulting ledgers.
+	Replicas int
+	// DataAware switches the scheduler to the data-aware placement
+	// policy (weighs replica locality against effective speed).
+	DataAware bool
 }
 
 // Ack records one acknowledged submission: the scheduler accepted the
@@ -95,7 +104,8 @@ type masterServices struct {
 	broker *wsn.Broker
 	nis    *nodeinfo.Service
 	ss     *scheduler.Service
-	cancel context.CancelFunc // stops the incarnation's admission pump
+	rep    *filesystem.Replicator // nil unless ClusterConfig.Replicas > 0
+	cancel context.CancelFunc     // stops the incarnation's admission pump
 }
 
 // nodeHost is one incarnation of an execution machine.
@@ -133,6 +143,13 @@ type Cluster struct {
 	// Ledger for invariant I6: every admission-queue transition across
 	// all master incarnations, in commit order.
 	admEvents []admission.Event
+	// Ledgers for invariant I7: every file any FSS staged (with the
+	// hash it installed) and the union of every holder set the
+	// replicator ever acked, keyed by content hash. The acked ledger
+	// outlives master incarnations — that is the point: a crash must
+	// not lose what was acked.
+	stages        []filesystem.StageRecord
+	ackedReplicas map[string]map[string]bool
 }
 
 // NewCluster builds and starts a cluster with chaos disabled; call
@@ -306,9 +323,24 @@ func (c *Cluster) startMaster() error {
 		ssCfg.Admission = c.newAdmissionQueue()
 		ssCfg.Security = c.admissionVerifier()
 	}
+	if c.cfg.DataAware {
+		ssCfg.Policy = scheduler.DataAware{}
+	}
 	ss, err := scheduler.New(ssCfg)
 	if err != nil {
 		return err
+	}
+	var rep *filesystem.Replicator
+	if c.cfg.Replicas > 0 {
+		rep = filesystem.NewReplicator(filesystem.ReplicatorConfig{
+			Address:  addr,
+			Client:   client,
+			Broker:   broker.EPR(),
+			NIS:      nis.EPR(),
+			Replicas: c.cfg.Replicas,
+			Journal:  store.MustTable("replicas", resourcedb.BlobCodec{}),
+			OnAck:    c.noteReplicaAck,
+		})
 	}
 
 	mux := soap.NewMux()
@@ -317,15 +349,30 @@ func (c *Cluster) startMaster() error {
 	mux.Handle(nis.WSRF().Path(), nis.WSRF().Dispatcher())
 	mux.Handle(ss.WSRF().Path(), ss.WSRF().Dispatcher())
 	ss.Consumer().Mount(mux, ss.ConsumerPath())
+	if rep != nil {
+		rep.Consumer().Mount(mux, rep.ConsumerPath())
+	}
 	srv := transport.NewServer(mux)
 	srv.Use(serverInterceptors()...)
 	c.Network.Register(MasterHost, srv)
 
 	mctx, cancel := context.WithCancel(context.Background())
 	ss.StartAdmission(mctx)
+	if rep != nil {
+		// Subscribe after the master is reachable on the network; the
+		// broker delivers through the same faultable fabric as everyone
+		// else once chaos is on, but setup must succeed.
+		sctx, scancel := context.WithTimeout(mctx, 10*time.Second)
+		err := rep.Start(sctx)
+		scancel()
+		if err != nil {
+			cancel()
+			return fmt.Errorf("simgrid: replicator subscription: %w", err)
+		}
+	}
 
 	c.mu.Lock()
-	c.master = &masterServices{store: store, client: client, broker: broker, nis: nis, ss: ss, cancel: cancel}
+	c.master = &masterServices{store: store, client: client, broker: broker, nis: nis, ss: ss, rep: rep, cancel: cancel}
 	c.mu.Unlock()
 	return nil
 }
@@ -342,16 +389,18 @@ func (c *Cluster) startNode(ctx context.Context, name string) error {
 	}
 	client := c.hostClient(name)
 	n, err := node.New(node.Config{
-		Interceptors: serverInterceptors(),
-		Name:         name,
-		Network:      c.Network,
-		Client:       client,
-		Cores:        2,
-		SpeedMHz:     2000,
-		UnitTime:     5 * time.Microsecond,
-		Broker:       c.brokerEPR(),
-		NIS:          c.nisEPR(),
-		Store:        store.Store,
+		Interceptors:  serverInterceptors(),
+		Name:          name,
+		Network:       c.Network,
+		Client:        client,
+		Cores:         2,
+		SpeedMHz:      2000,
+		UnitTime:      5 * time.Microsecond,
+		Broker:        c.brokerEPR(),
+		NIS:           c.nisEPR(),
+		Store:         store.Store,
+		OnStage:       c.noteStage,
+		ReplicaEvents: c.cfg.Replicas > 0,
 	})
 	if err != nil {
 		store.Close()

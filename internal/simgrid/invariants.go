@@ -4,10 +4,11 @@ import (
 	"fmt"
 
 	"uvacg/internal/admission"
+	"uvacg/internal/services/filesystem"
 	"uvacg/internal/services/scheduler"
 )
 
-// CheckInvariants audits a quiesced cluster against the five safety and
+// CheckInvariants audits a quiesced cluster against the safety and
 // liveness properties every chaos run must uphold, returning one message
 // per violation (empty means the run passed).
 //
@@ -37,6 +38,14 @@ import (
 //	    re-queued onto the shard's new owner, never stranded. The
 //	    admission ledger must be internally consistent: every dequeue
 //	    or remove names a (tenant, seq) that a prior enqueue admitted.
+//	I7  Byte identity and replica durability: every file any FSS
+//	    installed from the scenario's file server is byte-identical to
+//	    the submitted content — whatever replica served it, whatever
+//	    route (blob cache, pull-through, wire) it took. And with
+//	    replication on, no acked holder set is silently lost: every
+//	    holder the replicator ever acknowledged (journaled) is still in
+//	    the recovered replicator's holder view at quiescence, across
+//	    master crashes.
 func CheckInvariants(c *Cluster, sc *Scenario) []string {
 	var violations []string
 	docs := c.JobSetDocs()
@@ -202,6 +211,50 @@ func CheckInvariants(c *Cluster, sc *Scenario) []string {
 					continue
 				}
 				admitted[k]--
+			}
+		}
+	}
+
+	// I7a: byte identity. A stage record's Source names the (endpoint,
+	// remote name) the bytes were originally published under; its Hash
+	// is what the installing FSS verified before the single atomic
+	// write. For every record tracing back to the scenario's file
+	// server, that hash must equal the hash of the submitted content —
+	// regardless of which replica actually served the bytes.
+	wantHash := make(map[string]string, len(sc.Apps)) // SourceKey → content hash
+	appOf := make(map[string]string, len(sc.Apps))    // SourceKey → app name
+	for name, content := range sc.Apps {
+		key := filesystem.SourceKey(c.Observer.FilesEPR(), name)
+		wantHash[key] = filesystem.HashBytes(content)
+		appOf[key] = name
+	}
+	for _, rec := range c.StageRecords() {
+		want, ok := wantHash[rec.Source]
+		if !ok {
+			continue // a file this scenario did not publish
+		}
+		if rec.Hash != want {
+			violations = append(violations,
+				fmt.Sprintf("I7: %s staged %s (app %s) with hash %.12s, submitted content hashes %.12s (route %s)",
+					rec.Host, rec.LocalName, appOf[rec.Source], rec.Hash, want, rec.Route))
+		}
+	}
+
+	// I7b: acked replica sets survive. The harness ledger holds every
+	// holder set the replicator ever acknowledged (and journaled); the
+	// live replicator — possibly a fresh incarnation recovered from the
+	// WAL after a crash — must still know every one of them.
+	if rep := c.Replicator(); rep != nil {
+		for hash, acked := range c.AckedReplicas() {
+			have := make(map[string]bool)
+			for _, h := range rep.Holders(hash) {
+				have[h] = true
+			}
+			for _, holder := range acked {
+				if !have[holder] {
+					violations = append(violations,
+						fmt.Sprintf("I7: acked replica %s of blob %.12s lost from the recovered holder set", holder, hash))
+				}
 			}
 		}
 	}

@@ -36,6 +36,8 @@ dispatch_jobs_per_s higher
 admission_accepted_per_s higher
 admission_ack_p50_us lower
 admission_ack_p99_us lower
+staging_mib_per_s higher
+e15_data_aware_jobs_per_s higher
 '
 
 # extract KEY FILE: prints the numeric value of a top-level key, or

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Coverage floor for the testbed core: run the internal/services/...,
-# internal/simgrid, internal/lease and internal/admission test suites
-# with -coverprofile and fail when total statement coverage drops below
-# the floor. The floor
+# Coverage floor for the testbed core: run the internal/services/...
+# (scheduler, filesystem — manifest codec, blob layer and replicator
+# included — nodeinfo, execution), internal/simgrid, internal/lease and
+# internal/admission test suites with -coverprofile and fail when total
+# statement coverage drops below the floor. The floor
 # trails the current level (~85%) by a margin so routine refactors don't
 # flap, but a PR that lands a chunk of untested service, simulator or
 # lease-protocol code fails loudly.
