@@ -20,7 +20,15 @@
 // -tenant-quota) clients get a QueueFullFault with a Retry-After hint.
 //
 //	gridmaster -addr :8700 -queue-depth 256 [-tenant-quota 16:4]
-//	           [-fair-share alice:4,bob:1] [-retry-after 2s]
+//	           [-fair-share alice:4,bob:1] [-retry-after 2s] [-preempt]
+//
+// Jobs retry on failure up to their spec's per-job budget; -retry-default
+// gives a budget to jobs whose spec carries none. With -preempt (and the
+// admission queue), an interactive-class arrival that finds its tenant's
+// running quota full evicts the tenant's youngest running scavenger-class
+// set back into the queue instead of waiting behind it.
+//
+//	gridmaster -addr :8700 -retry-default 2:500ms -queue-depth 256 -preempt
 package main
 
 import (
@@ -78,6 +86,8 @@ func main() {
 	fairShare := flag.String("fair-share", "", "comma-separated tenant:weight admission fair-share list, e.g. alice:4,bob:1 (with -queue-depth)")
 	anonTenant := flag.String("anonymous-tenant", "", "admission bucket for unauthenticated submissions (default anonymous)")
 	retryAfter := flag.Duration("retry-after", 0, "backoff hint attached to admission QueueFullFaults (default 1s)")
+	retryDefault := flag.String("retry-default", "", "retry budget for jobs whose spec has none, as limit[:backoff], e.g. 2:500ms (empty disables)")
+	preempt := flag.Bool("preempt", false, "let interactive-class arrivals preempt a tenant's running scavenger-class set back into the admission queue (with -queue-depth)")
 	peersFlag := flag.String("peers", "", "comma-separated base URLs of every master replica, this one included; enables sharded multi-master mode")
 	shardsFlag := flag.Int("shards", 0, "shard-ring size in -peers mode (0 = 4 per replica)")
 	leaseTTL := flag.Duration("lease-ttl", 5*time.Second, "shard lease duration in -peers mode; bounds how long a crashed master's claims outlive it")
@@ -170,6 +180,13 @@ func main() {
 		MaxInflightDispatch: *maxInflight,
 		CatalogTTL:          *catalogTTL,
 	}
+	if *retryDefault != "" {
+		rp, err := parseRetryDefault(*retryDefault)
+		if err != nil {
+			log.Fatalf("gridmaster: %v", err)
+		}
+		ssCfg.DefaultRetry = rp
+	}
 	if *peersFlag != "" {
 		sharding, err := buildSharding(*peersFlag, *shardsFlag, *leaseTTL, address, store)
 		if err != nil {
@@ -185,6 +202,9 @@ func main() {
 		}
 		admQueue = admission.New(admCfg)
 		ssCfg.Admission = admQueue
+		ssCfg.Preempt = *preempt
+	} else if *preempt {
+		log.Fatal("gridmaster: -preempt needs the admission queue (-queue-depth)")
 	}
 	accounts := parseAccounts(*accountsFlag)
 	if accounts != nil {
@@ -404,6 +424,24 @@ func buildSharding(peersFlag string, shards int, ttl time.Duration, address stri
 			return wsa.NewEPR(peers[shard%len(peers)] + "/SchedulerService"), true
 		},
 	}, nil
+}
+
+// parseRetryDefault decodes the -retry-default flag: "limit" or
+// "limit:backoff". A limit with no backoff waits 1s between attempts.
+func parseRetryDefault(s string) (scheduler.RetryPolicy, error) {
+	limitStr, backoffStr, hasBackoff := strings.Cut(s, ":")
+	limit, err := strconv.Atoi(limitStr)
+	if err != nil || limit < 1 {
+		return scheduler.RetryPolicy{}, fmt.Errorf("bad -retry-default %q (want limit[:backoff], limit >= 1)", s)
+	}
+	backoff := time.Second
+	if hasBackoff {
+		backoff, err = time.ParseDuration(backoffStr)
+		if err != nil || backoff < 0 {
+			return scheduler.RetryPolicy{}, fmt.Errorf("bad -retry-default backoff in %q (want a duration like 500ms)", s)
+		}
+	}
+	return scheduler.RetryPolicy{Limit: limit, Backoff: backoff}, nil
 }
 
 func portOf(addr string) string {

@@ -287,6 +287,13 @@ func main() {
 			}
 			log.Printf("  %-12s %s", segs[1], segs[2])
 			if segs[1] == "jobset" {
+				// "preempted" is not terminal: the set is back in the
+				// admission queue and resumes once the higher-priority
+				// burst drains, so keep the files server and listener
+				// alive for the re-dispatch.
+				if segs[2] == "preempted" {
+					continue
+				}
 				status = segs[2]
 				break
 			}

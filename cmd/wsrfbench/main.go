@@ -1,5 +1,5 @@
 // Command wsrfbench regenerates the experiment tables recorded in
-// EXPERIMENTS.md: one table per experiment id (F1, F3, E1-E15), driven
+// EXPERIMENTS.md: one table per experiment id (F1, F3, E1-E16), driven
 // by the same internal/benchkit harnesses as the testing.B benchmarks.
 //
 //	wsrfbench [-quick] [-only E4,E7]
@@ -69,6 +69,7 @@ func main() {
 		{"E13", "multi-master scaling and failover", expE13},
 		{"E14", "admission: multi-tenant submit storm (§4.2/§4.5)", expE14},
 		{"E15", "data-aware placement on data-bound sets (§4.5/§4.6)", expE15},
+		{"E16", "retry storm and preemption on the corrected lifecycle", expE16},
 		{"F3", "end-to-end job set execution (Fig. 3)", expF3},
 	}
 	for _, e := range experiments {
@@ -531,6 +532,32 @@ func expE15() error {
 		}
 		fmt.Printf("  pull-through size %8d  %8.1f MiB/s\n", size, mibs)
 	}
+	return nil
+}
+
+func expE16() error {
+	// Retry storm: a wide set of always-failing jobs, immediate backoff.
+	// Every dispatch is one full failure-path cycle (fail intake, attempt
+	// journal, EPR cleanup, re-dispatch), so dispatches/s prices the
+	// corrected lifecycle's failure machinery.
+	jobs, limit := iters(24, 8), 2
+	storm, err := benchkit.MeasureRetryStorm(ctx, jobs, limit)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  retry storm %2d jobs × limit %d   %3d dispatches in %10v  %6.1f dispatches/s\n",
+		storm.Jobs, storm.Limit, storm.Dispatches,
+		storm.Elapsed.Round(time.Millisecond), storm.DispatchesPerSec())
+	// Preemption: interactive arrival vs a scavenger holding the
+	// tenant's only running slot. Evict = submit → scavenger preemption
+	// journaled; resume = submit → interactive set complete.
+	pre, err := benchkit.MeasurePreemption(ctx, iters(5, 2))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  preemption (running quota 1, %d rounds)  evict p50 %v max %v   interactive done p50 %v\n",
+		pre.Rounds, pre.EvictP50.Round(time.Millisecond), pre.EvictMax.Round(time.Millisecond),
+		pre.ResumeP50.Round(time.Millisecond))
 	return nil
 }
 

@@ -71,6 +71,15 @@ type BenchRecord struct {
 	E15DataAwareJobsPerSec  float64 `json:"e15_data_aware_jobs_per_s"`
 	E15RoundRobinJobsPerSec float64 `json:"e15_round_robin_jobs_per_s"`
 	E15DataAwareLocalFrac   float64 `json:"e15_data_aware_local_frac"`
+
+	// E16: the corrected lifecycle's failure machinery. Dispatch
+	// throughput under a retry storm (every dispatch a full fail →
+	// journal → re-dispatch cycle), and the latency for an interactive
+	// arrival to evict a running scavenger set (evict) and then complete
+	// on the freed slot (resume).
+	E16RetryDispatchesPerSec float64 `json:"e16_retry_dispatches_per_s"`
+	E16PreemptEvictP50Ms     float64 `json:"e16_preempt_evict_p50_ms"`
+	E16PreemptResumeP50Ms    float64 `json:"e16_preempt_resume_p50_ms"`
 }
 
 // recordEnvelope mirrors internal/soap's benchmark message: WS-A
@@ -220,6 +229,21 @@ func recordBench(path string) error {
 		return err
 	}
 	rec.E15RoundRobinJobsPerSec = rr.JobsPerSec
+
+	fmt.Println("  retry storm (E16) ...")
+	storm16, err := benchkit.MeasureRetryStorm(ctx, iters(24, 8), 2)
+	if err != nil {
+		return err
+	}
+	rec.E16RetryDispatchesPerSec = storm16.DispatchesPerSec()
+
+	fmt.Println("  preemption latency (E16) ...")
+	pre, err := benchkit.MeasurePreemption(ctx, iters(5, 2))
+	if err != nil {
+		return err
+	}
+	rec.E16PreemptEvictP50Ms = float64(pre.EvictP50.Microseconds()) / 1e3
+	rec.E16PreemptResumeP50Ms = float64(pre.ResumeP50.Microseconds()) / 1e3
 
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

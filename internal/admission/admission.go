@@ -470,6 +470,19 @@ func (q *Queue) Next(ctx context.Context) (Entry, error) {
 	}
 }
 
+// AtRunningCap reports whether the tenant's running quota is exhausted
+// — the signal the scheduler's preemption hook keys on. Always false
+// when no running bound is configured.
+func (q *Queue) AtRunningCap(tenant string) bool {
+	if q.cfg.TenantRunning <= 0 {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.tenants[tenant]
+	return ok && t.running >= q.cfg.TenantRunning
+}
+
 // Done releases one running slot for the tenant (terminal set, cancel,
 // or shard loss) and wakes the dequeue loop.
 func (q *Queue) Done(tenant string) {

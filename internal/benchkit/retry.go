@@ -1,0 +1,213 @@
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"uvacg/internal/admission"
+	"uvacg/internal/procspawn"
+	"uvacg/internal/services/scheduler"
+	"uvacg/internal/simgrid"
+)
+
+// RetryStormResult is one E16 retry-storm run: a wide set of jobs that
+// all fail every attempt, each re-dispatched until its budget is spent.
+// The scheduler's failure path — kill, journal, backoff, re-dispatch —
+// is the measured machinery, not the jobs themselves.
+type RetryStormResult struct {
+	Jobs       int
+	Limit      int
+	Dispatches int // committed dispatch records (want Jobs × (Limit+1))
+	Elapsed    time.Duration
+}
+
+// DispatchesPerSec is the sustained failure-path dispatch throughput.
+func (r RetryStormResult) DispatchesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Dispatches) / r.Elapsed.Seconds()
+}
+
+// MeasureRetryStorm is the E16 throughput rig: n independent
+// single-job sets whose job always fails, each with an
+// immediate-backoff retry budget of `limit`, pushed through a four-node
+// grid to their Failed end states. One set per job, because the
+// fail-fast doom model is part of the lifecycle: a sibling's permanent
+// failure would cancel a parked retry, and the storm must burn every
+// budget in full. Every job costs limit+1 dispatches, so the run prices
+// the whole retry cycle: failure intake, attempt journaling, EPR
+// cleanup and re-dispatch.
+func MeasureRetryStorm(ctx context.Context, n, limit int) (RetryStormResult, error) {
+	if n < 1 || limit < 1 {
+		return RetryStormResult{}, fmt.Errorf("benchkit: bad retry storm shape %d jobs × limit %d", n, limit)
+	}
+	dir, err := os.MkdirTemp("", "uvacg-retrystorm-*")
+	if err != nil {
+		return RetryStormResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	c, err := simgrid.NewCluster(simgrid.ClusterConfig{Seed: 16, Nodes: 4, DataDir: dir})
+	if err != nil {
+		return RetryStormResult{}, err
+	}
+	defer c.Close()
+	c.Observer.Files.Publish("fail.app", procspawn.BuildScript("exit 1"))
+
+	topics := make([]string, 0, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		spec := &scheduler.JobSetSpec{Name: fmt.Sprintf("storm-%03d", i), Jobs: []scheduler.JobSpec{{
+			Name:       "f",
+			Executable: "local://fail.app",
+			Retry:      scheduler.RetryPolicy{Limit: limit},
+		}}}
+		ack, err := c.Submit(ctx, spec)
+		if err != nil {
+			return RetryStormResult{}, err
+		}
+		topics = append(topics, ack.Topic)
+	}
+	for _, topic := range topics {
+		if err := awaitDocStatus(ctx, c, topic, scheduler.SetFailed); err != nil {
+			return RetryStormResult{}, err
+		}
+	}
+	res := RetryStormResult{Jobs: n, Limit: limit, Elapsed: time.Since(start)}
+	want := make(map[string]bool, n)
+	for _, topic := range topics {
+		want[topic] = true
+	}
+	for _, d := range c.Dispatches() {
+		if want[d.Topic] {
+			res.Dispatches++
+		}
+	}
+	if want := n * (limit + 1); res.Dispatches != want {
+		return res, fmt.Errorf("benchkit: retry storm dispatched %d, want %d", res.Dispatches, want)
+	}
+	return res, nil
+}
+
+// PreemptionResult is one E16 latency run: round after round, an
+// interactive arrival finds its tenant's single running slot held by a
+// scavenger set and must evict it. Evict is submit → the scavenger's
+// preemption journaled and published; Resume is submit → the
+// interactive set complete on the freed slot.
+type PreemptionResult struct {
+	Rounds    int
+	EvictP50  time.Duration
+	EvictMax  time.Duration
+	ResumeP50 time.Duration
+}
+
+// MeasurePreemption is the E16 latency rig: a one-node grid with a
+// tenant running-quota of 1 and preemption on. Each round parks a
+// long scavenger set on the slot, then times an interactive submit to
+// the scavenger's eviction and to its own completion. The preempted
+// scavenger re-runs to completion before the next round, so rounds
+// never stack in the queue.
+func MeasurePreemption(ctx context.Context, rounds int) (PreemptionResult, error) {
+	if rounds < 1 {
+		return PreemptionResult{}, fmt.Errorf("benchkit: preemption needs ≥1 round")
+	}
+	dir, err := os.MkdirTemp("", "uvacg-preempt-*")
+	if err != nil {
+		return PreemptionResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	c, err := simgrid.NewCluster(simgrid.ClusterConfig{
+		Seed: 17, Nodes: 1, DataDir: dir,
+		Admission: &simgrid.AdmissionConfig{TenantRunning: 1},
+		Preempt:   true,
+	})
+	if err != nil {
+		return PreemptionResult{}, err
+	}
+	defer c.Close()
+	c.Observer.Files.Publish("hold.app", procspawn.BuildScript("compute 200000", "exit 0"))
+	c.Observer.Files.Publish("quick.app", procspawn.BuildScript("exit 0"))
+
+	evicts := make([]time.Duration, 0, rounds)
+	resumes := make([]time.Duration, 0, rounds)
+	for round := 0; round < rounds; round++ {
+		scav := &scheduler.JobSetSpec{
+			Name: fmt.Sprintf("hold-%d", round), Class: admission.ClassScavenger,
+			Jobs: []scheduler.JobSpec{{Name: "h", Executable: "local://hold.app"}},
+		}
+		scavAck, err := c.Submit(ctx, scav)
+		if err != nil {
+			return PreemptionResult{}, err
+		}
+		if err := awaitEvent(ctx, c, scavAck.Topic, "h", "started"); err != nil {
+			return PreemptionResult{}, fmt.Errorf("benchkit: round %d scavenger never started: %w", round, err)
+		}
+
+		inter := &scheduler.JobSetSpec{
+			Name: fmt.Sprintf("rush-%d", round), Class: admission.ClassInteractive,
+			Jobs: []scheduler.JobSpec{{Name: "r", Executable: "local://quick.app"}},
+		}
+		t0 := time.Now()
+		interAck, err := c.Submit(ctx, inter)
+		if err != nil {
+			return PreemptionResult{}, err
+		}
+		if err := awaitEvent(ctx, c, scavAck.Topic, "", "jobset:preempted"); err != nil {
+			return PreemptionResult{}, fmt.Errorf("benchkit: round %d scavenger never preempted: %w", round, err)
+		}
+		evicts = append(evicts, time.Since(t0))
+		if err := awaitDocStatus(ctx, c, interAck.Topic, scheduler.SetCompleted); err != nil {
+			return PreemptionResult{}, fmt.Errorf("benchkit: round %d interactive: %w", round, err)
+		}
+		resumes = append(resumes, time.Since(t0))
+		// Drain the requeued scavenger so the next round's slot fight is
+		// identical to this one's.
+		if err := awaitDocStatus(ctx, c, scavAck.Topic, scheduler.SetCompleted); err != nil {
+			return PreemptionResult{}, fmt.Errorf("benchkit: round %d scavenger rerun: %w", round, err)
+		}
+	}
+	sort.Slice(evicts, func(i, j int) bool { return evicts[i] < evicts[j] })
+	sort.Slice(resumes, func(i, j int) bool { return resumes[i] < resumes[j] })
+	return PreemptionResult{
+		Rounds:    rounds,
+		EvictP50:  evicts[len(evicts)/2],
+		EvictMax:  evicts[len(evicts)-1],
+		ResumeP50: resumes[len(resumes)/2],
+	}, nil
+}
+
+// awaitDocStatus polls the persisted job-set document for a status.
+func awaitDocStatus(ctx context.Context, c *simgrid.Cluster, topic, want string) error {
+	for {
+		for _, v := range c.JobSetDocs() {
+			if v.Topic == topic && v.Status == want {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("benchkit: set %s never reached %s: %w", topic, want, ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// awaitEvent polls the observer for an event on a set topic. An empty
+// job matches set-level events.
+func awaitEvent(ctx context.Context, c *simgrid.Cluster, topic, job, kind string) error {
+	for {
+		for _, ev := range c.Observer.Events() {
+			if ev.Set == topic && ev.Kind == kind && (job == "" || ev.Job == job) {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("benchkit: no %s event on %s: %w", kind, topic, ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

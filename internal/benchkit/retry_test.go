@@ -1,0 +1,37 @@
+package benchkit
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestMeasureRetryStormAccountsEveryDispatch(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := MeasureRetryStorm(ctx, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispatches != 8*3 {
+		t.Fatalf("dispatches = %d, want %d", res.Dispatches, 8*3)
+	}
+	if res.DispatchesPerSec() <= 0 {
+		t.Fatalf("nonsense throughput: %+v", res)
+	}
+}
+
+func TestMeasurePreemptionOrdersLatencies(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	res, err := MeasurePreemption(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EvictP50 <= 0 || res.EvictMax < res.EvictP50 {
+		t.Fatalf("nonsense evict quantiles: %+v", res)
+	}
+	if res.ResumeP50 < res.EvictP50 {
+		t.Fatalf("interactive completed before the eviction it needed: %+v", res)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"uvacg/internal/admission"
 	"uvacg/internal/node"
 	"uvacg/internal/pipeline"
 	"uvacg/internal/resourcedb"
@@ -87,6 +88,16 @@ type GridConfig struct {
 	// MaxInflightDispatch bounds the scheduler's concurrent job
 	// dispatches (0 = scheduler default, 1 = strictly serial).
 	MaxInflightDispatch int
+	// DefaultRetry applies to every job whose spec carries no retry
+	// policy of its own (the gridmaster -retry-default flag).
+	DefaultRetry scheduler.RetryPolicy
+	// Admission, when set, parks submits in this queue and lets the
+	// fair-share pump activate them (the gridmaster -queue-depth flags).
+	Admission *admission.Queue
+	// Preempt lets an interactive-class arrival that finds its tenant's
+	// running quota full evict the tenant's youngest running
+	// scavenger-class set (requires Admission; the -preempt flag).
+	Preempt bool
 	// CatalogTTL tunes the scheduler's processor-catalog cache
 	// (0 = scheduler default, negative = poll the NIS per dispatch).
 	CatalogTTL time.Duration
@@ -117,6 +128,7 @@ type Grid struct {
 	cfg        GridConfig
 	ssIdentity *wssec.Identity
 	clientSeq  int
+	stopPump   context.CancelFunc
 }
 
 // NewGrid builds and starts a grid.
@@ -199,6 +211,13 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 
 		MaxInflightDispatch: cfg.MaxInflightDispatch,
 		CatalogTTL:          cfg.CatalogTTL,
+		DefaultRetry:        cfg.DefaultRetry,
+	}
+	if cfg.Admission != nil {
+		ssCfg.Admission = cfg.Admission
+		ssCfg.Preempt = cfg.Preempt
+	} else if cfg.Preempt {
+		return nil, fmt.Errorf("core: Preempt needs an Admission queue")
 	}
 	if cfg.Accounts != nil {
 		g.ssIdentity, err = wssec.NewIdentity("CN=SchedulerService/" + cfg.MasterHost)
@@ -282,6 +301,11 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 	if _, err := ss.Recover(ctx); err != nil {
 		return nil, fmt.Errorf("core: scheduler recovery: %w", err)
 	}
+	if cfg.Admission != nil {
+		pumpCtx, stopPump := context.WithCancel(context.Background())
+		g.stopPump = stopPump
+		ss.StartAdmission(pumpCtx)
+	}
 	return g, nil
 }
 
@@ -331,6 +355,9 @@ func (g *Grid) StartMonitors() {
 
 // Close stops the grid's background activity.
 func (g *Grid) Close() {
+	if g.stopPump != nil {
+		g.stopPump()
+	}
 	for _, n := range g.Nodes {
 		n.Stop()
 	}

@@ -4,7 +4,11 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
+	"time"
+
+	"uvacg/internal/services/scheduler"
 )
 
 // JobSetFile is a parsed job-set description file: the text equivalent
@@ -16,6 +20,9 @@ import (
 //	  exec <source-uri>         e.g. local://gen.app or build://tool
 //	  input <local-name> <source-uri>
 //	  output <file> [...]
+//	  after <job> [...]         run only once these jobs are terminal
+//	  on <success|failure|always>  gate on how the after-jobs ended
+//	  retry <limit> [backoff]   re-run on failure, e.g. retry 2 500ms
 //	fetch <job> <file>          retrieve after completion
 //
 // '#' starts a comment; indentation is cosmetic.
@@ -93,6 +100,41 @@ func ParseJobSetFile(r io.Reader) (*JobSetFile, error) {
 				return nil, fail("output takes at least one file name")
 			}
 			current.Outputs = append(current.Outputs, fields[1:]...)
+		case "after":
+			if current == nil {
+				return nil, fail("after outside a job")
+			}
+			if len(fields) < 2 {
+				return nil, fail("after takes at least one job name")
+			}
+			current.After = append(current.After, fields[1:]...)
+		case "on":
+			if current == nil {
+				return nil, fail("on outside a job")
+			}
+			if len(fields) != 2 {
+				return nil, fail("on takes success, failure or always")
+			}
+			current.RunOn = fields[1]
+		case "retry":
+			if current == nil {
+				return nil, fail("retry outside a job")
+			}
+			if len(fields) != 2 && len(fields) != 3 {
+				return nil, fail("retry takes a limit and an optional backoff")
+			}
+			limit, err := strconv.Atoi(fields[1])
+			if err != nil || limit < 1 {
+				return nil, fail("retry limit %q must be a positive integer", fields[1])
+			}
+			backoff := time.Second
+			if len(fields) == 3 {
+				backoff, err = time.ParseDuration(fields[2])
+				if err != nil || backoff < 0 {
+					return nil, fail("retry backoff %q must be a duration like 500ms", fields[2])
+				}
+			}
+			current.Retry = scheduler.RetryPolicy{Limit: limit, Backoff: backoff}
 		case "fetch":
 			if len(fields) != 3 {
 				return nil, fail("fetch takes a job and a file")

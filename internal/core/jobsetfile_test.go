@@ -3,6 +3,9 @@ package core
 import (
 	"strings"
 	"testing"
+	"time"
+
+	"uvacg/internal/services/scheduler"
 )
 
 const sampleJobSetFile = `
@@ -19,6 +22,13 @@ job sum
   exec local://sum.app
   input data.txt gen://data.txt
   output total.txt stats.txt
+  after gen
+  retry 2 500ms
+
+job tidy
+  exec local://sum.app
+  after gen sum
+  on failure
 
 fetch sum total.txt
 `
@@ -28,7 +38,7 @@ func TestParseJobSetFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.Spec.Name != "analysis" || len(f.Spec.Jobs) != 2 {
+	if f.Spec.Name != "analysis" || len(f.Spec.Jobs) != 3 {
 		t.Fatalf("spec = %+v", f.Spec)
 	}
 	if f.Files["gen.app"] != "./scripts/gen.app" {
@@ -44,6 +54,16 @@ func TestParseJobSetFile(t *testing.T) {
 	if len(sum.Outputs) != 2 {
 		t.Errorf("outputs = %v", sum.Outputs)
 	}
+	if len(sum.After) != 1 || sum.After[0] != "gen" {
+		t.Errorf("after = %v", sum.After)
+	}
+	if sum.Retry != (scheduler.RetryPolicy{Limit: 2, Backoff: 500 * time.Millisecond}) {
+		t.Errorf("retry = %+v", sum.Retry)
+	}
+	tidy := f.Spec.Jobs[2]
+	if tidy.RunOn != scheduler.RunOnFailure || len(tidy.After) != 2 {
+		t.Errorf("tidy = %+v", tidy)
+	}
 	if len(f.Fetches) != 1 || f.Fetches[0] != (Fetch{Job: "sum", File: "total.txt"}) {
 		t.Errorf("fetches = %v", f.Fetches)
 	}
@@ -58,6 +78,12 @@ func TestParseJobSetFileErrors(t *testing.T) {
 		"duplicate file":   "jobset s\nfile a p1\nfile a p2\njob a\n exec local://a\n",
 		"invalid spec":     "jobset s\njob a\n exec local://x\njob a\n exec local://x\n",
 		"input arity":      "jobset s\njob a\n exec local://x\n input only-one\n",
+		"after no jobs":    "jobset s\njob a\n exec local://x\n after\n",
+		"bad on value":     "jobset s\njob a\n exec local://x\njob b\n exec local://x\n after a\n on sometimes\n",
+		"on without after": "jobset s\njob a\n exec local://x\n on failure\n",
+		"bad retry limit":  "jobset s\njob a\n exec local://x\n retry zero\n",
+		"bad retry delay":  "jobset s\njob a\n exec local://x\n retry 2 fast\n",
+		"retry outside":    "jobset s\nretry 2\njob a\n exec local://x\n",
 	}
 	for name, src := range cases {
 		if _, err := ParseJobSetFile(strings.NewReader(src)); err == nil {

@@ -107,6 +107,11 @@ func (s *Service) admitSubmit(ctx context.Context, spec *JobSetSpec, clientFiles
 		qs.entry = e
 	}
 	s.mu.Unlock()
+	if e.Class == admission.ClassInteractive {
+		// An interactive arrival may evict a running scavenger set to
+		// free its tenant's quota slot; off the request path.
+		go s.maybePreempt(context.WithoutCancel(ctx), tenant)
+	}
 
 	return xmlutil.NewContainer(qSubmitResp,
 		setEPR.ElementNamed(qJobSetEPR),
@@ -233,10 +238,24 @@ func (s *Service) activate(ctx context.Context, e admission.Entry) {
 		jobs:        make(map[string]*jobRun, len(spec.Jobs)),
 		status:      SetRunning,
 		tenant:      e.Tenant,
+		entry:       e,
+		hasEntry:    true,
 	}
+	// Honor persisted per-job progress: a preempted set comes back
+	// through the queue with completed jobs (and consumed retry budget)
+	// already journaled, and must not redo that work.
+	view := ParseJobSetDocument(doc)
 	for i := range spec.Jobs {
 		j := &spec.Jobs[i]
-		r.jobs[j.Name] = &jobRun{spec: j, state: JobPending}
+		jr := &jobRun{spec: j, state: JobPending}
+		if jv := view.Job(j.Name); jv != nil {
+			jr.attempts = jv.Attempt
+			if jv.Status == JobCompleted {
+				jr.state = JobCompleted
+				jr.dirEPR = jv.Dir
+			}
+		}
+		r.jobs[j.Name] = jr
 	}
 	s.mu.Lock()
 	if s.runs[e.Topic] != nil {
@@ -247,7 +266,13 @@ func (s *Service) activate(ctx context.Context, e admission.Entry) {
 	s.runs[e.Topic] = r
 	s.runIDs[e.ID] = e.Topic
 	s.mu.Unlock()
-	go s.scheduleReady(ctx, r)
+	go func() {
+		s.scheduleReady(ctx, r)
+		// A re-activated preempted set may already have every job
+		// terminal (preempted in the window before its completion was
+		// recorded set-wide); close it out rather than hang.
+		s.maybeComplete(ctx, r)
+	}()
 }
 
 // requeueLater re-parks an entry whose activation hit a transient

@@ -1,6 +1,8 @@
 package scheduler
 
 import (
+	"strconv"
+
 	"uvacg/internal/wsa"
 	"uvacg/internal/xmlutil"
 )
@@ -25,6 +27,9 @@ type JobView struct {
 	Status string
 	Node   string
 	Dir    wsa.EndpointReference // job output directory, when recorded
+	// Attempt counts retries already consumed, so a recovered run
+	// resumes with the same budget.
+	Attempt int
 }
 
 // Job returns the view of the named job, or nil.
@@ -58,6 +63,9 @@ func ParseJobSetDocument(doc *xmlutil.Element) JobSetView {
 			if epr, err := wsa.ParseEPRString(raw); err == nil {
 				jv.Dir = epr
 			}
+		}
+		if n, err := strconv.Atoi(st.Attr(qAttemptAttr)); err == nil && n > 0 {
+			jv.Attempt = n
 		}
 		v.Jobs = append(v.Jobs, jv)
 	}

@@ -140,6 +140,12 @@ func (s *Service) recoverFiltered(ctx context.Context, accept func(name string) 
 			if r.tenant = doc.Attr(qTenantAttr); r.tenant == "" {
 				r.tenant = s.adm.TenantOf("")
 			}
+			// The journaled admission coordinates keep the set
+			// preemptible after a crash.
+			if e, ok := queuedEntry(id, doc); ok {
+				r.entry = e
+				r.hasEntry = true
+			}
 		}
 		if el := doc.Child(qClientFiles); el != nil {
 			if epr, err := wsa.ParseEPR(el); err == nil {
@@ -157,9 +163,16 @@ func (s *Service) recoverFiltered(ctx context.Context, accept func(name string) 
 		for i := range spec.Jobs {
 			j := &spec.Jobs[i]
 			jr := &jobRun{spec: j, state: JobPending}
-			if jv := view.Job(j.Name); jv != nil && jv.Status == JobCompleted {
-				jr.state = JobCompleted
-				jr.dirEPR = jv.Dir
+			if jv := view.Job(j.Name); jv != nil {
+				// Retry budget already consumed survives the crash: a
+				// crash between attempts must not grant a fresh one.
+				jr.attempts = jv.Attempt
+				if jv.Status == JobCompleted {
+					jr.state = JobCompleted
+					jr.dirEPR = jv.Dir
+				} else {
+					incomplete = true
+				}
 			} else {
 				incomplete = true
 			}
@@ -181,8 +194,9 @@ func (s *Service) recoverFiltered(ctx context.Context, accept func(name string) 
 		}
 
 		if doc.Attr(qSecured) == "true" && incomplete {
-			// Credentials died with the old process: be explicit.
-			s.failJob(ctx, r, firstIncomplete(r), "scheduler restarted; credentials are not persisted, resubmit the job set")
+			// Credentials died with the old process: be explicit. No
+			// retry can cure this — no attempt can even be dispatched.
+			s.failJobFinal(ctx, r, firstIncomplete(r), "scheduler restarted; credentials are not persisted, resubmit the job set")
 			continue
 		}
 

@@ -40,18 +40,21 @@ func (s *Service) ensureReplicaSubscription(ctx context.Context) {
 	if !s.trackReplicas {
 		return
 	}
-	s.mu.RLock()
-	done := s.repSubscribed
-	s.mu.RUnlock()
-	if done {
+	// Atomic claim, as in ensureCatalogSubscription: concurrent submits
+	// must not double-subscribe.
+	s.mu.Lock()
+	if s.repSubscribed {
+		s.mu.Unlock()
 		return
 	}
-	if _, err := wsn.SubscribeVia(ctx, s.client, s.broker, s.ConsumerEPR(), wsn.Simple(filesystem.ReplicaTopic)); err != nil {
-		return // retried on the next submission
-	}
-	s.mu.Lock()
 	s.repSubscribed = true
 	s.mu.Unlock()
+	if _, err := wsn.SubscribeVia(ctx, s.client, s.broker, s.ConsumerEPR(), wsn.Simple(filesystem.ReplicaTopic)); err != nil {
+		s.mu.Lock()
+		s.repSubscribed = false
+		s.mu.Unlock()
+		return
+	}
 	if n, err := wsn.GetCurrentMessageVia(ctx, s.client, s.broker, wsn.Simple(filesystem.ReplicaTopic)); err == nil {
 		if rc, perr := filesystem.ParseReplicaChanged(n.Message); perr == nil {
 			s.storeReplica(rc)

@@ -61,6 +61,9 @@ var (
 	qExitAttr   = xmlutil.Q("", "exitCode")
 	qDirAttr    = xmlutil.Q("", "dir")
 	qSecured    = xmlutil.Q("", "secured")
+	// qAttemptAttr counts a job's retry attempts so a recovered run
+	// resumes with the same budget instead of a fresh one.
+	qAttemptAttr = xmlutil.Q("", "attempt")
 	// qNotifiedAttr marks that the terminal set event was handed to the
 	// broker. Terminal docs without it are republished by Recover: the
 	// status write and the publish are not atomic, so a crash between
@@ -129,6 +132,13 @@ type Config struct {
 	// ignore locality, so dispatched FileRefs carry content hashes and
 	// replica EPRs. A DataAware policy enables tracking implicitly.
 	TrackReplicas bool
+	// DefaultRetry applies to jobs whose spec carries no retry policy of
+	// its own. Zero keeps the historical fail-on-first-error behaviour.
+	DefaultRetry RetryPolicy
+	// Preempt lets an interactive-class arrival that finds its tenant's
+	// running quota exhausted kill-and-requeue that tenant's youngest
+	// running scavenger set. Requires Admission.
+	Preempt bool
 }
 
 // Dispatch-path defaults.
@@ -153,6 +163,8 @@ type Service struct {
 	sharding     *Sharding
 	onDispatch   func(rec DispatchRecord)
 	adm          *admission.Queue
+	defaultRetry RetryPolicy
+	preempt      bool
 
 	// mu guards the maps below. Reader-heavy paths — the notification
 	// fan-in's run lookups, cancel/output queries, shard-owner routing —
@@ -214,6 +226,10 @@ type run struct {
 	// the slot's one-time return (see releaseAdmission).
 	tenant   string
 	released bool
+	// entry is the admission-queue coordinate the run was activated
+	// under; hasEntry marks it valid. Preemption requeues through it.
+	entry    admission.Entry
+	hasEntry bool
 }
 
 type jobRun struct {
@@ -224,6 +240,19 @@ type jobRun struct {
 	dirEPR   wsa.EndpointReference
 	exitCode int
 	watchdog *time.Timer
+	// attempts counts failures already retried; retryAt holds the job
+	// out of nextReady until its backoff elapses.
+	attempts int
+	retryAt  time.Time
+}
+
+// jobTerminal reports whether a job state is final.
+func jobTerminal(state string) bool {
+	switch state {
+	case JobCompleted, JobFailed, JobCancelled:
+		return true
+	}
+	return false
 }
 
 // New builds the SS.
@@ -276,6 +305,8 @@ func New(cfg Config) (*Service, error) {
 		runIDs:       make(map[string]string),
 		shardOwners:  make(map[int]string),
 		shardEpochs:  make(map[int]uint64),
+		defaultRetry: cfg.DefaultRetry,
+		preempt:      cfg.Preempt && cfg.Admission != nil,
 	}
 	if _, ok := cfg.Policy.(DataAware); ok || cfg.TrackReplicas {
 		s.trackReplicas = true
@@ -553,20 +584,91 @@ func (s *Service) nextReady(r *run) (*jobRun, int) {
 		if j.state != JobPending {
 			continue
 		}
-		ready := true
-		for _, dep := range j.spec.Dependencies() {
-			if r.jobs[dep].state != JobCompleted {
-				ready = false
-				break
-			}
+		if !j.retryAt.IsZero() && time.Now().Before(j.retryAt) {
+			continue // backoff not yet elapsed
 		}
-		if ready {
+		if readyLocked(r, j) {
 			j.state = JobDispatched
+			j.retryAt = time.Time{}
 			r.seq++
 			return j, r.seq
 		}
 	}
 	return nil, 0
+}
+
+// readyLocked evaluates a pending job's run-on gate against its
+// dependencies' states. Callers hold r.mu.
+func readyLocked(r *run, j *jobRun) bool {
+	anyFailed := false
+	for _, dep := range j.spec.Dependencies() {
+		d := r.jobs[dep]
+		switch j.spec.EffectiveRunOn() {
+		case RunOnSuccess:
+			if d.state != JobCompleted {
+				return false
+			}
+		default: // RunOnFailure, RunOnAlways: deps must merely be settled
+			if !jobTerminal(d.state) {
+				return false
+			}
+			if d.state == JobFailed {
+				anyFailed = true
+			}
+		}
+	}
+	if j.spec.EffectiveRunOn() == RunOnFailure {
+		return anyFailed
+	}
+	return true
+}
+
+// impossibleLocked reports whether a pending job's run-on gate can no
+// longer ever be met, whatever happens to the jobs still in flight.
+// Callers hold r.mu.
+func impossibleLocked(r *run, j *jobRun) bool {
+	switch j.spec.EffectiveRunOn() {
+	case RunOnFailure:
+		// Doomed only once every dependency settled without a failure.
+		for _, dep := range j.spec.Dependencies() {
+			d := r.jobs[dep]
+			if !jobTerminal(d.state) || d.state == JobFailed {
+				return false
+			}
+		}
+		return true
+	case RunOnAlways:
+		return false // dependencies always settle eventually
+	default: // RunOnSuccess
+		for _, dep := range j.spec.Dependencies() {
+			if st := r.jobs[dep].state; jobTerminal(st) && st != JobCompleted {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// cancelImpossibleLocked cancels, to fixpoint, every pending job whose
+// run-on gate is unsatisfiable. Callers hold r.mu; the returned names
+// need their documents refreshed once the lock is released.
+func cancelImpossibleLocked(r *run) []string {
+	var changed []string
+	for again := true; again; {
+		again = false
+		for _, name := range jobOrder(r.spec) {
+			j := r.jobs[name]
+			if j.state != JobPending || !impossibleLocked(r, j) {
+				continue
+			}
+			stopWatchdog(j)
+			j.state = JobCancelled
+			j.retryAt = time.Time{}
+			changed = append(changed, name)
+			again = true
+		}
+	}
+	return changed
 }
 
 // jobOrder returns job names in declaration order, keeping dispatch
@@ -635,11 +737,22 @@ func (s *Service) dispatch(ctx context.Context, r *run, j *jobRun, seq int) erro
 		return err
 	}
 	r.mu.Lock()
-	if r.status != SetRunning {
-		// The set went terminal (a sibling dispatch failed, the client
-		// cancelled) while this Run was in flight — the fresh job is an
-		// orphan the terminal path could not have known to kill.
-		j.state = JobCancelled
+	// The broker can deliver this attempt's started/exited events before
+	// the Run response lands, so Running/Completed with a matching (or
+	// not-yet-adopted) job EPR is still the same attempt. Anything else —
+	// set no longer Running, job failed/cancelled/queued for retry, or a
+	// different EPR — means this fresh process was overtaken and is an
+	// orphan this path must reap.
+	sameAttempt := j.state == JobDispatched ||
+		((j.state == JobRunning || j.state == JobCompleted) &&
+			(j.jobEPR.IsZero() || j.jobEPR.String() == jobEPR.String()))
+	if r.status != SetRunning || !sameAttempt {
+		// Only an attempt that was still Dispatched is marked cancelled;
+		// an overtaken job keeps the state its retry or terminal
+		// transition already chose.
+		if j.state == JobDispatched {
+			j.state = JobCancelled
+		}
 		r.mu.Unlock()
 		_, _ = s.client.Call(ctx, jobEPR, execution.ActionKill, execution.KillRequest())
 		s.updateJobDoc(r, j.spec.Name)
@@ -650,7 +763,7 @@ func (s *Service) dispatch(ctx context.Context, r *run, j *jobRun, seq int) erro
 	if !dirEPR.IsZero() {
 		j.dirEPR = dirEPR
 	}
-	if s.jobTimeout > 0 {
+	if s.jobTimeout > 0 && !jobTerminal(j.state) {
 		name := j.spec.Name
 		j.watchdog = time.AfterFunc(s.jobTimeout, func() {
 			s.jobTimedOut(r, name)
@@ -749,18 +862,23 @@ func (s *Service) ensureCatalogSubscription(ctx context.Context) {
 	if s.catalogTTL <= 0 {
 		return
 	}
-	s.mu.RLock()
-	done := s.catSubscribed
-	s.mu.RUnlock()
-	if done {
+	// Claim the flag before subscribing: a check-then-act window here
+	// would let concurrent submits race past each other and register
+	// duplicate subscriptions, double-delivering every catalog push.
+	s.mu.Lock()
+	if s.catSubscribed {
+		s.mu.Unlock()
 		return
 	}
-	if _, err := wsn.SubscribeVia(ctx, s.client, s.broker, s.ConsumerEPR(), wsn.Simple(nodeinfo.CatalogTopic)); err != nil {
-		return // retried on the next submission
-	}
-	s.mu.Lock()
 	s.catSubscribed = true
 	s.mu.Unlock()
+	if _, err := wsn.SubscribeVia(ctx, s.client, s.broker, s.ConsumerEPR(), wsn.Simple(nodeinfo.CatalogTopic)); err != nil {
+		// Release the claim so the next submission retries.
+		s.mu.Lock()
+		s.catSubscribed = false
+		s.mu.Unlock()
+		return
+	}
 	if n, err := wsn.GetCurrentMessageVia(ctx, s.client, s.broker, wsn.Simple(nodeinfo.CatalogTopic)); err == nil {
 		if procs, perr := nodeinfo.ParseCatalogChanged(n.Message); perr == nil && len(procs) > 0 {
 			s.storeCatalog(procs)
@@ -853,6 +971,19 @@ func (s *Service) onNotification(ctx context.Context, n wsn.Notification) {
 		r.mu.Unlock()
 		return
 	}
+	// Stale-attempt guards: after a retry re-dispatch, the previous
+	// attempt's events may still arrive. A job that is terminal or
+	// parked between attempts (Pending) has no live attempt to report
+	// on, and an event naming a different job EPR than the current
+	// attempt is history.
+	if jobTerminal(j.state) || j.state == JobPending {
+		r.mu.Unlock()
+		return
+	}
+	if !ev.Job.IsZero() && !j.jobEPR.IsZero() && ev.Job.String() != j.jobEPR.String() {
+		r.mu.Unlock()
+		return
+	}
 	if !ev.Directory.IsZero() {
 		j.dirEPR = ev.Directory
 	}
@@ -889,65 +1020,180 @@ func (s *Service) onNotification(ctx context.Context, n wsn.Notification) {
 	}
 }
 
-// maybeComplete finishes the job set when every job completed.
+// maybeComplete finishes the job set once no job can still run: after
+// cancelling pending jobs whose run-on gate became unsatisfiable, a set
+// with every job terminal goes Completed when nothing failed and Failed
+// otherwise (a failed sibling whose cleanup jobs have since finished).
 func (s *Service) maybeComplete(ctx context.Context, r *run) {
 	r.mu.Lock()
 	if r.status != SetRunning || r.lost {
 		r.mu.Unlock()
 		return
 	}
-	for _, j := range r.jobs {
-		if j.state != JobCompleted {
+	changed := cancelImpossibleLocked(r)
+	status, failedJob := SetCompleted, ""
+	for _, name := range jobOrder(r.spec) {
+		switch j := r.jobs[name]; j.state {
+		case JobFailed:
+			status = SetFailed
+			if failedJob == "" {
+				failedJob = name
+			}
+		case JobCompleted, JobCancelled:
+		default:
+			// Still pending (possibly waiting out a retry backoff),
+			// dispatched or running: not done yet.
 			r.mu.Unlock()
+			for _, n := range changed {
+				s.updateJobDoc(r, n)
+			}
 			return
 		}
 	}
-	r.status = SetCompleted
+	r.status = status
 	r.mu.Unlock()
 	s.releaseAdmission(r)
-	s.setStatus(r, SetCompleted)
+	for _, n := range changed {
+		s.updateJobDoc(r, n)
+	}
+	s.setStatus(r, status)
+	detail := ""
+	if status == SetFailed {
+		detail = fmt.Sprintf("job %q failed", failedJob)
+	}
 	// Stamp notified only when the broker actually took the event: a
 	// failed publish must leave the marker off so Recover republishes
 	// after a restart (invariant I4, at-least-once terminal delivery).
-	if s.publishSetEvent(ctx, r, SetCompleted, "") == nil {
+	if s.publishSetEvent(ctx, r, status, detail) == nil {
 		s.markNotified(r.id)
 	}
 }
 
-// failJob marks a job failed, fails the set, cancels the rest.
+// retryPolicy resolves the policy for one job: its own, or the
+// service-wide default when the spec carries none.
+func (s *Service) retryPolicy(spec *JobSpec) RetryPolicy {
+	if spec.Retry.Limit > 0 {
+		return spec.Retry
+	}
+	return s.defaultRetry
+}
+
+// failJob handles one job's failure — nonzero exit, watchdog timeout or
+// dispatch error. While retry budget remains the job is re-queued with
+// backoff (a re-dispatch arms a fresh watchdog); once exhausted it goes
+// Failed, sibling work that can no longer matter is cancelled and
+// killed, run-on-failure cleanup jobs are launched, and the set goes
+// terminal when nothing is left.
 func (s *Service) failJob(ctx context.Context, r *run, jobName, reason string) {
+	s.failJobOpt(ctx, r, jobName, reason, true)
+}
+
+// failJobFinal is failJob without the retry path — for failures no
+// re-dispatch can cure (unrecoverable credentials).
+func (s *Service) failJobFinal(ctx context.Context, r *run, jobName, reason string) {
+	s.failJobOpt(ctx, r, jobName, reason, false)
+}
+
+func (s *Service) failJobOpt(ctx context.Context, r *run, jobName, reason string, allowRetry bool) {
 	r.mu.Lock()
 	if r.lost {
 		r.mu.Unlock()
 		return
 	}
-	if j := r.jobs[jobName]; j != nil {
-		j.state = JobFailed
-	}
-	alreadyDone := r.status != SetRunning
-	if !alreadyDone {
-		r.status = SetFailed
-	}
-	var toKill []wsa.EndpointReference
-	for _, j := range r.jobs {
-		stopWatchdog(j)
-		switch j.state {
-		case JobPending:
-			j.state = JobCancelled
-		case JobRunning, JobDispatched:
-			if !j.jobEPR.IsZero() {
-				toKill = append(toKill, j.jobEPR)
-			}
-		}
-	}
-	r.mu.Unlock()
-	if alreadyDone {
+	j := r.jobs[jobName]
+	if j == nil || jobTerminal(j.state) {
+		// A late duplicate verdict (watchdog racing the exit event, a
+		// stale attempt's event): the first one stood.
+		r.mu.Unlock()
 		return
 	}
-	s.releaseAdmission(r)
+	if policy := s.retryPolicy(j.spec); allowRetry && r.status == SetRunning && j.attempts < policy.Limit {
+		j.attempts++
+		oldEPR := j.jobEPR
+		stopWatchdog(j)
+		j.state = JobPending
+		j.node = ""
+		j.jobEPR = wsa.EndpointReference{}
+		j.dirEPR = wsa.EndpointReference{}
+		j.exitCode = 0
+		j.retryAt = time.Now().Add(policy.Backoff)
+		r.mu.Unlock()
+		if !oldEPR.IsZero() {
+			// The failed attempt may still be alive (watchdog timeout on a
+			// partitioned node): reap it so two attempts never overlap.
+			_, _ = s.client.Call(ctx, oldEPR, execution.ActionKill, execution.KillRequest())
+		}
+		s.updateJobDoc(r, jobName)
+		time.AfterFunc(policy.Backoff, func() {
+			s.scheduleReady(context.Background(), r)
+		})
+		return
+	}
+
+	// Permanent failure. Collect the failed job's own process first —
+	// it may well still be running (watchdog timeout) and must die too.
+	var toKill []wsa.EndpointReference
+	if !j.jobEPR.IsZero() {
+		toKill = append(toKill, j.jobEPR)
+	}
+	stopWatchdog(j)
+	j.state = JobFailed
+	j.retryAt = time.Time{}
+	if r.status != SetRunning {
+		// The set already went terminal (cancel racing the watchdog);
+		// the verdict stands, but the straggler process still dies.
+		r.mu.Unlock()
+		for _, epr := range toKill {
+			_, _ = s.client.Call(ctx, epr, execution.ActionKill, execution.KillRequest())
+		}
+		s.updateJobDoc(r, jobName)
+		return
+	}
+	// Fail-fast doom model: ordinary (run-on-success) work is cancelled
+	// — and killed, so no process outlives its set's verdict — while
+	// run-on-failure/always handlers survive to observe the failure.
+	for _, other := range r.jobs {
+		if other == j || other.spec.EffectiveRunOn() != RunOnSuccess {
+			continue
+		}
+		switch other.state {
+		case JobPending:
+			stopWatchdog(other)
+			other.state = JobCancelled
+			other.retryAt = time.Time{}
+		case JobRunning, JobDispatched:
+			stopWatchdog(other)
+			if !other.jobEPR.IsZero() {
+				toKill = append(toKill, other.jobEPR)
+			}
+			other.state = JobCancelled
+			other.retryAt = time.Time{}
+		}
+	}
+	cancelImpossibleLocked(r)
+	done := true
+	for _, other := range r.jobs {
+		if !jobTerminal(other.state) {
+			done = false
+			break
+		}
+	}
+	if done {
+		r.status = SetFailed
+	}
+	r.mu.Unlock()
 	for _, epr := range toKill {
 		_, _ = s.client.Call(ctx, epr, execution.ActionKill, execution.KillRequest())
 	}
+	if !done {
+		// Cleanup handlers remain: persist the cancellations, launch the
+		// now-ready handlers and let their completions finish the set.
+		s.updateAllJobDocs(r)
+		s.scheduleReady(ctx, r)
+		s.maybeComplete(ctx, r)
+		return
+	}
+	s.releaseAdmission(r)
 	s.updateAllJobDocs(r)
 	s.setStatus(r, SetFailed)
 	// As in maybeComplete: only a successful publish earns the marker.
@@ -977,6 +1223,14 @@ func (s *Service) handleCancel(ctx context.Context, inv *wsrf.Invocation, body *
 		return nil, wsrf.NewBaseFault("NoSuchJobSetFault", "job set %q has no active run", inv.ResourceID).SOAPFault(soap.CodeSender)
 	}
 	r.mu.Lock()
+	if r.status != SetRunning || r.lost {
+		// Already terminal (or parked for another master): the first
+		// verdict stands. Overwriting it here would clobber a
+		// Completed/Failed status and publish a second, contradictory
+		// terminal event.
+		r.mu.Unlock()
+		return &xmlutil.Element{Name: qCancelResp}, nil
+	}
 	r.status = SetCancelled
 	var toKill []wsa.EndpointReference
 	for _, j := range r.jobs {
@@ -984,10 +1238,14 @@ func (s *Service) handleCancel(ctx context.Context, inv *wsrf.Invocation, body *
 		switch j.state {
 		case JobPending:
 			j.state = JobCancelled
+			j.retryAt = time.Time{}
 		case JobRunning, JobDispatched:
 			if !j.jobEPR.IsZero() {
 				toKill = append(toKill, j.jobEPR)
 			}
+			// The kill is in flight: record the verdict so the document
+			// never shows a live job inside a terminal set.
+			j.state = JobCancelled
 		}
 	}
 	states := make(map[string]string, len(r.jobs))
@@ -1043,6 +1301,7 @@ func (s *Service) updateJobDoc(r *run, jobName string) {
 	j := r.jobs[jobName]
 	state, node, exit := j.state, j.node, j.exitCode
 	dir := j.dirEPR
+	attempts := j.attempts
 	r.mu.Unlock()
 	_ = s.svc.UpdateResource(r.id, func(doc *xmlutil.Element) error {
 		for _, st := range doc.ChildrenNamed(QJobState) {
@@ -1053,6 +1312,9 @@ func (s *Service) updateJobDoc(r *run, jobName string) {
 				}
 				if !dir.IsZero() {
 					st.SetAttr(qDirAttr, dir.String())
+				}
+				if attempts > 0 {
+					st.SetAttr(qAttemptAttr, strconv.Itoa(attempts))
 				}
 				if state == JobCompleted || state == JobFailed {
 					st.SetAttr(qExitAttr, strconv.Itoa(exit))

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"uvacg/internal/admission"
 	"uvacg/internal/xmlutil"
@@ -31,8 +32,29 @@ type FileSpec struct {
 	Source    string
 }
 
+// Run-on conditions for a job's dependency edges. The zero value means
+// RunOnSuccess: the paper's bare outputs-feed-inputs ordering.
+const (
+	// RunOnSuccess jobs wait for every dependency to complete; if any
+	// dependency ends otherwise the job can never run.
+	RunOnSuccess = "success"
+	// RunOnFailure jobs are cleanup handlers: they run once every
+	// dependency is terminal and at least one of them failed.
+	RunOnFailure = "failure"
+	// RunOnAlways jobs run once every dependency is terminal, whatever
+	// the outcome — finalizers.
+	RunOnAlways = "always"
+)
+
+// RetryPolicy re-dispatches a failed job up to Limit extra attempts,
+// waiting Backoff between attempts. The zero value disables retries.
+type RetryPolicy struct {
+	Limit   int
+	Backoff time.Duration
+}
+
 // JobSpec describes one job: the {executable, input files, output
-// files} tuple of paper §4.
+// files} tuple of paper §4, plus the retry/conditional layer.
 type JobSpec struct {
 	Name string
 	// Executable is a source URI; its basename becomes the staged
@@ -42,6 +64,34 @@ type JobSpec struct {
 	// Outputs declare the files this job produces that other jobs may
 	// reference.
 	Outputs []string
+	// Retry re-dispatches the job after a failure (nonzero exit,
+	// watchdog timeout, dispatch error) up to Limit extra attempts.
+	Retry RetryPolicy
+	// RunOn gates the job on its dependencies' outcomes: "" or
+	// RunOnSuccess (all completed), RunOnFailure (all terminal, one or
+	// more failed — a cleanup job), RunOnAlways (all terminal).
+	RunOn string
+	// After adds ordering-only dependencies: the named jobs must be
+	// terminal (per RunOn) before this one runs, without any file
+	// flowing between them.
+	After []string
+}
+
+// validRunOn reports whether s names a known run-on condition.
+func validRunOn(s string) bool {
+	switch s {
+	case "", RunOnSuccess, RunOnFailure, RunOnAlways:
+		return true
+	}
+	return false
+}
+
+// EffectiveRunOn normalizes the empty default to RunOnSuccess.
+func (j *JobSpec) EffectiveRunOn() string {
+	if j.RunOn == "" {
+		return RunOnSuccess
+	}
+	return j.RunOn
 }
 
 // JobSetSpec is a whole job set. Class is the admission priority class
@@ -103,6 +153,15 @@ func (js *JobSetSpec) Validate() error {
 		if j.Executable == "" {
 			return fmt.Errorf("scheduler: job %q has no executable", j.Name)
 		}
+		if !validRunOn(j.RunOn) {
+			return fmt.Errorf("scheduler: job %q has unknown run-on condition %q", j.Name, j.RunOn)
+		}
+		if j.Retry.Limit < 0 {
+			return fmt.Errorf("scheduler: job %q has a negative retry limit", j.Name)
+		}
+		if j.Retry.Backoff < 0 {
+			return fmt.Errorf("scheduler: job %q has a negative retry backoff", j.Name)
+		}
 		byName[j.Name] = j
 	}
 	outputs := make(map[string]map[string]bool, len(js.Jobs))
@@ -145,11 +204,23 @@ func (js *JobSetSpec) Validate() error {
 				return err
 			}
 		}
+		for _, after := range j.After {
+			if after == j.Name {
+				return fmt.Errorf("scheduler: job %q is ordered after itself", j.Name)
+			}
+			if _, ok := byName[after]; !ok {
+				return fmt.Errorf("scheduler: job %q is ordered after unknown job %q", j.Name, after)
+			}
+		}
+		if j.EffectiveRunOn() == RunOnFailure && len(j.Dependencies()) == 0 {
+			return fmt.Errorf("scheduler: job %q runs on failure but has no dependencies to fail", j.Name)
+		}
 	}
 	return js.checkAcyclic()
 }
 
-// Dependencies returns the producing jobs a job waits on, deduplicated.
+// Dependencies returns the jobs a job waits on — producers of its
+// executable and inputs plus its After ordering edges — deduplicated.
 func (j *JobSpec) Dependencies() []string {
 	seen := make(map[string]bool)
 	var out []string
@@ -162,6 +233,12 @@ func (j *JobSpec) Dependencies() []string {
 	add(j.Executable)
 	for _, in := range j.Inputs {
 		add(in.Source)
+	}
+	for _, a := range j.After {
+		if a != "" && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
 	}
 	return out
 }
@@ -221,6 +298,10 @@ var (
 	qJobSetEPR      = xmlutil.Q(NS, "JobSet")
 	qTopicOut       = xmlutil.Q(NS, "Topic")
 	qSetReplicas    = xmlutil.Q(NS, "Replicas")
+	qAfter          = xmlutil.Q(NS, "After")
+	qRunOnAttr      = xmlutil.Q("", "runOn")
+	qRetryLimitAttr = xmlutil.Q("", "retryLimit")
+	qRetryWaitAttr  = xmlutil.Q("", "retryBackoff")
 )
 
 // specElement renders the job set portion of a Submit body.
@@ -237,6 +318,15 @@ func specElement(js *JobSetSpec) []*xmlutil.Element {
 			xmlutil.NewElement(qJobName, j.Name),
 			xmlutil.NewElement(qExecutable, "").SetAttr(qSourceAttr, j.Executable),
 		)
+		if j.RunOn != "" {
+			jobEl.SetAttr(qRunOnAttr, j.RunOn)
+		}
+		if j.Retry.Limit > 0 {
+			jobEl.SetAttr(qRetryLimitAttr, strconv.Itoa(j.Retry.Limit))
+		}
+		if j.Retry.Backoff > 0 {
+			jobEl.SetAttr(qRetryWaitAttr, j.Retry.Backoff.String())
+		}
 		for _, in := range j.Inputs {
 			jobEl.Append(xmlutil.NewElement(qInput, "").
 				SetAttr(qNameAttr, in.LocalName).
@@ -244,6 +334,9 @@ func specElement(js *JobSetSpec) []*xmlutil.Element {
 		}
 		for _, o := range j.Outputs {
 			jobEl.Append(xmlutil.NewElement(qOutput, o))
+		}
+		for _, a := range j.After {
+			jobEl.Append(xmlutil.NewElement(qAfter, a))
 		}
 		out = append(out, jobEl)
 	}
@@ -261,9 +354,23 @@ func parseSpec(body *xmlutil.Element) (*JobSetSpec, error) {
 		js.Replicas = n
 	}
 	for _, jobEl := range body.ChildrenNamed(qJobSpec) {
-		j := JobSpec{Name: jobEl.ChildText(qJobName)}
+		j := JobSpec{Name: jobEl.ChildText(qJobName), RunOn: jobEl.Attr(qRunOnAttr)}
 		if exe := jobEl.Child(qExecutable); exe != nil {
 			j.Executable = exe.Attr(qSourceAttr)
+		}
+		if txt := jobEl.Attr(qRetryLimitAttr); txt != "" {
+			n, err := strconv.Atoi(txt)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("scheduler: bad retry limit %q", txt)
+			}
+			j.Retry.Limit = n
+		}
+		if txt := jobEl.Attr(qRetryWaitAttr); txt != "" {
+			d, err := time.ParseDuration(txt)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("scheduler: bad retry backoff %q", txt)
+			}
+			j.Retry.Backoff = d
 		}
 		for _, in := range jobEl.ChildrenNamed(qInput) {
 			j.Inputs = append(j.Inputs, FileSpec{
@@ -273,6 +380,9 @@ func parseSpec(body *xmlutil.Element) (*JobSetSpec, error) {
 		}
 		for _, o := range jobEl.ChildrenNamed(qOutput) {
 			j.Outputs = append(j.Outputs, o.Text)
+		}
+		for _, a := range jobEl.ChildrenNamed(qAfter) {
+			j.After = append(j.After, a.Text)
 		}
 		js.Jobs = append(js.Jobs, j)
 	}

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"uvacg/internal/wsa"
 	"uvacg/internal/xmlutil"
@@ -116,6 +117,60 @@ func TestSpecXMLRoundTrip(t *testing.T) {
 	}
 	if err := back.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSpecRetryConditionalXMLRoundTrip(t *testing.T) {
+	js := &JobSetSpec{Name: "cond", Jobs: []JobSpec{
+		{Name: "work", Executable: "local://w.app",
+			Retry: RetryPolicy{Limit: 2, Backoff: 500 * time.Millisecond}},
+		{Name: "sweep", Executable: "local://s.app",
+			After: []string{"work"}, RunOn: RunOnFailure},
+		{Name: "audit", Executable: "local://a.app",
+			After: []string{"work", "sweep"}, RunOn: RunOnAlways},
+	}}
+	body := SubmitRequest(js, wsa.NewEPR("soap.tcp://client:9/files"), wsa.NewEPR("inproc://client/listener"))
+	data, err := xmlutil.MarshalElement(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := xmlutil.UnmarshalElement(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := parseSpec(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, js) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", js, back)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateConditionalRejections(t *testing.T) {
+	base := func() *JobSetSpec {
+		return &JobSetSpec{Name: "cond", Jobs: []JobSpec{
+			{Name: "work", Executable: "local://w.app"},
+			{Name: "sweep", Executable: "local://s.app", After: []string{"work"}, RunOn: RunOnFailure},
+		}}
+	}
+	cases := map[string]func(*JobSetSpec){
+		"unknown run-on":        func(js *JobSetSpec) { js.Jobs[1].RunOn = "maybe" },
+		"negative retry limit":  func(js *JobSetSpec) { js.Jobs[0].Retry.Limit = -1 },
+		"negative backoff":      func(js *JobSetSpec) { js.Jobs[0].Retry.Backoff = -time.Second },
+		"after self":            func(js *JobSetSpec) { js.Jobs[1].After = []string{"sweep"} },
+		"after unknown job":     func(js *JobSetSpec) { js.Jobs[1].After = []string{"ghost"} },
+		"failure gate, no deps": func(js *JobSetSpec) { js.Jobs[1].After = nil },
+	}
+	for name, mutate := range cases {
+		js := base()
+		mutate(js)
+		if err := js.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
 	}
 }
 

@@ -83,6 +83,13 @@ type ClusterConfig struct {
 	// DataAware switches the scheduler to the data-aware placement
 	// policy (weighs replica locality against effective speed).
 	DataAware bool
+	// DefaultRetry applies to every job whose spec carries no retry
+	// policy of its own (the gridmaster -retry-default flag).
+	DefaultRetry scheduler.RetryPolicy
+	// Preempt lets an interactive-class arrival that finds its tenant's
+	// running quota full evict the tenant's youngest running
+	// scavenger-class set (requires Admission; the -preempt flag).
+	Preempt bool
 }
 
 // Ack records one acknowledged submission: the scheduler accepted the
@@ -105,6 +112,7 @@ type masterServices struct {
 	nis    *nodeinfo.Service
 	ss     *scheduler.Service
 	rep    *filesystem.Replicator // nil unless ClusterConfig.Replicas > 0
+	f      *fence                 // trips on crash: no outbound I/O survives
 	cancel context.CancelFunc     // stops the incarnation's admission pump
 }
 
@@ -283,7 +291,12 @@ func (c *Cluster) startMaster() error {
 	if err != nil {
 		return fmt.Errorf("simgrid: open master store: %w", err)
 	}
-	client := c.hostClient(MasterHost)
+	// The fence models SIGKILL for outbound traffic: a crashed
+	// incarnation's surviving goroutines (watchdogs, retry-backoff
+	// timers) must not keep dispatching work or publishing events — a
+	// dead process makes no network calls.
+	f := &fence{}
+	client := c.clientWith(MasterHost, f)
 	addr := "inproc://" + MasterHost
 
 	broker, err := wsn.NewBroker("/NotificationBroker", addr,
@@ -318,10 +331,13 @@ func (c *Cluster) startMaster() error {
 		JobTimeout:          c.cfg.JobTimeout,
 		CatalogTTL:          c.cfg.CatalogTTL,
 		MaxInflightDispatch: c.cfg.MaxInflight,
+		DefaultRetry:        c.cfg.DefaultRetry,
+		OnDispatch:          c.noteDispatch,
 	}
 	if c.cfg.Admission != nil {
 		ssCfg.Admission = c.newAdmissionQueue()
 		ssCfg.Security = c.admissionVerifier()
+		ssCfg.Preempt = c.cfg.Preempt
 	}
 	if c.cfg.DataAware {
 		ssCfg.Policy = scheduler.DataAware{}
@@ -372,7 +388,7 @@ func (c *Cluster) startMaster() error {
 	}
 
 	c.mu.Lock()
-	c.master = &masterServices{store: store, client: client, broker: broker, nis: nis, ss: ss, rep: rep, cancel: cancel}
+	c.master = &masterServices{store: store, client: client, broker: broker, nis: nis, ss: ss, rep: rep, f: f, cancel: cancel}
 	c.mu.Unlock()
 	return nil
 }
@@ -494,6 +510,7 @@ func (c *Cluster) NodeNames() []string {
 // I/O would. State on disk is whatever the WAL had committed.
 func (c *Cluster) CrashMaster() {
 	m := c.Master()
+	m.f.dead.Store(true)
 	c.Network.Deregister(MasterHost)
 	m.cancel()
 	_ = m.store.Close()
@@ -714,6 +731,10 @@ type ObservedEvent struct {
 	Kind     string
 	ExitCode int
 	HasExit  bool
+	// JobEPR identifies the reporting process instance, so retry drills
+	// can count distinct attempts even when a re-established
+	// subscription delivers the same publish more than once.
+	JobEPR string
 }
 
 func newObserver(client *transport.Client) *Observer {
@@ -763,6 +784,9 @@ func (o *Observer) record(n wsn.Notification) {
 			ev.Kind = segs[2]
 			if je, err := execution.ParseJobEvent(n.Message); err == nil {
 				ev.ExitCode, ev.HasExit = je.ExitCode, je.HasExit
+				if !je.Job.IsZero() {
+					ev.JobEPR = je.Job.String()
+				}
 			}
 		}
 	}

@@ -16,9 +16,11 @@ import (
 //	    that got as far as a topic) is terminal: completed, failed or
 //	    cancelled. Nothing hangs — not across crashes, partitions or
 //	    lost events.
-//	I2  Causal ordering: a job observed to start had every dependency
-//	    observed to exit successfully. The scheduler may never dispatch
-//	    a job before its predecessors' outputs exist.
+//	I2  Causal ordering: a success-gated job observed to start had every
+//	    dependency observed to exit successfully. The scheduler may
+//	    never dispatch a job before its predecessors' outputs exist.
+//	    Cleanup (run-on failure) and finalizer (run-on always) jobs are
+//	    exempt: their gates open on non-success outcomes by design.
 //	I3  No acked submission is lost: the topic returned by an
 //	    acknowledged Submit maps to a persisted job-set document, even
 //	    after the master crashed and recovered from its WAL.
@@ -46,6 +48,12 @@ import (
 //	    holder the replicator ever acknowledged (journaled) is still in
 //	    the recovered replicator's holder view at quiescence, across
 //	    master crashes.
+//	I8  Retry/cleanup conservation: no persisted attempt counter ever
+//	    exceeds its job's retry budget (a crash between attempts must
+//	    not grant a fresh one); a terminal set's document holds only
+//	    terminal job states; a Completed set holds no Failed job; and a
+//	    run-on-failure handler whose gate was met (every dependency
+//	    terminal, at least one Failed) actually ran.
 func CheckInvariants(c *Cluster, sc *Scenario) []string {
 	var violations []string
 	docs := c.JobSetDocs()
@@ -98,11 +106,96 @@ func CheckInvariants(c *Cluster, sc *Scenario) []string {
 			if spec.Jobs[i].Name != ev.Job {
 				continue
 			}
+			if spec.Jobs[i].EffectiveRunOn() != scheduler.RunOnSuccess {
+				continue // failure/always gates open without a clean exit
+			}
 			for _, dep := range spec.Jobs[i].Dependencies() {
 				if !exitOK[setJob{ev.Set, dep}] {
 					violations = append(violations,
 						fmt.Sprintf("I2: job %s/%s started but dependency %s has no successful exit", ev.Set, ev.Job, dep))
 				}
+			}
+		}
+	}
+
+	// I8: retry/cleanup conservation, read from the persisted documents
+	// (the ground truth a recovered master resumes from). Checked only
+	// on terminal sets — a mid-flight snapshot could legitimately hold
+	// live states.
+	for _, v := range docs {
+		spec := specByName[v.Name]
+		if spec == nil || !isTerminalSet(v.Status) {
+			continue
+		}
+		jobSpec := make(map[string]*scheduler.JobSpec, len(spec.Jobs))
+		for i := range spec.Jobs {
+			jobSpec[spec.Jobs[i].Name] = &spec.Jobs[i]
+		}
+		for _, jv := range v.Jobs {
+			js, ok := jobSpec[jv.Name]
+			if !ok {
+				continue
+			}
+			limit := js.Retry.Limit
+			if limit == 0 {
+				limit = c.cfg.DefaultRetry.Limit
+			}
+			if jv.Attempt > limit {
+				violations = append(violations,
+					fmt.Sprintf("I8: job %s/%s consumed %d retry attempts, budget is %d", v.Name, jv.Name, jv.Attempt, limit))
+			}
+			switch jv.Status {
+			case scheduler.JobCompleted, scheduler.JobFailed, scheduler.JobCancelled:
+			default:
+				violations = append(violations,
+					fmt.Sprintf("I8: terminal set %s (%s) persisted live job state %s=%q", v.Name, v.Status, jv.Name, jv.Status))
+			}
+			if v.Status == scheduler.SetCompleted && jv.Status == scheduler.JobFailed {
+				violations = append(violations,
+					fmt.Sprintf("I8: set %s Completed with failed job %s", v.Name, jv.Name))
+			}
+		}
+		// A failure handler whose gate was met must have run. The gate is
+		// judged on the final document: every dependency terminal with at
+		// least one Failed. (Cancelled dependencies alone never open it.)
+		// A client-cancelled set is exempt — cancellation outranks gates.
+		if v.Status == scheduler.SetCancelled {
+			continue
+		}
+		for i := range spec.Jobs {
+			js := &spec.Jobs[i]
+			if js.EffectiveRunOn() != scheduler.RunOnFailure {
+				continue
+			}
+			gateMet, sawFail := true, false
+			for _, dep := range js.Dependencies() {
+				dv := v.Job(dep)
+				if dv == nil {
+					gateMet = false
+					break
+				}
+				switch dv.Status {
+				case scheduler.JobFailed:
+					sawFail = true
+				case scheduler.JobCompleted, scheduler.JobCancelled:
+				default:
+					gateMet = false
+				}
+				if !gateMet {
+					break
+				}
+			}
+			if !gateMet || !sawFail {
+				continue
+			}
+			jv := v.Job(js.Name)
+			if jv == nil || (jv.Status != scheduler.JobCompleted && jv.Status != scheduler.JobFailed) {
+				got := "<absent>"
+				if jv != nil {
+					got = jv.Status
+				}
+				violations = append(violations,
+					fmt.Sprintf("I8: cleanup job %s/%s gate was met but it never ran (state %s)", v.Name, js.Name, got))
 			}
 		}
 	}

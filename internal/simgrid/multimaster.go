@@ -260,6 +260,7 @@ func (c *Cluster) startMasterN(i int) error {
 		JobTimeout:          c.cfg.JobTimeout,
 		CatalogTTL:          c.cfg.CatalogTTL,
 		MaxInflightDispatch: c.cfg.MaxInflight,
+		DefaultRetry:        c.cfg.DefaultRetry,
 		Sharding: &scheduler.Sharding{
 			Manager: mgr,
 			PeerForShard: func(shard int) (wsa.EndpointReference, bool) {
@@ -272,6 +273,7 @@ func (c *Cluster) startMasterN(i int) error {
 	if c.cfg.Admission != nil {
 		ssCfg.Admission = c.newAdmissionQueue()
 		ssCfg.Security = c.admissionVerifier()
+		ssCfg.Preempt = c.cfg.Preempt
 	}
 	ss, err := scheduler.New(ssCfg)
 	if err != nil {

@@ -158,6 +158,42 @@ func Generate(seed int64) *Scenario {
 			})
 		}
 	}
+
+	// Retry/conditional draws come last — after the multi-master block —
+	// so the prefix of every seed's random stream (and with it the DAG
+	// shapes and fault schedules older seeds pinned) is unchanged by the
+	// retry layer's arrival. A scripted failure keeps failing on every
+	// attempt, so a retry budget here is exercised to exhaustion and
+	// invariant I8 can check the persisted counter against it.
+	for _, set := range sc.Sets {
+		for ji := range set.Jobs {
+			j := &set.Jobs[ji]
+			if sc.failing[set.Name+"/"+j.Name] && r.Float64() < 0.5 {
+				j.Retry = scheduler.RetryPolicy{
+					Limit:   1 + r.Intn(2),
+					Backoff: time.Duration(10+r.Intn(30)) * time.Millisecond,
+				}
+			}
+		}
+		if r.Float64() < 0.40 {
+			runOn := scheduler.RunOnAlways
+			if r.Float64() < 0.5 {
+				runOn = scheduler.RunOnFailure
+			}
+			after := make([]string, 0, len(set.Jobs))
+			for _, j := range set.Jobs {
+				after = append(after, j.Name)
+			}
+			app := set.Name + "-fin.app"
+			sc.Apps[app] = procspawn.BuildScript("exit 0")
+			set.Jobs = append(set.Jobs, scheduler.JobSpec{
+				Name:       "fin",
+				Executable: "local://" + app,
+				After:      after,
+				RunOn:      runOn,
+			})
+		}
+	}
 	return sc
 }
 
@@ -176,6 +212,12 @@ func (sc *Scenario) Transcript() string {
 			fate := "ok"
 			if sc.failing[set.Name+"/"+j.Name] {
 				fate = "fail"
+			}
+			if j.Retry.Limit > 0 {
+				fate = fmt.Sprintf("%s,retry=%d", fate, j.Retry.Limit)
+			}
+			if j.RunOn != "" {
+				fate = fmt.Sprintf("%s,on=%s", fate, j.RunOn)
 			}
 			deps := j.Dependencies()
 			if len(deps) == 0 {

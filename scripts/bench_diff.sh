@@ -38,6 +38,9 @@ admission_ack_p50_us lower
 admission_ack_p99_us lower
 staging_mib_per_s higher
 e15_data_aware_jobs_per_s higher
+e16_retry_dispatches_per_s higher
+e16_preempt_evict_p50_ms lower
+e16_preempt_resume_p50_ms lower
 '
 
 # extract KEY FILE: prints the numeric value of a top-level key, or
